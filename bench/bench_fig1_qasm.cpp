@@ -1,0 +1,70 @@
+// E1 / Fig. 1: the two descriptions of a quantum circuit — OpenQASM source
+// (Fig. 1a) and circuit diagram (Fig. 1b) — plus frontend throughput.
+//
+// Reproduction: parse the paper's exact OpenQASM, re-emit it, and render
+// the diagram; the round trip must preserve the instruction stream.
+
+#include "bench_common.hpp"
+
+#include "qasm/parser.hpp"
+
+namespace {
+
+using namespace qtc;
+
+void print_artifact() {
+  std::printf("=== E1 (Fig. 1): OpenQASM <-> circuit diagram ===\n\n");
+  std::printf("--- Fig. 1a: OpenQASM source ---\n%s\n", bench::fig1_qasm());
+  const QuantumCircuit qc = qasm::parse(bench::fig1_qasm());
+  std::printf("--- Fig. 1b: circuit diagram ---\n%s\n",
+              qc.to_string().c_str());
+  const QuantumCircuit round = qasm::parse(qasm::emit(qc));
+  bool identical = round.size() == qc.size();
+  for (std::size_t i = 0; identical && i < qc.size(); ++i)
+    identical = round.ops()[i].kind == qc.ops()[i].kind &&
+                round.ops()[i].qubits == qc.ops()[i].qubits;
+  std::printf("parse(emit(circuit)) preserves all %zu operations: %s\n\n",
+              qc.size(), identical ? "yes" : "NO");
+}
+
+void BM_ParseFig1(benchmark::State& state) {
+  for (auto _ : state) {
+    auto qc = qasm::parse(bench::fig1_qasm());
+    benchmark::DoNotOptimize(qc);
+  }
+}
+BENCHMARK(BM_ParseFig1);
+
+void BM_EmitFig1(benchmark::State& state) {
+  const QuantumCircuit qc = qasm::parse(bench::fig1_qasm());
+  for (auto _ : state) {
+    auto text = qasm::emit(qc);
+    benchmark::DoNotOptimize(text);
+  }
+}
+BENCHMARK(BM_EmitFig1);
+
+void BM_DrawFig1(benchmark::State& state) {
+  const QuantumCircuit qc = qasm::parse(bench::fig1_qasm());
+  for (auto _ : state) {
+    auto art = qc.to_string();
+    benchmark::DoNotOptimize(art);
+  }
+}
+BENCHMARK(BM_DrawFig1);
+
+void BM_ParseLargeProgram(benchmark::State& state) {
+  const QuantumCircuit big =
+      bench::random_circuit(16, static_cast<int>(state.range(0)), 3);
+  const std::string text = qasm::emit(big);
+  for (auto _ : state) {
+    auto qc = qasm::parse(text);
+    benchmark::DoNotOptimize(qc);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ParseLargeProgram)->Arg(100)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+QTC_BENCH_MAIN(print_artifact)

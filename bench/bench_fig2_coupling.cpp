@@ -1,0 +1,81 @@
+// E2 / Fig. 2: the coupling maps of the IBM QX architectures. Reproduces
+// the paper's Fig. 2 (QX4) as an arrow list plus the derived all-pairs
+// distances the mappers consume, and times the graph machinery.
+
+#include "bench_common.hpp"
+
+#include "arch/coupling_map.hpp"
+
+namespace {
+
+using namespace qtc;
+
+void print_map(const arch::CouplingMap& map) {
+  std::printf("%s\n", map.to_string().c_str());
+}
+
+void print_artifact() {
+  std::printf("=== E2 (Fig. 2): IBM QX coupling maps ===\n\n");
+  std::printf("Arrows point from allowed CNOT control to target:\n\n");
+  print_map(arch::ibm_qx2());
+  print_map(arch::ibm_qx4());
+  print_map(arch::ibm_qx3());
+  print_map(arch::ibm_qx5());
+
+  const arch::CouplingMap qx4 = arch::ibm_qx4();
+  std::printf("\nQX4 undirected distance matrix (SWAP count = d - 1):\n   ");
+  for (int j = 0; j < qx4.num_qubits(); ++j) std::printf(" Q%d", j);
+  std::printf("\n");
+  for (int i = 0; i < qx4.num_qubits(); ++i) {
+    std::printf("Q%d  ", i);
+    for (int j = 0; j < qx4.num_qubits(); ++j)
+      std::printf("%2d ", qx4.distance(i, j));
+    std::printf("\n");
+  }
+  std::printf(
+      "\nExample CNOT-constraint (paper Sec. II-B): CX Q0->Q1 is NOT native "
+      "(%s), CX Q1->Q0 is (%s).\n\n",
+      qx4.has_edge(0, 1) ? "native" : "needs H conjugation",
+      qx4.has_edge(1, 0) ? "native" : "needs H conjugation");
+}
+
+void BM_BuildQx5(benchmark::State& state) {
+  for (auto _ : state) {
+    auto map = arch::ibm_qx5();
+    benchmark::DoNotOptimize(map);
+  }
+}
+BENCHMARK(BM_BuildQx5);
+
+void BM_BuildGrid(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto map = arch::grid(side, side);
+    benchmark::DoNotOptimize(map);
+  }
+}
+BENCHMARK(BM_BuildGrid)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_DistanceQueries(benchmark::State& state) {
+  const auto map = arch::grid(8, 8);
+  int i = 0;
+  for (auto _ : state) {
+    const int a = i % 64, b = (i * 7 + 13) % 64;
+    benchmark::DoNotOptimize(map.distance(a, b));
+    ++i;
+  }
+}
+BENCHMARK(BM_DistanceQueries);
+
+void BM_ShortestPath(benchmark::State& state) {
+  const auto map = arch::grid(8, 8);
+  for (auto _ : state) {
+    auto path = map.shortest_path(0, 63);
+    benchmark::DoNotOptimize(path);
+  }
+}
+BENCHMARK(BM_ShortestPath);
+
+}  // namespace
+
+QTC_BENCH_MAIN(print_artifact)

@@ -1,0 +1,18 @@
+// Custom gate definitions exercising the macro expander.
+OPENQASM 2.0;
+include "qelib1.inc";
+gate majority a,b,c { cx c,b; cx c,a; ccx a,b,c; }
+gate unmaj a,b,c { ccx a,b,c; cx c,a; cx a,b; }
+gate bellpair a,b { h a; cx a,b; }
+qreg cin[1];
+qreg a[2];
+qreg b[2];
+creg result[2];
+x a[0];
+x b[0];
+majority cin[0],b[0],a[0];
+majority a[0],b[1],a[1];
+unmaj a[0],b[1],a[1];
+unmaj cin[0],b[0],a[0];
+bellpair a[0],a[1];
+measure b -> result;

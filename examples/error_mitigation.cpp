@@ -1,0 +1,76 @@
+// The Ignis workflow of the paper's Sec. III: characterize the device, then
+// mitigate. Three stages on one page:
+//   1. randomized benchmarking quantifies gate error,
+//   2. state tomography shows what noise does to a Bell state,
+//   3. measurement calibration repairs readout-corrupted histograms.
+
+#include <cstdio>
+
+#include "ignis/mitigation.hpp"
+#include "ignis/rb.hpp"
+#include "ignis/tomography.hpp"
+#include "noise/trajectory.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace qtc;
+
+  // A deliberately noisy "device".
+  noise::NoiseModel device;
+  device.add_all_qubit_error(noise::depolarizing(0.004), OpKind::H);
+  device.add_all_qubit_error(noise::depolarizing(0.004), OpKind::S);
+  device.add_all_qubit_error(noise::depolarizing2(0.03), OpKind::CX);
+  device.set_readout_error(0, {0.08, 0.05});
+  device.set_readout_error(1, {0.06, 0.09});
+
+  // --- 1. Randomized benchmarking ------------------------------------------
+  ignis::RbConfig config;
+  config.lengths = {1, 2, 4, 8, 16, 32, 64};
+  config.sequences_per_length = 10;
+  config.shots = 512;
+  const ignis::RbResult rb = ignis::run_rb(config, device);
+  std::printf("Randomized benchmarking (qubit 0):\n");
+  std::printf("  %-8s %s\n", "m", "survival");
+  for (const auto& p : rb.points)
+    std::printf("  %-8d %.4f\n", p.length, p.survival);
+  std::printf("  fit: %.4f * %.5f^m + 0.5  =>  error per Clifford = %.5f\n\n",
+              rb.amplitude, rb.decay, rb.epc());
+
+  // --- 2. State tomography of a noisy Bell pair ------------------------------
+  QuantumCircuit bell(2);
+  bell.h(0).cx(0, 1);
+  sim::StatevectorSimulator ideal;
+  const auto reference = ideal.statevector(bell).amplitudes();
+  const auto noisy_tomo = ignis::state_tomography(bell, device, 4096, 3);
+  const auto clean_tomo =
+      ignis::state_tomography(bell, noise::NoiseModel{}, 4096, 3);
+  std::printf("Bell-state tomography fidelity:\n");
+  std::printf("  noiseless reconstruction: %.4f\n",
+              clean_tomo.fidelity(reference));
+  std::printf("  noisy device:             %.4f\n\n",
+              noisy_tomo.fidelity(reference));
+
+  // --- 3. Measurement-error mitigation ---------------------------------------
+  const auto mitigator =
+      ignis::MeasurementMitigator::calibrate(2, device, 16384, 5);
+  QuantumCircuit measured(2, 2);
+  measured.compose(bell);
+  measured.measure_all();
+  noise::TrajectorySimulator traj(9);
+  const auto raw = traj.run(measured, device, 16384);
+  const auto corrected = mitigator.apply(raw);
+  const auto ideal_counts = ideal.run(measured, 16384).counts;
+  std::printf("Readout mitigation on the Bell histogram:\n");
+  std::printf("  %-10s %-8s %-10s %-8s\n", "outcome", "raw", "mitigated",
+              "ideal");
+  for (const std::string key : {"00", "01", "10", "11"})
+    std::printf("  %-10s %-8.4f %-10.4f %-8.4f\n", key.c_str(),
+                raw.probability(key), corrected.probability(key),
+                ideal_counts.probability(key));
+  std::printf(
+      "  total variation vs ideal: raw %.4f -> mitigated %.4f\n",
+      ignis::MeasurementMitigator::total_variation(raw, ideal_counts, 2),
+      ignis::MeasurementMitigator::total_variation(corrected, ideal_counts,
+                                                   2));
+  return 0;
+}

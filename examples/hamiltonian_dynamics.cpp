@@ -1,0 +1,62 @@
+// Quantum simulation (the first application on the paper's speedup list):
+// Trotterized real-time dynamics of a transverse-field Ising chain, checked
+// against the exact propagator, then executed on a noisy backend model to
+// show how device error limits the reachable evolution time.
+
+#include <cstdio>
+
+#include "aqua/trotter.hpp"
+#include "arch/backend.hpp"
+#include "noise/trajectory.hpp"
+#include "sim/simulator.hpp"
+#include "transpiler/transpile.hpp"
+
+int main() {
+  using namespace qtc;
+  using namespace qtc::aqua;
+
+  const int sites = 4;
+  const PauliOp h = tfim_chain(sites, 1.0, 1.0);
+  std::printf("TFIM chain, %d sites, J = g = 1 (critical point).\n", sites);
+  std::printf("Hamiltonian: %zu Pauli terms. Ground energy %.4f.\n\n",
+              h.num_terms(), h.ground_energy());
+
+  const PauliOp z0 = PauliOp::term(sites, "IIIZ");  // site 0 magnetization
+  const Matrix hm = h.to_matrix();
+  sim::StatevectorSimulator ideal;
+  const arch::Backend backend = arch::qx4_backend();
+  const auto device_noise = noise::from_backend(backend);
+
+  std::printf("Quench from |0000>: site-0 magnetization <Z_0>(t)\n");
+  std::printf("%6s %12s %12s %14s\n", "t", "exact", "trotter-2",
+              "noisy device");
+  for (double t : {0.0, 0.4, 0.8, 1.2, 1.6, 2.0}) {
+    // Exact propagator.
+    std::vector<cplx> zero(1 << sites, cplx{0, 0});
+    zero[0] = 1;
+    const auto exact_state = hermitian_exp_i(hm, -t) * zero;
+    // Ideal Trotter.
+    const int steps = std::max(1, static_cast<int>(t * 8));
+    QuantumCircuit trotter(sites);
+    trotter.compose(trotter_circuit_2nd(h, t, steps));
+    const auto trotter_state = ideal.statevector(trotter).amplitudes();
+    // Noisy execution: compile for the device, estimate <Z_0> from counts.
+    QuantumCircuit measured(sites, sites);
+    measured.compose(trotter);
+    measured.measure_all();
+    const auto compiled = transpiler::transpile(measured, backend);
+    noise::TrajectorySimulator device(17);
+    const auto counts = device.run(compiled.circuit, device_noise, 2000);
+    double z_noisy = 0;
+    for (const auto& [bits, c] : counts.histogram)
+      z_noisy += (bits[sites - 1] == '1' ? -1.0 : 1.0) * c;
+    z_noisy /= counts.shots;
+    std::printf("%6.2f %12.5f %12.5f %14.5f\n", t, z0.expectation(exact_state),
+                z0.expectation(trotter_state), z_noisy);
+  }
+  std::printf(
+      "\nThe ideal Trotter column tracks the exact curve; the noisy column\n"
+      "drifts towards 0 (the maximally mixed value) as deeper circuits\n"
+      "accumulate gate error - the practical limit of NISQ-era dynamics.\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Error correction end-to-end: protect a logical qubit with the distance-3
+// repetition code, watch the syndrome-conditioned correction repair single
+// flips, and map the logical-vs-physical error trade-off.
+
+#include <cstdio>
+
+#include "ignis/codes.hpp"
+#include "noise/trajectory.hpp"
+
+int main() {
+  using namespace qtc;
+  using ignis::RepetitionCode;
+
+  const RepetitionCode code(3);
+  std::printf("Distance-3 bit-flip repetition code.\n\n");
+  std::printf("Encoder:\n%s\n", code.encoder().to_string().c_str());
+  std::printf("Memory circuit with in-circuit correction:\n%s\n",
+              code.corrected_memory_circuit().to_string().c_str());
+
+  std::printf("Logical error rate vs physical flip probability:\n");
+  std::printf("%8s %12s %12s %12s %14s\n", "p", "d=3", "d=5", "theory d=3",
+              "break-even?");
+  for (double p : {0.02, 0.05, 0.1, 0.2, 0.4, 0.5, 0.6}) {
+    const double d3 = logical_error_rate(RepetitionCode(3), p, 20000, 3);
+    const double d5 = logical_error_rate(RepetitionCode(5), p, 20000, 3);
+    std::printf("%8.2f %12.4f %12.4f %12.4f %14s\n", p, d3, d5,
+                ignis::theoretical_logical_error_rate(3, p),
+                d3 < p ? "code helps" : "code hurts");
+  }
+  std::printf(
+      "\nThe pseudo-threshold sits at p = 0.5: below it encoding helps and\n"
+      "distance buys suppression; above it majority voting amplifies noise.\n");
+  return 0;
+}

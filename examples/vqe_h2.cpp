@@ -1,0 +1,51 @@
+// Chemistry with the Aqua layer: the H2 dissociation curve via VQE.
+//
+// The paper singles out the Variational Quantum Eigensolver [15] as the
+// algorithm "at the basis of many of Aqua's applications". Here the full
+// pipeline runs from scratch: STO-3G integrals -> Jordan-Wigner 4-qubit
+// Hamiltonian -> hardware-efficient ansatz -> Nelder-Mead optimization,
+// compared against exact diagonalization at every bond length.
+
+#include <cstdio>
+
+#include "aqua/ansatz.hpp"
+#include "aqua/h2.hpp"
+#include "aqua/optimizer.hpp"
+#include "aqua/vqe.hpp"
+
+int main() {
+  using namespace qtc::aqua;
+
+  std::printf("H2 / STO-3G dissociation curve (energies in Hartree)\n");
+  std::printf("%8s %14s %14s %12s\n", "R (A)", "VQE", "exact (FCI)", "error");
+
+  const Ansatz ansatz = ry_linear(4, 2);
+  const NelderMead optimizer(6000);
+
+  double best_r = 0, best_e = 1e9;
+  std::vector<double> warm_start;  // re-use the previous R's solution
+  for (const double r : {0.30, 0.45, 0.60, 0.735, 0.90, 1.10, 1.40, 1.80,
+                         2.20}) {
+    const H2Problem problem = h2_problem(r);
+    VqeOptions options;
+    options.seed = 17;
+    options.restarts = 3;
+    options.initial_parameters = warm_start;
+    const VqeResult result =
+        vqe(problem.hamiltonian, ansatz, optimizer, options);
+    warm_start = result.parameters;
+    const double vqe_total = result.energy + problem.nuclear_repulsion;
+    const double exact_total = problem.fci_energy();
+    std::printf("%8.3f %14.6f %14.6f %12.2e\n", r, vqe_total, exact_total,
+                vqe_total - exact_total);
+    if (vqe_total < best_e) {
+      best_e = vqe_total;
+      best_r = r;
+    }
+  }
+  std::printf(
+      "\nMinimum at R = %.3f A, E = %.6f Ha (literature: ~0.735 A, "
+      "~-1.137 Ha in this basis).\n",
+      best_r, best_e);
+  return 0;
+}

@@ -1,0 +1,279 @@
+#include "aqua/algorithms.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/types.hpp"
+
+namespace qtc::aqua {
+
+QuantumCircuit ghz(int num_qubits) {
+  if (num_qubits < 1) throw std::invalid_argument("ghz: need >= 1 qubit");
+  QuantumCircuit qc(num_qubits, num_qubits);
+  qc.h(0);
+  for (int q = 1; q < num_qubits; ++q) qc.cx(q - 1, q);
+  return qc;
+}
+
+QuantumCircuit w_state(int num_qubits) {
+  if (num_qubits < 1) throw std::invalid_argument("w: need >= 1 qubit");
+  QuantumCircuit qc(num_qubits, num_qubits);
+  qc.x(0);
+  // Cascade moving 1/(n-i) of the remaining weight-1 amplitude one qubit up:
+  // a controlled Ry(2 theta) Z realized as Ry(th) CZ Ry(-th), then a CX back.
+  for (int i = 0; i + 1 < num_qubits; ++i) {
+    const double theta = std::acos(std::sqrt(1.0 / (num_qubits - i)));
+    qc.ry(-theta, i + 1);
+    qc.cz(i, i + 1);
+    qc.ry(theta, i + 1);
+    qc.cx(i + 1, i);
+  }
+  return qc;
+}
+
+QuantumCircuit qft(int num_qubits, bool with_swaps) {
+  if (num_qubits < 1) throw std::invalid_argument("qft: need >= 1 qubit");
+  QuantumCircuit qc(num_qubits);
+  for (int target = num_qubits - 1; target >= 0; --target) {
+    qc.h(target);
+    for (int control = target - 1; control >= 0; --control)
+      qc.cp(PI / std::pow(2.0, target - control), control, target);
+  }
+  if (with_swaps)
+    for (int q = 0; q < num_qubits / 2; ++q) qc.swap(q, num_qubits - 1 - q);
+  return qc;
+}
+
+QuantumCircuit iqft(int num_qubits, bool with_swaps) {
+  return qft(num_qubits, with_swaps).inverse();
+}
+
+void mcp(QuantumCircuit& qc, double lambda, std::vector<Qubit> controls,
+         Qubit target) {
+  if (controls.empty()) {
+    qc.p(lambda, target);
+    return;
+  }
+  if (controls.size() == 1) {
+    qc.cp(lambda, controls[0], target);
+    return;
+  }
+  // Recursive split: CP(l/2) from the last control, toggled by an MCX over
+  // the remaining controls, plus an MCP(l/2) on the remaining controls.
+  const Qubit last = controls.back();
+  std::vector<Qubit> rest(controls.begin(), controls.end() - 1);
+  qc.cp(lambda / 2, last, target);
+  mcx(qc, rest, last);
+  qc.cp(-lambda / 2, last, target);
+  mcx(qc, rest, last);
+  mcp(qc, lambda / 2, rest, target);
+}
+
+void mcx(QuantumCircuit& qc, std::vector<Qubit> controls, Qubit target) {
+  if (controls.empty()) {
+    qc.x(target);
+    return;
+  }
+  if (controls.size() == 1) {
+    qc.cx(controls[0], target);
+    return;
+  }
+  if (controls.size() == 2) {
+    qc.ccx(controls[0], controls[1], target);
+    return;
+  }
+  qc.h(target);
+  mcp(qc, PI, std::move(controls), target);
+  qc.h(target);
+}
+
+QuantumCircuit grover(const std::string& marked, int iterations) {
+  const int n = static_cast<int>(marked.size());
+  if (n < 2 || n > 10) throw std::invalid_argument("grover: 2..10 qubits");
+  for (char c : marked)
+    if (c != '0' && c != '1')
+      throw std::invalid_argument("grover: marked string must be binary");
+  if (iterations <= 0)
+    iterations = std::max(
+        1, static_cast<int>(std::lround(PI / 4 * std::sqrt(std::pow(2, n)))));
+  QuantumCircuit qc(n, n);
+  for (int q = 0; q < n; ++q) qc.h(q);
+  std::vector<Qubit> controls;
+  for (int q = 0; q + 1 < n; ++q) controls.push_back(q);
+  auto flip_unmarked = [&]() {
+    for (int q = 0; q < n; ++q)
+      if (marked[n - 1 - q] == '0') qc.x(q);
+  };
+  for (int it = 0; it < iterations; ++it) {
+    // Oracle: phase flip on |marked>.
+    flip_unmarked();
+    mcp(qc, PI, controls, n - 1);
+    flip_unmarked();
+    // Diffusion: inversion about the mean.
+    for (int q = 0; q < n; ++q) qc.h(q);
+    for (int q = 0; q < n; ++q) qc.x(q);
+    mcp(qc, PI, controls, n - 1);
+    for (int q = 0; q < n; ++q) qc.x(q);
+    for (int q = 0; q < n; ++q) qc.h(q);
+  }
+  qc.measure_all();
+  return qc;
+}
+
+QuantumCircuit bernstein_vazirani(const std::string& secret) {
+  const int n = static_cast<int>(secret.size());
+  if (n < 1) throw std::invalid_argument("bv: empty secret");
+  QuantumCircuit qc(n + 1, n);
+  qc.x(n);
+  qc.h(n);
+  for (int q = 0; q < n; ++q) qc.h(q);
+  for (int q = 0; q < n; ++q)
+    if (secret[n - 1 - q] == '1') qc.cx(q, n);
+  for (int q = 0; q < n; ++q) qc.h(q);
+  for (int q = 0; q < n; ++q) qc.measure(q, q);
+  return qc;
+}
+
+QuantumCircuit deutsch_jozsa(const std::string& secret) {
+  return bernstein_vazirani(secret);  // balanced iff secret != 0...0
+}
+
+QuantumCircuit qpe(double phase, int precision) {
+  if (precision < 1 || precision > 12)
+    throw std::invalid_argument("qpe: precision 1..12");
+  const int n = precision + 1;  // + eigenstate qubit
+  QuantumCircuit qc(n, precision);
+  qc.x(precision);  // eigenstate |1> of P(lambda)
+  for (int q = 0; q < precision; ++q) qc.h(q);
+  for (int q = 0; q < precision; ++q)
+    qc.cp(2 * PI * phase * std::pow(2.0, q), q, precision);
+  // Inverse QFT on the counting register.
+  const QuantumCircuit inverse_qft = iqft(precision);
+  std::vector<int> counting;
+  for (int q = 0; q < precision; ++q) counting.push_back(q);
+  QuantumCircuit embedded = inverse_qft.remapped(counting, n);
+  for (const auto& op : embedded.ops()) qc.append(op);
+  for (int q = 0; q < precision; ++q) qc.measure(q, q);
+  return qc;
+}
+
+QuantumCircuit teleportation(double theta) {
+  QuantumCircuit qc;
+  qc.add_qreg("q", 3);
+  const int m0 = qc.add_creg("m0", 1);
+  const int m1 = qc.add_creg("m1", 1);
+  qc.add_creg("out", 1);
+  qc.ry(theta, 0);     // the payload state
+  qc.h(1).cx(1, 2);    // Bell pair shared between sender and receiver
+  qc.cx(0, 1).h(0);    // Bell-basis measurement on the sender side
+  qc.measure(0, 0);
+  qc.measure(1, 1);
+  qc.x(2).c_if(m1, 1);  // classically-controlled corrections
+  qc.z(2).c_if(m0, 1);
+  qc.measure(2, 2);
+  return qc;
+}
+
+QuantumCircuit cuccaro_adder(int bits) {
+  if (bits < 1 || bits > 9)
+    throw std::invalid_argument("adder: 1..9 bits");
+  const int n = 2 * bits + 1;  // carry + a + b
+  QuantumCircuit qc(n);
+  auto a = [&](int i) { return 1 + i; };
+  auto b = [&](int i) { return 1 + bits + i; };
+  auto maj = [&](int c, int bq, int aq) {
+    qc.cx(aq, bq);
+    qc.cx(aq, c);
+    qc.ccx(c, bq, aq);
+  };
+  auto uma = [&](int c, int bq, int aq) {
+    qc.ccx(c, bq, aq);
+    qc.cx(aq, c);
+    qc.cx(c, bq);
+  };
+  maj(0, b(0), a(0));
+  for (int i = 1; i < bits; ++i) maj(a(i - 1), b(i), a(i));
+  for (int i = bits - 1; i >= 1; --i) uma(a(i - 1), b(i), a(i));
+  uma(0, b(0), a(0));
+  return qc;
+}
+
+
+void controlled_mult_mod15(QuantumCircuit& qc, int a, Qubit control,
+                           const std::vector<Qubit>& work) {
+  if (work.size() != 4)
+    throw std::invalid_argument("mult_mod15: need 4 work qubits");
+  if (a != 2 && a != 4 && a != 7 && a != 8 && a != 11 && a != 13)
+    throw std::invalid_argument("mult_mod15: a must be in {2,4,7,8,11,13}");
+  // Multiplication by a modulo 15 permutes the 4-bit register; each case is
+  // a rewiring (controlled swaps) plus an optional bit-complement.
+  if (a == 2 || a == 13) {
+    qc.cswap(control, work[2], work[3]);
+    qc.cswap(control, work[1], work[2]);
+    qc.cswap(control, work[0], work[1]);
+  }
+  if (a == 7 || a == 8) {
+    qc.cswap(control, work[0], work[1]);
+    qc.cswap(control, work[1], work[2]);
+    qc.cswap(control, work[2], work[3]);
+  }
+  if (a == 4 || a == 11) {
+    qc.cswap(control, work[1], work[3]);
+    qc.cswap(control, work[0], work[2]);
+  }
+  if (a == 7 || a == 11 || a == 13) {
+    for (Qubit w : work) qc.cx(control, w);
+  }
+}
+
+QuantumCircuit shor_order_finding(int a, int precision) {
+  if (precision < 2 || precision > 10)
+    throw std::invalid_argument("shor: precision 2..10");
+  const int n = precision + 4;
+  QuantumCircuit qc(n, precision);
+  std::vector<Qubit> work;
+  for (int w = 0; w < 4; ++w) work.push_back(precision + w);
+  qc.x(work[0]);  // work register starts in |1>
+  for (int q = 0; q < precision; ++q) qc.h(q);
+  // Controlled U^(2^k): multiplication by a^(2^k) mod 15 in one shot.
+  int m = a % 15;
+  for (int k = 0; k < precision; ++k) {
+    if (m != 1) controlled_mult_mod15(qc, m, k, work);
+    m = (m * m) % 15;
+  }
+  const QuantumCircuit inverse_qft = iqft(precision);
+  std::vector<int> counting;
+  for (int q = 0; q < precision; ++q) counting.push_back(q);
+  const QuantumCircuit embedded = inverse_qft.remapped(counting, n);
+  for (const auto& op : embedded.ops()) qc.append(op);
+  for (int q = 0; q < precision; ++q) qc.measure(q, q);
+  return qc;
+}
+
+int order_from_phase(std::uint64_t value, int precision, int max_order) {
+  const std::uint64_t denom = std::uint64_t{1} << precision;
+  if (value == 0) return 1;
+  // Continued-fraction convergents of value / 2^precision; return the
+  // denominator of the last convergent not exceeding max_order.
+  std::uint64_t num = value, den = denom;
+  std::uint64_t h_prev = 1, h_prev2 = 0;  // numerators
+  std::uint64_t k_prev = 0, k_prev2 = 1;  // denominators
+  int best = 1;
+  while (den != 0) {
+    const std::uint64_t quot = num / den;
+    const std::uint64_t h = quot * h_prev + h_prev2;
+    const std::uint64_t k = quot * k_prev + k_prev2;
+    if (k > static_cast<std::uint64_t>(max_order)) break;
+    if (k > 0) best = static_cast<int>(k);
+    h_prev2 = h_prev;
+    h_prev = h;
+    k_prev2 = k_prev;
+    k_prev = k;
+    const std::uint64_t rem = num % den;
+    num = den;
+    den = rem;
+  }
+  return best;
+}
+
+}  // namespace qtc::aqua

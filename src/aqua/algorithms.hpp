@@ -1,0 +1,72 @@
+#pragma once
+// A library of textbook circuits: the workloads for the examples, the
+// simulation shoot-out (E5) and the mapping benchmark suite (E6).
+
+#include <string>
+
+#include "core/circuit.hpp"
+
+namespace qtc::aqua {
+
+/// (|0..0> + |1..1>)/sqrt(2).
+QuantumCircuit ghz(int num_qubits);
+/// The W state (equal superposition of all weight-1 basis states).
+QuantumCircuit w_state(int num_qubits);
+/// Quantum Fourier transform (with the final qubit-reversal swaps).
+QuantumCircuit qft(int num_qubits, bool with_swaps = true);
+/// Inverse QFT.
+QuantumCircuit iqft(int num_qubits, bool with_swaps = true);
+
+/// Multi-controlled phase gate P(lambda) with arbitrary many controls,
+/// ancilla-free recursive construction (cost grows exponentially in the
+/// number of controls; fine for <= 6).
+void mcp(QuantumCircuit& qc, double lambda, std::vector<Qubit> controls,
+         Qubit target);
+/// Multi-controlled X.
+void mcx(QuantumCircuit& qc, std::vector<Qubit> controls, Qubit target);
+
+/// Grover search for one marked bitstring ("q[n-1]..q[0]" order); uses the
+/// standard (oracle + diffusion)^iterations structure, measuring at the
+/// end. iterations <= 0 picks round(pi/4 sqrt(2^n)).
+QuantumCircuit grover(const std::string& marked, int iterations = 0);
+
+/// Bernstein-Vazirani for a secret bitstring (leftmost char = highest
+/// qubit); one query, deterministic readout of the secret.
+QuantumCircuit bernstein_vazirani(const std::string& secret);
+
+/// Deutsch-Jozsa with a balanced oracle f(x) = s.x (s != 0) or the constant
+/// oracle (s == 0). Output all-zeros iff constant.
+QuantumCircuit deutsch_jozsa(const std::string& secret);
+
+/// Quantum phase estimation of the eigenphase of P(2 pi phase) on |1>,
+/// using `precision` counting qubits.
+QuantumCircuit qpe(double phase, int precision);
+
+/// Quantum teleportation of RY(theta)|0>; measures the teleported qubit
+/// into the last classical bit.
+QuantumCircuit teleportation(double theta);
+
+/// Cuccaro ripple-carry adder: |a>|b> -> |a>|a+b mod 2^bits> using one
+/// ancilla carry qubit. Qubits: [carry, a_0..a_{bits-1}, b_0..b_{bits-1}].
+QuantumCircuit cuccaro_adder(int bits);
+
+/// Controlled multiplication by `a` modulo 15 on a 4-qubit work register
+/// (the permutation network of the classic Shor-for-N=15 demo).
+/// a must be coprime to 15 and in {2, 4, 7, 8, 11, 13}. Correct on the
+/// multiplicative domain x in 1..14 (x = 0 is unreachable in order finding,
+/// where the work register starts at |1>).
+/// The control qubit is `control`; work qubits are `work[0..3]`.
+void controlled_mult_mod15(QuantumCircuit& qc, int a, Qubit control,
+                           const std::vector<Qubit>& work);
+
+/// Shor order finding for a^r = 1 (mod 15): phase estimation over the
+/// controlled modular-multiplication permutations. `precision` counting
+/// qubits (qubits 0..precision-1, measured) + 4 work qubits. The counting
+/// register peaks at multiples of 2^precision / r.
+QuantumCircuit shor_order_finding(int a, int precision);
+
+/// Classical post-processing: recover the order r from a measured phase
+/// `value / 2^precision` by continued fractions (denominator <= max_order).
+int order_from_phase(std::uint64_t value, int precision, int max_order = 16);
+
+}  // namespace qtc::aqua

@@ -1,0 +1,52 @@
+#include "aqua/ansatz.hpp"
+
+#include <stdexcept>
+
+namespace qtc::aqua {
+
+Ansatz ry_linear(int num_qubits, int depth) {
+  if (num_qubits < 1 || depth < 0)
+    throw std::invalid_argument("ansatz: bad shape");
+  Ansatz a;
+  a.num_qubits = num_qubits;
+  a.num_parameters = num_qubits * (depth + 1);
+  a.build = [num_qubits, depth,
+             expected = a.num_parameters](const std::vector<double>& params) {
+    if (static_cast<int>(params.size()) != expected)
+      throw std::invalid_argument("ansatz: wrong parameter count");
+    QuantumCircuit qc(num_qubits);
+    int next = 0;
+    for (int layer = 0; layer <= depth; ++layer) {
+      for (int q = 0; q < num_qubits; ++q) qc.ry(params[next++], q);
+      if (layer < depth)
+        for (int q = 0; q + 1 < num_qubits; ++q) qc.cx(q, q + 1);
+    }
+    return qc;
+  };
+  return a;
+}
+
+Ansatz efficient_su2(int num_qubits, int depth) {
+  if (num_qubits < 1 || depth < 0)
+    throw std::invalid_argument("ansatz: bad shape");
+  Ansatz a;
+  a.num_qubits = num_qubits;
+  a.num_parameters = 2 * num_qubits * (depth + 1);
+  a.build = [num_qubits, depth,
+             expected = a.num_parameters](const std::vector<double>& params) {
+    if (static_cast<int>(params.size()) != expected)
+      throw std::invalid_argument("ansatz: wrong parameter count");
+    QuantumCircuit qc(num_qubits);
+    int next = 0;
+    for (int layer = 0; layer <= depth; ++layer) {
+      for (int q = 0; q < num_qubits; ++q) qc.ry(params[next++], q);
+      for (int q = 0; q < num_qubits; ++q) qc.rz(params[next++], q);
+      if (layer < depth)
+        for (int q = 0; q + 1 < num_qubits; ++q) qc.cx(q, q + 1);
+    }
+    return qc;
+  };
+  return a;
+}
+
+}  // namespace qtc::aqua

@@ -1,0 +1,26 @@
+#pragma once
+// Variational circuit families ("hardware-efficient ansaetze" in the style
+// of Kandala et al. [15], the VQE paper this toolchain's Aqua section cites).
+
+#include <functional>
+
+#include "core/circuit.hpp"
+
+namespace qtc::aqua {
+
+/// A parameterized circuit family: maps a parameter vector to a circuit.
+struct Ansatz {
+  int num_qubits = 0;
+  int num_parameters = 0;
+  std::function<QuantumCircuit(const std::vector<double>&)> build;
+};
+
+/// RY rotations on every qubit, `depth + 1` layers, linear CX entanglement
+/// between layers. Parameters: num_qubits * (depth + 1).
+Ansatz ry_linear(int num_qubits, int depth);
+
+/// Alternating RY/RZ rotation layers with linear CX entanglement
+/// (EfficientSU2-style). Parameters: 2 * num_qubits * (depth + 1).
+Ansatz efficient_su2(int num_qubits, int depth);
+
+}  // namespace qtc::aqua

@@ -1,0 +1,87 @@
+#include "aqua/grouping.hpp"
+
+#include <stdexcept>
+
+#include "noise/trajectory.hpp"
+
+namespace qtc::aqua {
+
+bool qubitwise_commute(const std::string& a, const std::string& b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("qubitwise_commute: length mismatch");
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] != 'I' && b[i] != 'I' && a[i] != b[i]) return false;
+  return true;
+}
+
+std::vector<PauliGroup> group_qubitwise_commuting(const PauliOp& op) {
+  std::vector<PauliGroup> groups;
+  for (const auto& term : op.terms()) {
+    bool placed = false;
+    for (auto& group : groups) {
+      if (!qubitwise_commute(group.basis, term.paulis)) continue;
+      group.terms.push_back(term);
+      // Extend the shared basis with this term's letters.
+      for (std::size_t i = 0; i < group.basis.size(); ++i)
+        if (group.basis[i] == 'I') group.basis[i] = term.paulis[i];
+      placed = true;
+      break;
+    }
+    if (!placed) groups.push_back({{term}, term.paulis});
+  }
+  return groups;
+}
+
+double estimate_expectation_grouped(const QuantumCircuit& preparation,
+                                    const PauliOp& hamiltonian, int shots,
+                                    const noise::NoiseModel& noise,
+                                    std::uint64_t seed) {
+  if (preparation.num_qubits() != hamiltonian.num_qubits())
+    throw std::invalid_argument("grouped expectation: qubit count mismatch");
+  if (!hamiltonian.is_hermitian())
+    throw std::invalid_argument("grouped expectation: hamiltonian not hermitian");
+  if (shots < 1)
+    throw std::invalid_argument("grouped expectation: shots must be positive");
+  const int n = preparation.num_qubits();
+  Rng rng(seed);
+  double energy = 0;
+  for (const auto& group : group_qubitwise_commuting(hamiltonian)) {
+    // Identity-only group contributes its coefficients directly.
+    bool all_identity = true;
+    for (char c : group.basis) all_identity = all_identity && c == 'I';
+    if (all_identity) {
+      for (const auto& t : group.terms) energy += t.coeff.real();
+      continue;
+    }
+    // One circuit in the group's shared basis.
+    QuantumCircuit qc(n, n);
+    for (const auto& op : preparation.ops()) qc.append(op);
+    for (int q = 0; q < n; ++q) {
+      const char c = group.basis[n - 1 - q];
+      if (c == 'X') {
+        qc.h(q);
+      } else if (c == 'Y') {
+        qc.sdg(q);
+        qc.h(q);
+      }
+    }
+    qc.measure_all();
+    noise::TrajectorySimulator sim(rng.engine()());
+    const auto counts = sim.run(qc, noise, shots);
+    // Every member term reads its expectation from the same histogram.
+    for (const auto& term : group.terms) {
+      double expectation = 0;
+      for (const auto& [bits, c] : counts.histogram) {
+        int parity = 0;
+        for (int q = 0; q < n; ++q)
+          if (term.paulis[n - 1 - q] != 'I' && bits[n - 1 - q] == '1')
+            parity ^= 1;
+        expectation += (parity ? -1.0 : 1.0) * c;
+      }
+      energy += term.coeff.real() * expectation / counts.shots;
+    }
+  }
+  return energy;
+}
+
+}  // namespace qtc::aqua

@@ -1,0 +1,37 @@
+#pragma once
+// Measurement-setting reduction: qubit-wise commuting Pauli terms can share
+// one measured circuit (a common-basis rotation + Z readout). Cuts the
+// number of circuits a shot-based expectation needs from #terms to #groups
+// — the standard optimization of the hybrid loop's quantum cost.
+
+#include <vector>
+
+#include "aqua/pauli_op.hpp"
+#include "noise/noise_model.hpp"
+
+namespace qtc::aqua {
+
+/// True when the strings agree on every qubit where both are non-identity
+/// (qubit-wise commutation; sufficient for simultaneous measurement).
+bool qubitwise_commute(const std::string& a, const std::string& b);
+
+struct PauliGroup {
+  std::vector<PauliTerm> terms;
+  /// The shared measurement basis: per qubit the non-identity letter used
+  /// by any member (or 'I' when all members are identity there).
+  std::string basis;
+};
+
+/// Greedy grouping (first-fit) of the operator's terms into qubit-wise
+/// commuting groups. Identity terms get their own group with basis I..I.
+std::vector<PauliGroup> group_qubitwise_commuting(const PauliOp& op);
+
+/// Shot-based <H> using one measured circuit per GROUP instead of one per
+/// term. Matches estimate_expectation in the limit of many shots, with a
+/// fraction of the quantum workload. shots are spent per group.
+double estimate_expectation_grouped(const QuantumCircuit& preparation,
+                                    const PauliOp& hamiltonian, int shots,
+                                    const noise::NoiseModel& noise = {},
+                                    std::uint64_t seed = 0xC0FFEE);
+
+}  // namespace qtc::aqua

@@ -1,0 +1,208 @@
+#include "aqua/h2.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace qtc::aqua {
+
+namespace {
+
+constexpr double kBohrPerAngstrom = 1.0 / 0.52917721092;
+
+/// STO-3G hydrogen 1s: three primitive Gaussians contracted with the
+/// standard exponents/coefficients (coefficients refer to normalized
+/// primitives).
+constexpr std::array<double, 3> kExponents = {3.425250914, 0.6239137298,
+                                              0.1688554040};
+constexpr std::array<double, 3> kCoefficients = {0.1543289673, 0.5353281423,
+                                                 0.4446345422};
+
+double prim_norm(double alpha) {
+  return std::pow(2 * alpha / PI, 0.75);
+}
+
+/// Centers are on the z-axis; a basis function is identified by z position.
+struct Shell {
+  double z = 0;
+};
+
+double sq(double x) { return x * x; }
+
+}  // namespace
+
+double boys_f0(double t) {
+  if (t < 1e-12) return 1.0 - t / 3.0;  // series to avoid 0/0
+  const double s = std::sqrt(t);
+  return 0.5 * std::sqrt(PI / t) * std::erf(s);
+}
+
+namespace {
+
+/// Contracted overlap <a|b>.
+double overlap(const Shell& a, const Shell& b) {
+  double total = 0;
+  const double r2 = sq(a.z - b.z);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) {
+      const double alpha = kExponents[i], beta = kExponents[j];
+      const double p = alpha + beta, mu = alpha * beta / p;
+      const double s = std::pow(PI / p, 1.5) * std::exp(-mu * r2);
+      total += kCoefficients[i] * kCoefficients[j] * prim_norm(alpha) *
+               prim_norm(beta) * s;
+    }
+  return total;
+}
+
+/// Contracted kinetic energy <a| -1/2 nabla^2 |b>.
+double kinetic(const Shell& a, const Shell& b) {
+  double total = 0;
+  const double r2 = sq(a.z - b.z);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) {
+      const double alpha = kExponents[i], beta = kExponents[j];
+      const double p = alpha + beta, mu = alpha * beta / p;
+      const double t =
+          mu * (3 - 2 * mu * r2) * std::pow(PI / p, 1.5) * std::exp(-mu * r2);
+      total += kCoefficients[i] * kCoefficients[j] * prim_norm(alpha) *
+               prim_norm(beta) * t;
+    }
+  return total;
+}
+
+/// Contracted nuclear attraction <a| -Z/|r - C| |b> for a proton at z = c.
+double nuclear(const Shell& a, const Shell& b, double c) {
+  double total = 0;
+  const double r2 = sq(a.z - b.z);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) {
+      const double alpha = kExponents[i], beta = kExponents[j];
+      const double p = alpha + beta, mu = alpha * beta / p;
+      const double pz = (alpha * a.z + beta * b.z) / p;
+      const double v = -(2 * PI / p) * std::exp(-mu * r2) *
+                       boys_f0(p * sq(pz - c));
+      total += kCoefficients[i] * kCoefficients[j] * prim_norm(alpha) *
+               prim_norm(beta) * v;
+    }
+  return total;
+}
+
+/// Contracted electron repulsion (ab|cd), chemist notation.
+double eri(const Shell& a, const Shell& b, const Shell& c, const Shell& d) {
+  double total = 0;
+  const double rab2 = sq(a.z - b.z), rcd2 = sq(c.z - d.z);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      for (std::size_t k = 0; k < 3; ++k)
+        for (std::size_t l = 0; l < 3; ++l) {
+          const double ai = kExponents[i], aj = kExponents[j];
+          const double ak = kExponents[k], al = kExponents[l];
+          const double p = ai + aj, q = ak + al;
+          const double pz = (ai * a.z + aj * b.z) / p;
+          const double qz = (ak * c.z + al * d.z) / q;
+          const double value =
+              2 * std::pow(PI, 2.5) / (p * q * std::sqrt(p + q)) *
+              std::exp(-ai * aj / p * rab2 - ak * al / q * rcd2) *
+              boys_f0(p * q / (p + q) * sq(pz - qz));
+          total += kCoefficients[i] * kCoefficients[j] * kCoefficients[k] *
+                   kCoefficients[l] * prim_norm(ai) * prim_norm(aj) *
+                   prim_norm(ak) * prim_norm(al) * value;
+        }
+  return total;
+}
+
+}  // namespace
+
+H2Integrals h2_integrals(double bond_angstrom) {
+  if (bond_angstrom <= 0)
+    throw std::invalid_argument("h2: bond length must be positive");
+  const double r = bond_angstrom * kBohrPerAngstrom;
+  const Shell s1{0.0}, s2{r};
+  const Shell shells[2] = {s1, s2};
+
+  H2Integrals out;
+  out.overlap12 = overlap(s1, s2);
+  out.nuclear_repulsion = 1.0 / r;
+
+  // Atomic-basis core Hamiltonian.
+  double h_ao[2][2];
+  for (int m = 0; m < 2; ++m)
+    for (int n = 0; n < 2; ++n)
+      h_ao[m][n] = kinetic(shells[m], shells[n]) +
+                   nuclear(shells[m], shells[n], 0.0) +
+                   nuclear(shells[m], shells[n], r);
+
+  // Symmetry MOs: sigma_g/u = (phi_1 +- phi_2) / sqrt(2 (1 +- S)).
+  const double ng = 1.0 / std::sqrt(2 * (1 + out.overlap12));
+  const double nu = 1.0 / std::sqrt(2 * (1 - out.overlap12));
+  const double c[2][2] = {{ng, ng}, {nu, -nu}};  // c[mo][ao]
+
+  for (int p = 0; p < 2; ++p)
+    for (int q = 0; q < 2; ++q) {
+      double sum = 0;
+      for (int m = 0; m < 2; ++m)
+        for (int n = 0; n < 2; ++n) sum += c[p][m] * c[q][n] * h_ao[m][n];
+      out.h_mo[p][q] = sum;
+    }
+
+  double eri_ao[2][2][2][2];
+  for (int m = 0; m < 2; ++m)
+    for (int n = 0; n < 2; ++n)
+      for (int l = 0; l < 2; ++l)
+        for (int s = 0; s < 2; ++s)
+          eri_ao[m][n][l][s] =
+              eri(shells[m], shells[n], shells[l], shells[s]);
+
+  for (int p = 0; p < 2; ++p)
+    for (int q = 0; q < 2; ++q)
+      for (int rr = 0; rr < 2; ++rr)
+        for (int ss = 0; ss < 2; ++ss) {
+          double sum = 0;
+          for (int m = 0; m < 2; ++m)
+            for (int n = 0; n < 2; ++n)
+              for (int l = 0; l < 2; ++l)
+                for (int s = 0; s < 2; ++s)
+                  sum += c[p][m] * c[q][n] * c[rr][l] * c[ss][s] *
+                         eri_ao[m][n][l][s];
+          out.eri_mo[p][q][rr][ss] = sum;
+        }
+  return out;
+}
+
+H2Problem h2_problem(double bond_angstrom) {
+  const H2Integrals ints = h2_integrals(bond_angstrom);
+  // Spin orbitals: mode = 2 * spatial + spin, i.e. 0 = g-up, 1 = g-down,
+  // 2 = u-up, 3 = u-down.
+  const int kModes = 4;
+  auto spatial = [](int mode) { return mode / 2; };
+  auto spin = [](int mode) { return mode % 2; };
+
+  PauliOp h = PauliOp::zero(kModes);
+  // One-electron part: sum_pq h_pq a+_p a_q (spin-diagonal).
+  for (int p = 0; p < kModes; ++p)
+    for (int q = 0; q < kModes; ++q) {
+      if (spin(p) != spin(q)) continue;
+      const double hpq = ints.h_mo[spatial(p)][spatial(q)];
+      if (std::abs(hpq) < 1e-12) continue;
+      h += (jw_creation(p, kModes) * jw_annihilation(q, kModes)) *
+           cplx(hpq, 0);
+    }
+  // Two-electron part: 1/2 sum_pqrs <pq|rs> a+_p a+_q a_s a_r, with the
+  // physicist integral <pq|rs> = (P_p P_r | P_q P_s) delta(sp, sr)
+  // delta(sq, ss) in terms of the chemist-notation spatial integrals.
+  for (int p = 0; p < kModes; ++p)
+    for (int q = 0; q < kModes; ++q)
+      for (int rr = 0; rr < kModes; ++rr)
+        for (int ss = 0; ss < kModes; ++ss) {
+          if (spin(p) != spin(rr) || spin(q) != spin(ss)) continue;
+          const double integral =
+              ints.eri_mo[spatial(p)][spatial(rr)][spatial(q)][spatial(ss)];
+          if (std::abs(integral) < 1e-12) continue;
+          h += (jw_creation(p, kModes) * jw_creation(q, kModes) *
+                jw_annihilation(ss, kModes) * jw_annihilation(rr, kModes)) *
+               cplx(0.5 * integral, 0);
+        }
+  return H2Problem{h.simplified(1e-10), ints.nuclear_repulsion};
+}
+
+}  // namespace qtc::aqua

@@ -1,0 +1,42 @@
+#pragma once
+// Electronic structure of molecular hydrogen in the STO-3G minimal basis,
+// computed from scratch: contracted s-type Gaussian integrals (overlap,
+// kinetic, nuclear attraction, electron repulsion via the Boys function),
+// symmetry molecular orbitals, second quantization and the Jordan-Wigner
+// mapping to a 4-qubit Pauli Hamiltonian. This is the "chemistry" input the
+// paper names as Aqua's flagship application domain [15]; the paper's
+// authors used the IBM chemistry stack, we rebuild the pipeline.
+
+#include "aqua/pauli_op.hpp"
+
+namespace qtc::aqua {
+
+/// Raw molecular integrals in the symmetry-adapted MO basis (sigma_g = 0,
+/// sigma_u = 1). Chemist notation for the two-electron integrals.
+struct H2Integrals {
+  double overlap12 = 0;        // <phi_1|phi_2> (atomic basis)
+  double h_mo[2][2] = {};      // one-electron core Hamiltonian, MO basis
+  double eri_mo[2][2][2][2] = {};  // (pq|rs), MO basis
+  double nuclear_repulsion = 0;
+};
+
+/// Bond length in Angstrom -> integrals (computed, not tabulated).
+H2Integrals h2_integrals(double bond_angstrom);
+
+struct H2Problem {
+  PauliOp hamiltonian;  // 4 qubits (spin orbitals g-up, g-dn, u-up, u-dn)
+  double nuclear_repulsion = 0;
+  /// Exact (full CI) total ground-state energy in Hartree: smallest
+  /// eigenvalue of the qubit Hamiltonian plus nuclear repulsion.
+  double fci_energy() const {
+    return hamiltonian.ground_energy() + nuclear_repulsion;
+  }
+};
+
+/// Full problem for a given bond length.
+H2Problem h2_problem(double bond_angstrom);
+
+/// The Boys function F0(t) = 0.5 sqrt(pi/t) erf(sqrt(t)), F0(0) = 1.
+double boys_f0(double t);
+
+}  // namespace qtc::aqua

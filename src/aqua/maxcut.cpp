@@ -1,0 +1,85 @@
+#include "aqua/maxcut.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qtc::aqua {
+
+double cut_value(const Graph& graph, std::uint64_t assignment) {
+  double value = 0;
+  for (const auto& [a, b, w] : graph.edges)
+    if (((assignment >> a) & 1) != ((assignment >> b) & 1)) value += w;
+  return value;
+}
+
+double max_cut_brute_force(const Graph& graph) {
+  if (graph.num_vertices > 20)
+    throw std::invalid_argument("max cut brute force: too many vertices");
+  double best = 0;
+  for (std::uint64_t mask = 0;
+       mask < (std::uint64_t{1} << graph.num_vertices); ++mask)
+    best = std::max(best, cut_value(graph, mask));
+  return best;
+}
+
+PauliOp maxcut_hamiltonian(const Graph& graph) {
+  const int n = graph.num_vertices;
+  PauliOp h = PauliOp::zero(n);
+  for (const auto& [a, b, w] : graph.edges) {
+    if (a < 0 || a >= n || b < 0 || b >= n || a == b)
+      throw std::invalid_argument("max cut: bad edge");
+    std::string zz(n, 'I');
+    zz[n - 1 - a] = 'Z';
+    zz[n - 1 - b] = 'Z';
+    h += PauliOp::term(n, zz, cplx{w / 2, 0});
+    h += PauliOp::identity(n, cplx{-w / 2, 0});
+  }
+  return h.simplified();
+}
+
+Ansatz qaoa_ansatz(const Graph& graph, int layers) {
+  if (layers < 1) throw std::invalid_argument("qaoa: layers must be >= 1");
+  Ansatz a;
+  a.num_qubits = graph.num_vertices;
+  a.num_parameters = 2 * layers;
+  a.build = [graph, layers,
+             expected = a.num_parameters](const std::vector<double>& params) {
+    if (static_cast<int>(params.size()) != expected)
+      throw std::invalid_argument("qaoa: wrong parameter count");
+    QuantumCircuit qc(graph.num_vertices);
+    for (int q = 0; q < graph.num_vertices; ++q) qc.h(q);
+    for (int layer = 0; layer < layers; ++layer) {
+      const double gamma = params[2 * layer];
+      const double beta = params[2 * layer + 1];
+      for (const auto& [ea, eb, w] : graph.edges)
+        qc.rzz(gamma * w, ea, eb);
+      for (int q = 0; q < graph.num_vertices; ++q) qc.rx(2 * beta, q);
+    }
+    return qc;
+  };
+  return a;
+}
+
+std::uint64_t best_assignment(const Graph& graph,
+                              const std::vector<double>& probabilities,
+                              int top_k) {
+  std::vector<std::uint64_t> order(probabilities.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::partial_sort(order.begin(),
+                    order.begin() + std::min<std::size_t>(top_k, order.size()),
+                    order.end(), [&](std::uint64_t a, std::uint64_t b) {
+                      return probabilities[a] > probabilities[b];
+                    });
+  std::uint64_t best = order.front();
+  double best_cut = cut_value(graph, best);
+  for (int i = 1; i < top_k && i < static_cast<int>(order.size()); ++i) {
+    const double c = cut_value(graph, order[i]);
+    if (c > best_cut) {
+      best_cut = c;
+      best = order[i];
+    }
+  }
+  return best;
+}
+
+}  // namespace qtc::aqua

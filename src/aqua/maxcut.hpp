@@ -1,0 +1,46 @@
+#pragma once
+// Max-Cut as an Ising problem plus a QAOA-style variational circuit — the
+// "optimization" application domain the paper lists for Aqua.
+
+#include <cstdint>
+#include <vector>
+
+#include "aqua/ansatz.hpp"
+#include "aqua/pauli_op.hpp"
+
+namespace qtc::aqua {
+
+struct WeightedEdge {
+  int a = 0;
+  int b = 0;
+  double weight = 1.0;
+};
+
+struct Graph {
+  int num_vertices = 0;
+  std::vector<WeightedEdge> edges;
+};
+
+/// Cut weight of the partition encoded by `assignment` (bit v = side of
+/// vertex v).
+double cut_value(const Graph& graph, std::uint64_t assignment);
+
+/// Exhaustive maximum cut (num_vertices <= 20).
+double max_cut_brute_force(const Graph& graph);
+
+/// Ising Hamiltonian whose ground energy is -max_cut:
+/// H = sum_edges w/2 (Z_a Z_b - I). Minimizing <H> maximizes the cut.
+PauliOp maxcut_hamiltonian(const Graph& graph);
+
+/// QAOA circuit family with p layers: per layer a cost evolution
+/// exp(-i gamma w Z_a Z_b / ... ) per edge and a mixer RX(2 beta) on every
+/// vertex. Parameters: [gamma_1, beta_1, ..., gamma_p, beta_p].
+Ansatz qaoa_ansatz(const Graph& graph, int layers);
+
+/// Read the best cut out of a measured/sampled assignment distribution:
+/// returns the best assignment among the most likely `top_k` outcomes.
+std::uint64_t best_assignment(const Graph& graph,
+                              const std::vector<double>& probabilities,
+                              int top_k = 8);
+
+}  // namespace qtc::aqua

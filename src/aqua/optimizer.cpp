@@ -1,0 +1,156 @@
+#include "aqua/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qtc::aqua {
+
+OptimizationResult NelderMead::minimize(const Objective& objective,
+                                        std::vector<double> initial) const {
+  const std::size_t n = initial.size();
+  if (n == 0) throw std::invalid_argument("nelder-mead: empty parameters");
+  int evals = 0;
+  auto f = [&](const std::vector<double>& x) {
+    ++evals;
+    return objective(x);
+  };
+
+  // Initial simplex: the start point plus one step along each axis.
+  std::vector<std::vector<double>> simplex{initial};
+  for (std::size_t i = 0; i < n; ++i) {
+    auto vertex = initial;
+    vertex[i] += step_;
+    simplex.push_back(std::move(vertex));
+  }
+  std::vector<double> values;
+  for (const auto& v : simplex) values.push_back(f(v));
+
+  const double alpha = 1.0, gamma = 2.0, rho = 0.5, sigma = 0.5;
+  while (evals < max_evals_) {
+    // Order vertices by value.
+    std::vector<std::size_t> order(simplex.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+    {
+      std::vector<std::vector<double>> s2;
+      std::vector<double> v2;
+      for (std::size_t i : order) {
+        s2.push_back(simplex[i]);
+        v2.push_back(values[i]);
+      }
+      simplex = std::move(s2);
+      values = std::move(v2);
+    }
+    if (std::abs(values.back() - values.front()) < tol_) break;
+
+    std::vector<double> centroid(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t v = 0; v + 1 < simplex.size(); ++v)
+        centroid[i] += simplex[v][i];
+      centroid[i] /= static_cast<double>(n);
+    }
+    auto blend = [&](const std::vector<double>& from, double t) {
+      std::vector<double> out(n);
+      for (std::size_t i = 0; i < n; ++i)
+        out[i] = centroid[i] + t * (from[i] - centroid[i]);
+      return out;
+    };
+    const auto& worst = simplex.back();
+    const auto reflected = blend(worst, -alpha);
+    const double fr = f(reflected);
+    if (fr < values.front()) {
+      const auto expanded = blend(worst, -gamma);
+      const double fe = f(expanded);
+      if (fe < fr) {
+        simplex.back() = expanded;
+        values.back() = fe;
+      } else {
+        simplex.back() = reflected;
+        values.back() = fr;
+      }
+    } else if (fr < values[values.size() - 2]) {
+      simplex.back() = reflected;
+      values.back() = fr;
+    } else {
+      const auto contracted = blend(worst, rho);
+      const double fc = f(contracted);
+      if (fc < values.back()) {
+        simplex.back() = contracted;
+        values.back() = fc;
+      } else {
+        for (std::size_t v = 1; v < simplex.size(); ++v) {
+          for (std::size_t i = 0; i < n; ++i)
+            simplex[v][i] =
+                simplex[0][i] + sigma * (simplex[v][i] - simplex[0][i]);
+          values[v] = f(simplex[v]);
+        }
+      }
+    }
+  }
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < values.size(); ++i)
+    if (values[i] < values[best]) best = i;
+  return {simplex[best], values[best], evals};
+}
+
+OptimizationResult Spsa::minimize(const Objective& objective,
+                                  std::vector<double> initial) const {
+  Rng rng(seed_);
+  std::vector<double> x = std::move(initial);
+  const std::size_t n = x.size();
+  if (n == 0) throw std::invalid_argument("spsa: empty parameters");
+  int evals = 0;
+  std::vector<double> best_x = x;
+  double best_value = objective(x);
+  ++evals;
+  for (int k = 0; k < iterations_; ++k) {
+    const double ak = a_ / std::pow(k + 1.0 + 10.0, 0.602);
+    const double ck = c_ / std::pow(k + 1.0, 0.101);
+    std::vector<double> delta(n), plus = x, minus = x;
+    for (std::size_t i = 0; i < n; ++i) {
+      delta[i] = rng.bernoulli(0.5) ? 1.0 : -1.0;
+      plus[i] += ck * delta[i];
+      minus[i] -= ck * delta[i];
+    }
+    const double fp = objective(plus);
+    const double fm = objective(minus);
+    evals += 2;
+    for (std::size_t i = 0; i < n; ++i)
+      x[i] -= ak * (fp - fm) / (2 * ck * delta[i]);
+    const double fx = std::min(fp, fm);
+    if (fx < best_value) {
+      best_value = fx;
+      best_x = fp < fm ? plus : minus;
+    }
+  }
+  const double final_value = objective(x);
+  ++evals;
+  if (final_value < best_value) return {x, final_value, evals};
+  return {best_x, best_value, evals};
+}
+
+OptimizationResult GradientDescent::minimize(
+    const Objective& objective, std::vector<double> initial) const {
+  std::vector<double> x = std::move(initial);
+  const std::size_t n = x.size();
+  if (n == 0) throw std::invalid_argument("gd: empty parameters");
+  int evals = 0;
+  for (int k = 0; k < iterations_; ++k) {
+    std::vector<double> grad(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto xp = x, xm = x;
+      xp[i] += eps_;
+      xm[i] -= eps_;
+      grad[i] = (objective(xp) - objective(xm)) / (2 * eps_);
+      evals += 2;
+    }
+    for (std::size_t i = 0; i < n; ++i) x[i] -= lr_ * grad[i];
+  }
+  const double value = objective(x);
+  ++evals;
+  return {x, value, evals};
+}
+
+}  // namespace qtc::aqua

@@ -1,0 +1,82 @@
+#pragma once
+// Classical optimizers for the hybrid conventional-quantum loop the paper
+// describes for Aqua ("each application is transformed into a
+// conventional-quantum hybrid algorithm").
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace qtc::aqua {
+
+using Objective = std::function<double(const std::vector<double>&)>;
+
+struct OptimizationResult {
+  std::vector<double> parameters;
+  double value = 0;
+  int evaluations = 0;
+};
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  virtual std::string name() const = 0;
+  virtual OptimizationResult minimize(const Objective& objective,
+                                      std::vector<double> initial) const = 0;
+};
+
+/// Nelder-Mead downhill simplex with adaptive restarts disabled; good for
+/// the smooth, low-dimensional VQE landscapes used here.
+class NelderMead final : public Optimizer {
+ public:
+  explicit NelderMead(int max_evaluations = 4000, double tolerance = 1e-9,
+                      double initial_step = 0.4)
+      : max_evals_(max_evaluations),
+        tol_(tolerance),
+        step_(initial_step) {}
+  std::string name() const override { return "nelder-mead"; }
+  OptimizationResult minimize(const Objective& objective,
+                              std::vector<double> initial) const override;
+
+ private:
+  int max_evals_;
+  double tol_;
+  double step_;
+};
+
+/// Simultaneous Perturbation Stochastic Approximation: two evaluations per
+/// step regardless of dimension; tolerant of shot noise.
+class Spsa final : public Optimizer {
+ public:
+  explicit Spsa(int iterations = 300, double a = 0.2, double c = 0.15,
+                std::uint64_t seed = 0xC0FFEE)
+      : iterations_(iterations), a_(a), c_(c), seed_(seed) {}
+  std::string name() const override { return "spsa"; }
+  OptimizationResult minimize(const Objective& objective,
+                              std::vector<double> initial) const override;
+
+ private:
+  int iterations_;
+  double a_, c_;
+  std::uint64_t seed_;
+};
+
+/// Gradient descent with central finite differences (parameter-shift-like
+/// for exact expectation objectives).
+class GradientDescent final : public Optimizer {
+ public:
+  explicit GradientDescent(int iterations = 200, double learning_rate = 0.2,
+                           double epsilon = 1e-4)
+      : iterations_(iterations), lr_(learning_rate), eps_(epsilon) {}
+  std::string name() const override { return "gradient-descent"; }
+  OptimizationResult minimize(const Objective& objective,
+                              std::vector<double> initial) const override;
+
+ private:
+  int iterations_;
+  double lr_, eps_;
+};
+
+}  // namespace qtc::aqua

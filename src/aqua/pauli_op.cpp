@@ -1,0 +1,216 @@
+#include "aqua/pauli_op.hpp"
+
+#include "core/gates.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace qtc::aqua {
+
+namespace {
+
+void check_string(int n, const std::string& paulis) {
+  if (static_cast<int>(paulis.size()) != n)
+    throw std::invalid_argument("pauli op: string length mismatch");
+  for (char c : paulis)
+    if (c != 'I' && c != 'X' && c != 'Y' && c != 'Z')
+      throw std::invalid_argument("pauli op: bad character");
+}
+
+const Matrix& single_pauli(char c) {
+  static const Matrix i2 = Matrix::identity(2);
+  static const Matrix x = op_matrix(OpKind::X);
+  static const Matrix y = op_matrix(OpKind::Y);
+  static const Matrix z = op_matrix(OpKind::Z);
+  switch (c) {
+    case 'X':
+      return x;
+    case 'Y':
+      return y;
+    case 'Z':
+      return z;
+    default:
+      return i2;
+  }
+}
+
+}  // namespace
+
+std::pair<cplx, char> pauli_char_product(char a, char b) {
+  const cplx i{0, 1};
+  if (a == 'I') return {{1, 0}, b};
+  if (b == 'I') return {{1, 0}, a};
+  if (a == b) return {{1, 0}, 'I'};
+  // XY = iZ, YZ = iX, ZX = iY; reversed order flips the sign.
+  if (a == 'X' && b == 'Y') return {i, 'Z'};
+  if (a == 'Y' && b == 'X') return {-i, 'Z'};
+  if (a == 'Y' && b == 'Z') return {i, 'X'};
+  if (a == 'Z' && b == 'Y') return {-i, 'X'};
+  if (a == 'Z' && b == 'X') return {i, 'Y'};
+  return {-i, 'Y'};  // a == 'X' && b == 'Z'
+}
+
+PauliOp::PauliOp(int num_qubits, std::vector<PauliTerm> terms)
+    : n_(num_qubits), terms_(std::move(terms)) {
+  for (const auto& t : terms_) check_string(n_, t.paulis);
+}
+
+PauliOp PauliOp::term(int num_qubits, const std::string& paulis, cplx coeff) {
+  check_string(num_qubits, paulis);
+  PauliOp op(num_qubits);
+  op.terms_.push_back({coeff, paulis});
+  return op;
+}
+
+PauliOp PauliOp::identity(int num_qubits, cplx coeff) {
+  return term(num_qubits, std::string(num_qubits, 'I'), coeff);
+}
+
+PauliOp PauliOp::operator+(const PauliOp& rhs) const {
+  if (n_ != rhs.n_) throw std::invalid_argument("pauli op: size mismatch");
+  PauliOp out = *this;
+  out.terms_.insert(out.terms_.end(), rhs.terms_.begin(), rhs.terms_.end());
+  return out.simplified();
+}
+
+PauliOp& PauliOp::operator+=(const PauliOp& rhs) {
+  *this = *this + rhs;
+  return *this;
+}
+
+PauliOp PauliOp::operator-(const PauliOp& rhs) const {
+  return *this + rhs * cplx{-1, 0};
+}
+
+PauliOp PauliOp::operator*(cplx scalar) const {
+  PauliOp out = *this;
+  for (auto& t : out.terms_) t.coeff *= scalar;
+  return out;
+}
+
+PauliOp PauliOp::operator*(const PauliOp& rhs) const {
+  if (n_ != rhs.n_) throw std::invalid_argument("pauli op: size mismatch");
+  PauliOp out(n_);
+  for (const auto& a : terms_) {
+    for (const auto& b : rhs.terms_) {
+      cplx coeff = a.coeff * b.coeff;
+      std::string prod(n_, 'I');
+      for (int k = 0; k < n_; ++k) {
+        const auto [phase, c] = pauli_char_product(a.paulis[k], b.paulis[k]);
+        coeff *= phase;
+        prod[k] = c;
+      }
+      out.terms_.push_back({coeff, std::move(prod)});
+    }
+  }
+  return out.simplified();
+}
+
+PauliOp PauliOp::dagger() const {
+  PauliOp out = *this;
+  for (auto& t : out.terms_) t.coeff = std::conj(t.coeff);
+  return out;
+}
+
+PauliOp PauliOp::simplified(double tol) const {
+  std::map<std::string, cplx> combined;
+  for (const auto& t : terms_) combined[t.paulis] += t.coeff;
+  PauliOp out(n_);
+  for (const auto& [paulis, coeff] : combined)
+    if (std::abs(coeff) > tol) out.terms_.push_back({coeff, paulis});
+  return out;
+}
+
+bool PauliOp::is_hermitian(double tol) const {
+  const PauliOp reduced = simplified();
+  for (const auto& t : reduced.terms())
+    if (std::abs(t.coeff.imag()) > tol) return false;
+  return true;
+}
+
+Matrix PauliOp::to_matrix() const {
+  if (n_ > 12) throw std::invalid_argument("pauli op: too many qubits");
+  const std::size_t dim = std::size_t{1} << n_;
+  Matrix out(dim, dim);
+  for (const auto& t : terms_) {
+    std::vector<Matrix> factors;
+    for (char c : t.paulis) factors.push_back(single_pauli(c));
+    out = out + kron_all(factors) * t.coeff;
+  }
+  return out;
+}
+
+double PauliOp::expectation(const std::vector<cplx>& sv) const {
+  if (sv.size() != (std::size_t{1} << n_))
+    throw std::invalid_argument("pauli op: state size mismatch");
+  // <psi|P|psi> computed per term by streaming over basis states: for each
+  // string, P|i> = phase(i) |i ^ flip_mask> with phase from Y/Z components.
+  cplx total{0, 0};
+  for (const auto& t : terms_) {
+    std::uint64_t flip = 0;
+    std::uint64_t z_mask = 0;
+    int num_y = 0;
+    for (int q = 0; q < n_; ++q) {
+      const char c = t.paulis[n_ - 1 - q];
+      if (c == 'X' || c == 'Y') flip |= std::uint64_t{1} << q;
+      if (c == 'Z' || c == 'Y') z_mask |= std::uint64_t{1} << q;
+      if (c == 'Y') ++num_y;
+    }
+    // P = (i)^num_y * prod X^flip * prod Z-part with sign (-1)^(z bits of i)
+    // acting first; concretely <i^flip| P |i> = i^{num_y} (-1)^{popcount(i & z_mask)}...
+    const cplx i_pow[4] = {{1, 0}, {0, 1}, {-1, 0}, {0, -1}};
+    cplx term_sum{0, 0};
+    for (std::uint64_t i = 0; i < sv.size(); ++i) {
+      if (sv[i] == cplx{0, 0}) continue;
+      const int zbits = __builtin_popcountll(i & z_mask);
+      const cplx amp = i_pow[num_y % 4] * (zbits % 2 ? -1.0 : 1.0) * sv[i];
+      term_sum += std::conj(sv[i ^ flip]) * amp;
+    }
+    total += t.coeff * term_sum;
+  }
+  return total.real();
+}
+
+double PauliOp::ground_energy() const {
+  if (n_ > 6) throw std::invalid_argument("ground_energy: too many qubits");
+  const auto evals = hermitian_eigenvalues(to_matrix(), 128);
+  return evals.front();
+}
+
+std::string PauliOp::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& t : terms_) {
+    if (!first) os << " + ";
+    first = false;
+    os << "(" << t.coeff.real();
+    if (std::abs(t.coeff.imag()) > 1e-12) os << (t.coeff.imag() > 0 ? "+" : "")
+                                             << t.coeff.imag() << "i";
+    os << ")*" << t.paulis;
+  }
+  if (first) os << "0";
+  return os.str();
+}
+
+PauliOp jw_annihilation(int mode, int num_modes) {
+  if (mode < 0 || mode >= num_modes)
+    throw std::out_of_range("jw: mode out of range");
+  // Leftmost string character is the highest qubit; mode p sits at string
+  // position num_modes - 1 - p.
+  std::string x_string(num_modes, 'I');
+  std::string y_string(num_modes, 'I');
+  for (int k = 0; k < mode; ++k) {
+    x_string[num_modes - 1 - k] = 'Z';
+    y_string[num_modes - 1 - k] = 'Z';
+  }
+  x_string[num_modes - 1 - mode] = 'X';
+  y_string[num_modes - 1 - mode] = 'Y';
+  return PauliOp(num_modes,
+                 {{cplx{0.5, 0}, x_string}, {cplx{0, 0.5}, y_string}});
+}
+
+PauliOp jw_creation(int mode, int num_modes) {
+  return jw_annihilation(mode, num_modes).dagger();
+}
+
+}  // namespace qtc::aqua

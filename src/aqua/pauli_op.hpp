@@ -1,0 +1,77 @@
+#pragma once
+// Weighted sums of Pauli strings: the observable language of the
+// application layer (VQE Hamiltonians, Ising cost functions). Supports full
+// operator algebra (sum, scalar, product) so fermionic Hamiltonians can be
+// Jordan-Wigner transformed symbolically.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/matrix.hpp"
+#include "core/types.hpp"
+
+namespace qtc::aqua {
+
+/// One term: coeff * P, with P a string over {I,X,Y,Z}; leftmost character
+/// acts on the HIGHEST qubit (consistent with Statevector::expectation_pauli).
+struct PauliTerm {
+  cplx coeff{0, 0};
+  std::string paulis;
+};
+
+class PauliOp {
+ public:
+  PauliOp() = default;
+  explicit PauliOp(int num_qubits) : n_(num_qubits) {}
+  PauliOp(int num_qubits, std::vector<PauliTerm> terms);
+
+  /// coeff * P on `num_qubits` qubits.
+  static PauliOp term(int num_qubits, const std::string& paulis,
+                      cplx coeff = {1, 0});
+  static PauliOp identity(int num_qubits, cplx coeff = {1, 0});
+  static PauliOp zero(int num_qubits) { return PauliOp(num_qubits); }
+
+  int num_qubits() const { return n_; }
+  const std::vector<PauliTerm>& terms() const { return terms_; }
+  std::size_t num_terms() const { return terms_.size(); }
+
+  PauliOp operator+(const PauliOp& rhs) const;
+  PauliOp operator-(const PauliOp& rhs) const;
+  PauliOp operator*(const PauliOp& rhs) const;  // Pauli-string product
+  PauliOp operator*(cplx scalar) const;
+  PauliOp& operator+=(const PauliOp& rhs);
+
+  /// Conjugate-transpose (coefficients conjugated; strings self-adjoint).
+  PauliOp dagger() const;
+  /// Combine equal strings, drop |coeff| < tol terms.
+  PauliOp simplified(double tol = 1e-12) const;
+  /// All coefficients real within tol?
+  bool is_hermitian(double tol = 1e-9) const;
+
+  /// Dense 2^n x 2^n matrix (n <= 12).
+  Matrix to_matrix() const;
+  /// <psi| op |psi> for a real (Hermitian) operator.
+  double expectation(const std::vector<cplx>& statevector) const;
+  /// Smallest eigenvalue via dense diagonalization (n <= 6).
+  double ground_energy() const;
+
+  std::string to_string() const;
+
+ private:
+  int n_ = 0;
+  std::vector<PauliTerm> terms_;
+};
+
+/// Product of two single Pauli characters: returns (phase, character).
+std::pair<cplx, char> pauli_char_product(char a, char b);
+
+// --- Jordan-Wigner transformation -------------------------------------------
+
+/// Annihilation operator a_p on `num_modes` fermionic modes mapped to
+/// qubits: a_p = (prod_{k<p} Z_k)(X_p + i Y_p)/2. Mode 0 = qubit 0.
+PauliOp jw_annihilation(int mode, int num_modes);
+/// Creation operator a_p^dagger.
+PauliOp jw_creation(int mode, int num_modes);
+
+}  // namespace qtc::aqua

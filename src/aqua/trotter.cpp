@@ -1,0 +1,131 @@
+#include "aqua/trotter.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qtc::aqua {
+
+void append_pauli_evolution(QuantumCircuit& qc, const std::string& paulis,
+                            double theta) {
+  const int n = qc.num_qubits();
+  if (static_cast<int>(paulis.size()) != n)
+    throw std::invalid_argument("pauli evolution: string length mismatch");
+  // Collect the support (ascending qubit index) and rotate every non-Z
+  // factor into the Z basis.
+  std::vector<int> support;
+  for (int q = 0; q < n; ++q) {
+    const char c = paulis[n - 1 - q];
+    switch (c) {
+      case 'I':
+        break;
+      case 'X':
+        qc.h(q);
+        support.push_back(q);
+        break;
+      case 'Y':
+        qc.sdg(q);
+        qc.h(q);
+        support.push_back(q);
+        break;
+      case 'Z':
+        support.push_back(q);
+        break;
+      default:
+        throw std::invalid_argument("pauli evolution: bad character");
+    }
+  }
+  if (support.empty()) return;  // identity: global phase only
+  // Parity ladder onto the last support qubit, rotate, unwind.
+  for (std::size_t i = 0; i + 1 < support.size(); ++i)
+    qc.cx(support[i], support[i + 1]);
+  qc.rz(2 * theta, support.back());
+  for (std::size_t i = support.size() - 1; i-- > 0;)
+    qc.cx(support[i], support[i + 1]);
+  for (int q = 0; q < n; ++q) {
+    const char c = paulis[n - 1 - q];
+    if (c == 'X') {
+      qc.h(q);
+    } else if (c == 'Y') {
+      qc.h(q);
+      qc.s(q);
+    }
+  }
+}
+
+namespace {
+
+void check_trotter_args(const PauliOp& h, int steps) {
+  if (steps < 1)
+    throw std::invalid_argument("trotter: steps must be positive");
+  if (!h.is_hermitian())
+    throw std::invalid_argument("trotter: hamiltonian must be hermitian");
+}
+
+}  // namespace
+
+QuantumCircuit trotter_circuit(const PauliOp& hamiltonian, double time,
+                               int steps) {
+  check_trotter_args(hamiltonian, steps);
+  QuantumCircuit qc(hamiltonian.num_qubits());
+  const double dt = time / steps;
+  for (int s = 0; s < steps; ++s)
+    for (const auto& term : hamiltonian.terms())
+      append_pauli_evolution(qc, term.paulis, term.coeff.real() * dt);
+  return qc;
+}
+
+QuantumCircuit trotter_circuit_2nd(const PauliOp& hamiltonian, double time,
+                                   int steps) {
+  check_trotter_args(hamiltonian, steps);
+  QuantumCircuit qc(hamiltonian.num_qubits());
+  const double half = time / steps / 2;
+  const auto& terms = hamiltonian.terms();
+  for (int s = 0; s < steps; ++s) {
+    for (std::size_t i = 0; i < terms.size(); ++i)
+      append_pauli_evolution(qc, terms[i].paulis,
+                             terms[i].coeff.real() * half);
+    for (std::size_t i = terms.size(); i-- > 0;)
+      append_pauli_evolution(qc, terms[i].paulis,
+                             terms[i].coeff.real() * half);
+  }
+  return qc;
+}
+
+PauliOp heisenberg_chain(int num_sites, double coupling, double field) {
+  if (num_sites < 2)
+    throw std::invalid_argument("heisenberg: need >= 2 sites");
+  PauliOp h = PauliOp::zero(num_sites);
+  for (int i = 0; i + 1 < num_sites; ++i) {
+    for (char axis : {'X', 'Y', 'Z'}) {
+      std::string s(num_sites, 'I');
+      s[num_sites - 1 - i] = axis;
+      s[num_sites - 2 - i] = axis;
+      h += PauliOp::term(num_sites, s, cplx{coupling, 0});
+    }
+  }
+  for (int i = 0; i < num_sites; ++i) {
+    std::string s(num_sites, 'I');
+    s[num_sites - 1 - i] = 'Z';
+    h += PauliOp::term(num_sites, s, cplx{field, 0});
+  }
+  return h.simplified();
+}
+
+PauliOp tfim_chain(int num_sites, double coupling, double transverse) {
+  if (num_sites < 2) throw std::invalid_argument("tfim: need >= 2 sites");
+  PauliOp h = PauliOp::zero(num_sites);
+  for (int i = 0; i + 1 < num_sites; ++i) {
+    std::string s(num_sites, 'I');
+    s[num_sites - 1 - i] = 'Z';
+    s[num_sites - 2 - i] = 'Z';
+    h += PauliOp::term(num_sites, s, cplx{-coupling, 0});
+  }
+  for (int i = 0; i < num_sites; ++i) {
+    std::string s(num_sites, 'I');
+    s[num_sites - 1 - i] = 'X';
+    h += PauliOp::term(num_sites, s, cplx{-transverse, 0});
+  }
+  return h.simplified();
+}
+
+}  // namespace qtc::aqua

@@ -1,0 +1,33 @@
+#pragma once
+// Hamiltonian simulation — "quantum simulation" is on the paper's list of
+// promised quantum speedups (Sec. I). Trotterized time evolution of Pauli
+// Hamiltonians, plus standard spin-chain model builders.
+
+#include "aqua/pauli_op.hpp"
+#include "core/circuit.hpp"
+
+namespace qtc::aqua {
+
+/// Append the exact evolution exp(-i theta P) for one Pauli string
+/// (leftmost char = highest qubit): basis rotations + CX parity ladder +
+/// RZ(2 theta). Identity strings are skipped (global phase).
+void append_pauli_evolution(QuantumCircuit& qc, const std::string& paulis,
+                            double theta);
+
+/// First-order Trotter approximation of exp(-i H t): `steps` repetitions of
+/// the term-by-term evolutions. H must be Hermitian.
+QuantumCircuit trotter_circuit(const PauliOp& hamiltonian, double time,
+                               int steps);
+
+/// Second-order (symmetric) Trotter: half-step forward, half-step reversed.
+QuantumCircuit trotter_circuit_2nd(const PauliOp& hamiltonian, double time,
+                                   int steps);
+
+/// Heisenberg chain: H = J sum_i (X_i X_{i+1} + Y_i Y_{i+1} + Z_i Z_{i+1})
+/// + h sum_i Z_i (open boundary).
+PauliOp heisenberg_chain(int num_sites, double coupling, double field);
+
+/// Transverse-field Ising chain: H = -J sum_i Z_i Z_{i+1} - g sum_i X_i.
+PauliOp tfim_chain(int num_sites, double coupling, double transverse);
+
+}  // namespace qtc::aqua

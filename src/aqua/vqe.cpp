@@ -1,0 +1,102 @@
+#include "aqua/vqe.hpp"
+
+#include <stdexcept>
+
+#include "noise/trajectory.hpp"
+#include "sim/simulator.hpp"
+
+namespace qtc::aqua {
+
+namespace {
+
+/// <P> for one Pauli string, estimated from measurement in the rotated
+/// basis: H maps X -> Z, (Sdg; H) maps Y -> Z.
+double measure_term(const QuantumCircuit& preparation, const PauliTerm& term,
+                    int shots, const noise::NoiseModel& noise, Rng& rng) {
+  const int n = preparation.num_qubits();
+  QuantumCircuit qc(n, n);
+  for (const auto& op : preparation.ops()) qc.append(op);
+  std::vector<int> involved;
+  for (int q = 0; q < n; ++q) {
+    const char c = term.paulis[n - 1 - q];
+    if (c == 'I') continue;
+    involved.push_back(q);
+    if (c == 'X') {
+      qc.h(q);
+    } else if (c == 'Y') {
+      qc.sdg(q);
+      qc.h(q);
+    }
+  }
+  if (involved.empty()) return 1.0;
+  qc.measure_all();
+  noise::TrajectorySimulator sim(rng.engine()());
+  const auto counts = sim.run(qc, noise, shots);
+  double expectation = 0;
+  for (const auto& [bits, c] : counts.histogram) {
+    int parity = 0;
+    for (int q : involved)
+      if (bits[n - 1 - q] == '1') parity ^= 1;
+    expectation += (parity ? -1.0 : 1.0) * c;
+  }
+  return expectation / counts.shots;
+}
+
+}  // namespace
+
+double estimate_expectation(const QuantumCircuit& preparation,
+                            const PauliOp& hamiltonian, int shots,
+                            const noise::NoiseModel& noise,
+                            std::uint64_t seed) {
+  if (preparation.num_qubits() != hamiltonian.num_qubits())
+    throw std::invalid_argument("expectation: qubit count mismatch");
+  if (!hamiltonian.is_hermitian())
+    throw std::invalid_argument("expectation: hamiltonian must be hermitian");
+  if (shots == 0) {
+    sim::StatevectorSimulator sim;
+    return hamiltonian.expectation(
+        sim.statevector(preparation).amplitudes());
+  }
+  Rng rng(seed);
+  double energy = 0;
+  for (const auto& term : hamiltonian.terms())
+    energy +=
+        term.coeff.real() * measure_term(preparation, term, shots, noise, rng);
+  return energy;
+}
+
+VqeResult vqe(const PauliOp& hamiltonian, const Ansatz& ansatz,
+              const Optimizer& optimizer, const VqeOptions& options) {
+  if (ansatz.num_qubits != hamiltonian.num_qubits())
+    throw std::invalid_argument("vqe: ansatz/hamiltonian qubit mismatch");
+  Rng rng(options.seed);
+  int total_evals = 0;
+  const Objective objective = [&](const std::vector<double>& params) {
+    ++total_evals;
+    return estimate_expectation(ansatz.build(params), hamiltonian,
+                                options.shots, options.noise,
+                                rng.engine()());
+  };
+  VqeResult best;
+  best.energy = 1e300;
+  for (int r = 0; r < std::max(1, options.restarts); ++r) {
+    // A supplied starting point seeds the first attempt; further restarts
+    // draw fresh random points.
+    std::vector<double> start =
+        r == 0 ? options.initial_parameters : std::vector<double>{};
+    if (start.empty())
+      for (int i = 0; i < ansatz.num_parameters; ++i)
+        start.push_back(rng.uniform(-PI, PI));
+    if (static_cast<int>(start.size()) != ansatz.num_parameters)
+      throw std::invalid_argument("vqe: wrong initial parameter count");
+    const OptimizationResult result = optimizer.minimize(objective, start);
+    if (result.value < best.energy) {
+      best.energy = result.value;
+      best.parameters = result.parameters;
+    }
+  }
+  best.evaluations = total_evals;
+  return best;
+}
+
+}  // namespace qtc::aqua

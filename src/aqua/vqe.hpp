@@ -1,0 +1,41 @@
+#pragma once
+// The Variational Quantum Eigensolver — "at the basis of many of Aqua's
+// applications" (paper Sec. III). The quantum side prepares a parameterized
+// state and estimates <H>; the classical optimizer closes the loop.
+
+#include <optional>
+
+#include "aqua/ansatz.hpp"
+#include "aqua/optimizer.hpp"
+#include "aqua/pauli_op.hpp"
+#include "noise/noise_model.hpp"
+
+namespace qtc::aqua {
+
+/// Estimate <H> on the state prepared by `preparation` by measuring each
+/// Pauli term in its rotated basis over `shots` shots (optionally noisy).
+/// shots == 0 uses the exact statevector expectation instead.
+double estimate_expectation(const QuantumCircuit& preparation,
+                            const PauliOp& hamiltonian, int shots = 0,
+                            const noise::NoiseModel& noise = {},
+                            std::uint64_t seed = 0xC0FFEE);
+
+struct VqeOptions {
+  int shots = 0;  // 0 = exact simulation of the expectation
+  noise::NoiseModel noise;
+  int restarts = 1;
+  std::uint64_t seed = 0xC0FFEE;
+  /// Starting point; random in [-pi, pi) when empty.
+  std::vector<double> initial_parameters;
+};
+
+struct VqeResult {
+  double energy = 0;
+  std::vector<double> parameters;
+  int evaluations = 0;
+};
+
+VqeResult vqe(const PauliOp& hamiltonian, const Ansatz& ansatz,
+              const Optimizer& optimizer, const VqeOptions& options = {});
+
+}  // namespace qtc::aqua

@@ -1,0 +1,43 @@
+#include "arch/backend.hpp"
+
+#include <stdexcept>
+
+namespace qtc::arch {
+
+double Backend::cx_error(int control, int target) const {
+  const auto& edges = coupling_.edges();
+  for (std::size_t i = 0; i < edges.size(); ++i)
+    if ((edges[i].first == control && edges[i].second == target) ||
+        (edges[i].first == target && edges[i].second == control))
+      return calib_.cx_error[i];
+  throw std::invalid_argument("cx_error: pair not in coupling map");
+}
+
+Calibration default_calibration(const CouplingMap& map) {
+  Calibration c;
+  const int n = map.num_qubits();
+  for (int q = 0; q < n; ++q) {
+    // Vary smoothly across the chip so "noise-aware" choices are meaningful.
+    c.single_qubit_error.push_back(8e-4 + 2e-4 * ((q * 7) % 5));
+    c.readout_error.push_back(0.02 + 0.004 * ((q * 3) % 4));
+    c.t1_us.push_back(50.0 + 5.0 * (q % 4));
+    c.t2_us.push_back(40.0 + 4.0 * (q % 5));
+  }
+  for (std::size_t e = 0; e < map.edges().size(); ++e)
+    c.cx_error.push_back(0.015 + 0.003 * (e % 4));
+  return c;
+}
+
+Backend qx4_backend() {
+  CouplingMap map = ibm_qx4();
+  Calibration cal = default_calibration(map);
+  return Backend(std::move(map), std::move(cal));
+}
+
+Backend qx5_backend() {
+  CouplingMap map = ibm_qx5();
+  Calibration cal = default_calibration(map);
+  return Backend(std::move(map), std::move(cal));
+}
+
+}  // namespace qtc::arch

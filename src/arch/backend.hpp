@@ -1,0 +1,65 @@
+#pragma once
+// A "backend" in the Qiskit sense: coupling constraints, the native basis
+// gate set (U + CNOT on the QX devices, Sec. II-B), and per-gate calibration
+// data from which a noise model can be derived. Stands in for the cloud
+// device handle returned by IBMQ.get_backend(...) in the paper's Sec. IV.
+
+#include <string>
+#include <vector>
+
+#include "arch/coupling_map.hpp"
+#include "core/gates.hpp"
+
+namespace qtc::arch {
+
+/// Calibration snapshot for one backend. Values are representative of the
+/// published QX device characteristics (error rates ~1e-3 for 1q gates,
+/// ~1e-2 for CX, readout error ~2-4%).
+struct Calibration {
+  std::vector<double> single_qubit_error;  // depolarizing prob per 1q gate
+  std::vector<double> readout_error;       // symmetric flip prob per qubit
+  std::vector<double> t1_us;               // relaxation times
+  std::vector<double> t2_us;               // dephasing times
+  // cx_error[i] corresponds to coupling_map.edges()[i]
+  std::vector<double> cx_error;
+  // Gate durations (microseconds), used to scale thermal relaxation.
+  double gate_time_1q_us = 0.05;
+  double gate_time_cx_us = 0.3;
+};
+
+class Backend {
+ public:
+  Backend(CouplingMap coupling, Calibration calibration)
+      : coupling_(std::move(coupling)), calib_(std::move(calibration)) {}
+
+  const std::string& name() const { return coupling_.name(); }
+  int num_qubits() const { return coupling_.num_qubits(); }
+  const CouplingMap& coupling_map() const { return coupling_; }
+  const Calibration& calibration() const { return calib_; }
+
+  /// Native gates: the QX devices implement U(theta,phi,lambda) and CX.
+  /// Named 1q gates (H, T, ...) are aliases the device compiles to U.
+  bool is_basis_gate(OpKind kind) const {
+    return kind == OpKind::U || kind == OpKind::U2 || kind == OpKind::P ||
+           kind == OpKind::CX || kind == OpKind::Measure ||
+           kind == OpKind::Reset || kind == OpKind::Barrier ||
+           kind == OpKind::I;
+  }
+
+  double cx_error(int control, int target) const;
+
+ private:
+  CouplingMap coupling_;
+  Calibration calib_;
+};
+
+/// Synthesize a plausible calibration for any coupling map (deterministic,
+/// derived from qubit/edge indices so tests are stable).
+Calibration default_calibration(const CouplingMap& map);
+
+/// The five-qubit QX4 backend of the paper's run-through (Sec. IV).
+Backend qx4_backend();
+/// The sixteen-qubit QX5 backend.
+Backend qx5_backend();
+
+}  // namespace qtc::arch

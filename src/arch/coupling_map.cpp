@@ -1,0 +1,210 @@
+#include "arch/coupling_map.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+#include <stdexcept>
+
+namespace qtc::arch {
+
+CouplingMap::CouplingMap(int num_qubits,
+                         std::vector<std::pair<int, int>> edges,
+                         std::string name)
+    : n_(num_qubits), name_(std::move(name)), edges_(std::move(edges)) {
+  if (n_ <= 0) throw std::invalid_argument("coupling map: no qubits");
+  for (auto [a, b] : edges_) {
+    if (a < 0 || a >= n_ || b < 0 || b >= n_)
+      throw std::out_of_range("coupling map: edge endpoint out of range");
+    if (a == b) throw std::invalid_argument("coupling map: self loop");
+  }
+  build_tables();
+}
+
+void CouplingMap::build_tables() {
+  directed_.assign(n_, std::vector<bool>(n_, false));
+  neighbors_.assign(n_, {});
+  for (auto [a, b] : edges_) directed_[a][b] = true;
+  for (int a = 0; a < n_; ++a)
+    for (int b = 0; b < n_; ++b)
+      if (a != b && (directed_[a][b] || directed_[b][a])) {
+        if (std::find(neighbors_[a].begin(), neighbors_[a].end(), b) ==
+            neighbors_[a].end())
+          neighbors_[a].push_back(b);
+      }
+  // All-pairs undirected shortest paths via BFS from every node.
+  dist_.assign(n_, std::vector<int>(n_, n_));
+  for (int s = 0; s < n_; ++s) {
+    dist_[s][s] = 0;
+    std::queue<int> q;
+    q.push(s);
+    while (!q.empty()) {
+      const int u = q.front();
+      q.pop();
+      for (int v : neighbors_[u])
+        if (dist_[s][v] > dist_[s][u] + 1) {
+          dist_[s][v] = dist_[s][u] + 1;
+          q.push(v);
+        }
+    }
+  }
+}
+
+bool CouplingMap::has_edge(int a, int b) const {
+  return a >= 0 && a < n_ && b >= 0 && b < n_ && directed_[a][b];
+}
+
+bool CouplingMap::connected(int a, int b) const {
+  return has_edge(a, b) || has_edge(b, a);
+}
+
+int CouplingMap::distance(int a, int b) const {
+  if (a < 0 || a >= n_ || b < 0 || b >= n_)
+    throw std::out_of_range("coupling map: qubit out of range");
+  return dist_[a][b];
+}
+
+const std::vector<int>& CouplingMap::neighbors(int q) const {
+  if (q < 0 || q >= n_)
+    throw std::out_of_range("coupling map: qubit out of range");
+  return neighbors_[q];
+}
+
+std::vector<int> CouplingMap::shortest_path(int a, int b) const {
+  if (distance(a, b) >= n_ && a != b) return {};
+  std::vector<int> parent(n_, -1);
+  std::queue<int> q;
+  std::vector<bool> seen(n_, false);
+  q.push(a);
+  seen[a] = true;
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    if (u == b) break;
+    for (int v : neighbors_[u])
+      if (!seen[v]) {
+        seen[v] = true;
+        parent[v] = u;
+        q.push(v);
+      }
+  }
+  std::vector<int> path;
+  for (int v = b; v != -1; v = parent[v]) path.push_back(v);
+  std::reverse(path.begin(), path.end());
+  if (path.front() != a) return {};
+  return path;
+}
+
+bool CouplingMap::is_connected() const {
+  for (int i = 0; i < n_; ++i)
+    for (int j = 0; j < n_; ++j)
+      if (dist_[i][j] >= n_ && i != j) return false;
+  return true;
+}
+
+std::string CouplingMap::to_string() const {
+  std::ostringstream os;
+  os << name_ << " (" << n_ << " qubits): ";
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (i) os << ", ";
+    os << "Q" << edges_[i].first << "->Q" << edges_[i].second;
+  }
+  return os.str();
+}
+
+CouplingMap ibm_qx2() {
+  return CouplingMap(
+      5, {{0, 1}, {0, 2}, {1, 2}, {3, 2}, {3, 4}, {4, 2}}, "ibmqx2");
+}
+
+CouplingMap ibm_qx4() {
+  // Fig. 2 of the paper: arrows point from control to target.
+  return CouplingMap(
+      5, {{1, 0}, {2, 0}, {2, 1}, {3, 2}, {3, 4}, {2, 4}}, "ibmqx4");
+}
+
+CouplingMap ibm_qx3() {
+  return CouplingMap(16,
+                     {{0, 1},
+                      {1, 2},
+                      {2, 3},
+                      {3, 14},
+                      {4, 3},
+                      {4, 5},
+                      {6, 7},
+                      {6, 11},
+                      {7, 10},
+                      {8, 7},
+                      {9, 8},
+                      {9, 10},
+                      {11, 10},
+                      {12, 5},
+                      {12, 11},
+                      {12, 13},
+                      {13, 4},
+                      {13, 14},
+                      {15, 0},
+                      {15, 2},
+                      {15, 14}},
+                     "ibmqx3");
+}
+
+CouplingMap ibm_qx5() {
+  return CouplingMap(16,
+                     {{1, 0},
+                      {1, 2},
+                      {2, 3},
+                      {3, 4},
+                      {3, 14},
+                      {5, 4},
+                      {6, 5},
+                      {6, 7},
+                      {6, 11},
+                      {7, 10},
+                      {8, 7},
+                      {9, 8},
+                      {9, 10},
+                      {11, 10},
+                      {12, 5},
+                      {12, 11},
+                      {12, 13},
+                      {13, 4},
+                      {13, 14},
+                      {15, 0},
+                      {15, 2},
+                      {15, 14}},
+                     "ibmqx5");
+}
+
+CouplingMap linear(int n) {
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return CouplingMap(n, std::move(edges), "linear" + std::to_string(n));
+}
+
+CouplingMap ring(int n) {
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < n; ++i) edges.emplace_back(i, (i + 1) % n);
+  return CouplingMap(n, std::move(edges), "ring" + std::to_string(n));
+}
+
+CouplingMap grid(int rows, int cols) {
+  std::vector<std::pair<int, int>> edges;
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
+    }
+  return CouplingMap(rows * cols, std::move(edges),
+                     "grid" + std::to_string(rows) + "x" + std::to_string(cols));
+}
+
+CouplingMap fully_connected(int n) {
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      if (i != j) edges.emplace_back(i, j);
+  return CouplingMap(n, std::move(edges), "full" + std::to_string(n));
+}
+
+}  // namespace qtc::arch

@@ -1,0 +1,14 @@
+#pragma once
+// ASCII circuit renderer (reproduces the paper's Fig. 1b style diagrams).
+
+#include <string>
+
+namespace qtc {
+
+class QuantumCircuit;
+
+/// Render the circuit as a multi-line ASCII diagram, one row per qubit,
+/// gates packed greedily into time slices (left to right).
+std::string draw(const QuantumCircuit& circuit);
+
+}  // namespace qtc

@@ -1,0 +1,320 @@
+#include "core/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace qtc {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<cplx>> rows) {
+  rows_ = rows.size();
+  cols_ = rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    if (row.size() != cols_) throw std::invalid_argument("ragged matrix init");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1;
+  return m;
+}
+
+Matrix Matrix::zero(std::size_t rows, std::size_t cols) {
+  return Matrix(rows, cols);
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  if (cols_ != rhs.rows_) throw std::invalid_argument("matmul shape mismatch");
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const cplx a = (*this)(i, k);
+      if (a == cplx{0, 0}) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j) out(i, j) += a * rhs(k, j);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+    throw std::invalid_argument("add shape mismatch");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+    throw std::invalid_argument("sub shape mismatch");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator*(cplx scalar) const {
+  Matrix out = *this;
+  for (auto& x : out.data_) x *= scalar;
+  return out;
+}
+
+std::vector<cplx> Matrix::operator*(const std::vector<cplx>& v) const {
+  if (cols_ != v.size()) throw std::invalid_argument("matvec shape mismatch");
+  std::vector<cplx> out(rows_, cplx{0, 0});
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) out[i] += (*this)(i, j) * v[j];
+  return out;
+}
+
+Matrix Matrix::dagger() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) out(j, i) = std::conj((*this)(i, j));
+  return out;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  return out;
+}
+
+Matrix Matrix::conjugate() const {
+  Matrix out = *this;
+  for (auto& x : out.data_) x = std::conj(x);
+  return out;
+}
+
+cplx Matrix::trace() const {
+  cplx t{0, 0};
+  for (std::size_t i = 0; i < std::min(rows_, cols_); ++i) t += (*this)(i, i);
+  return t;
+}
+
+Matrix Matrix::kron(const Matrix& rhs) const {
+  Matrix out(rows_ * rhs.rows_, cols_ * rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) {
+      const cplx a = (*this)(i, j);
+      if (a == cplx{0, 0}) continue;
+      for (std::size_t k = 0; k < rhs.rows_; ++k)
+        for (std::size_t l = 0; l < rhs.cols_; ++l)
+          out(i * rhs.rows_ + k, j * rhs.cols_ + l) = a * rhs(k, l);
+    }
+  return out;
+}
+
+double Matrix::max_abs_diff(const Matrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_)
+    throw std::invalid_argument("diff shape mismatch");
+  double worst = 0;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    worst = std::max(worst, std::abs(data_[i] - other.data_[i]));
+  return worst;
+}
+
+bool Matrix::approx_equal(const Matrix& other, double tol) const {
+  return rows_ == other.rows_ && cols_ == other.cols_ &&
+         max_abs_diff(other) <= tol;
+}
+
+bool Matrix::equal_up_to_phase(const Matrix& other, double tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  // Find the entry of largest magnitude to fix the relative phase.
+  std::size_t best = 0;
+  double best_mag = 0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::abs(data_[i]) > best_mag) {
+      best_mag = std::abs(data_[i]);
+      best = i;
+    }
+  }
+  if (best_mag <= tol) return other.max_abs_diff(zero(rows_, cols_)) <= tol;
+  if (std::abs(other.data_[best]) <= tol) return false;
+  const cplx phase = other.data_[best] / data_[best];
+  if (std::abs(std::abs(phase) - 1.0) > 1e-6) return false;
+  return (*this * phase).max_abs_diff(other) <= tol;
+}
+
+bool Matrix::is_unitary(double tol) const {
+  if (rows_ != cols_) return false;
+  return (dagger() * (*this)).approx_equal(identity(rows_), tol);
+}
+
+bool Matrix::is_hermitian(double tol) const {
+  if (rows_ != cols_) return false;
+  return approx_equal(dagger(), tol);
+}
+
+double Matrix::norm() const {
+  double s = 0;
+  for (const auto& x : data_) s += std::norm(x);
+  return std::sqrt(s);
+}
+
+std::string Matrix::to_string(int precision) const {
+  std::ostringstream os;
+  os.precision(precision);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    os << "[ ";
+    for (std::size_t j = 0; j < cols_; ++j) {
+      const cplx v = (*this)(i, j);
+      os << v.real();
+      if (std::abs(v.imag()) > 1e-12)
+        os << (v.imag() >= 0 ? "+" : "") << v.imag() << "i";
+      os << (j + 1 < cols_ ? ", " : " ");
+    }
+    os << "]\n";
+  }
+  return os.str();
+}
+
+Matrix kron_all(const std::vector<Matrix>& factors) {
+  if (factors.empty()) return Matrix::identity(1);
+  Matrix out = factors.front();
+  for (std::size_t i = 1; i < factors.size(); ++i) out = out.kron(factors[i]);
+  return out;
+}
+
+cplx inner(const std::vector<cplx>& a, const std::vector<cplx>& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("inner size mismatch");
+  cplx s{0, 0};
+  for (std::size_t i = 0; i < a.size(); ++i) s += std::conj(a[i]) * b[i];
+  return s;
+}
+
+double norm2(const std::vector<cplx>& v) {
+  double s = 0;
+  for (const auto& x : v) s += std::norm(x);
+  return std::sqrt(s);
+}
+
+double max_abs_diff(const std::vector<cplx>& a, const std::vector<cplx>& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("diff size mismatch");
+  double worst = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  return worst;
+}
+
+bool states_equal_up_to_phase(const std::vector<cplx>& a,
+                              const std::vector<cplx>& b, double tol) {
+  if (a.size() != b.size()) return false;
+  std::size_t best = 0;
+  double best_mag = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (std::abs(a[i]) > best_mag) best_mag = std::abs(a[i]), best = i;
+  if (best_mag <= tol) return norm2(b) <= tol;
+  if (std::abs(b[best]) <= tol) return false;
+  const cplx phase = b[best] / a[best];
+  if (std::abs(std::abs(phase) - 1.0) > 1e-6) return false;
+  double worst = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    worst = std::max(worst, std::abs(a[i] * phase - b[i]));
+  return worst <= tol;
+}
+
+std::vector<double> solve_linear(std::vector<std::vector<double>> a,
+                                 std::vector<double> b) {
+  const std::size_t n = b.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    if (std::abs(a[pivot][col]) < 1e-14)
+      throw std::runtime_error("solve_linear: singular matrix");
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double f = a[r][col] / a[col][col];
+      if (f == 0) continue;
+      for (std::size_t c = col; c < n; ++c) a[r][c] -= f * a[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[i] / a[i][i];
+  return x;
+}
+
+std::vector<double> hermitian_eigenvalues(const Matrix& m, int sweeps) {
+  return hermitian_eigensystem(m, sweeps).values;
+}
+
+EigenSystem hermitian_eigensystem(const Matrix& m, int sweeps) {
+  if (m.rows() != m.cols())
+    throw std::invalid_argument("eigensystem: matrix not square");
+  // Jacobi eigenvalue iteration on the Hermitian matrix A: repeatedly zero
+  // off-diagonal elements with complex Givens rotations, accumulating the
+  // rotations into V so that m = V diag V^dag.
+  Matrix a = m;
+  const std::size_t n = a.rows();
+  Matrix v = Matrix::identity(n);
+  for (int sweep = 0; sweep < sweeps; ++sweep) {
+    double off = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        if (i != j) off += std::norm(a(i, j));
+    if (off < 1e-24) break;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const cplx apq = a(p, q);
+        if (std::abs(apq) < 1e-16) continue;
+        const double app = a(p, p).real();
+        const double aqq = a(q, q).real();
+        // Diagonalize the 2x2 block [[app, apq], [conj(apq), aqq]].
+        const double phi = std::arg(apq);
+        const double mag = std::abs(apq);
+        const double theta = 0.5 * std::atan2(2 * mag, app - aqq);
+        const double c = std::cos(theta);
+        const cplx s = std::sin(theta) * std::exp(cplx(0, phi));
+        for (std::size_t k = 0; k < n; ++k) {
+          const cplx akp = a(k, p), akq = a(k, q);
+          a(k, p) = c * akp + std::conj(s) * akq;
+          a(k, q) = -s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const cplx apk = a(p, k), aqk = a(q, k);
+          a(p, k) = c * apk + s * aqk;
+          a(q, k) = -std::conj(s) * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const cplx vkp = v(k, p), vkq = v(k, q);
+          v(k, p) = c * vkp + std::conj(s) * vkq;
+          v(k, q) = -s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  // Sort eigenpairs ascending.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return a(x, x).real() < a(y, y).real();
+  });
+  EigenSystem out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.values[j] = a(order[j], order[j]).real();
+    for (std::size_t i = 0; i < n; ++i) out.vectors(i, j) = v(i, order[j]);
+  }
+  return out;
+}
+
+Matrix hermitian_exp_i(const Matrix& m, double scale) {
+  const EigenSystem es = hermitian_eigensystem(m, 128);
+  const std::size_t n = m.rows();
+  Matrix diag(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    diag(i, i) = std::exp(cplx(0, scale * es.values[i]));
+  return es.vectors * diag * es.vectors.dagger();
+}
+
+}  // namespace qtc

@@ -1,0 +1,102 @@
+#pragma once
+// Dense complex matrices and vectors. These back the unitary simulator,
+// tomography, channel algebra and the reference implementations that the
+// decision-diagram package is validated against. Row-major storage.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace qtc {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, cplx{0, 0}) {}
+  /// Build from an initializer list of rows (must be rectangular).
+  Matrix(std::initializer_list<std::initializer_list<cplx>> rows);
+
+  static Matrix identity(std::size_t n);
+  static Matrix zero(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  cplx& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  cplx operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  const std::vector<cplx>& data() const { return data_; }
+  std::vector<cplx>& data() { return data_; }
+
+  Matrix operator*(const Matrix& rhs) const;
+  Matrix operator+(const Matrix& rhs) const;
+  Matrix operator-(const Matrix& rhs) const;
+  Matrix operator*(cplx scalar) const;
+  std::vector<cplx> operator*(const std::vector<cplx>& v) const;
+
+  /// Conjugate transpose.
+  Matrix dagger() const;
+  Matrix transpose() const;
+  Matrix conjugate() const;
+  cplx trace() const;
+
+  /// Kronecker product: (this ⊗ rhs).
+  Matrix kron(const Matrix& rhs) const;
+
+  /// Largest |a_ij - b_ij| over all entries (matrices must be same shape).
+  double max_abs_diff(const Matrix& other) const;
+  bool approx_equal(const Matrix& other, double tol = 1e-9) const;
+  /// Equality up to a global phase e^{i phi}.
+  bool equal_up_to_phase(const Matrix& other, double tol = 1e-9) const;
+  bool is_unitary(double tol = 1e-9) const;
+  bool is_hermitian(double tol = 1e-9) const;
+
+  /// Frobenius norm.
+  double norm() const;
+
+  std::string to_string(int precision = 3) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<cplx> data_;
+};
+
+/// Kronecker product of a list of matrices (left factor is most significant).
+Matrix kron_all(const std::vector<Matrix>& factors);
+
+/// Inner product <a|b> with conjugation on `a`.
+cplx inner(const std::vector<cplx>& a, const std::vector<cplx>& b);
+/// 2-norm of a vector.
+double norm2(const std::vector<cplx>& v);
+/// Largest |a_i - b_i|.
+double max_abs_diff(const std::vector<cplx>& a, const std::vector<cplx>& b);
+/// True if vectors agree up to a global phase.
+bool states_equal_up_to_phase(const std::vector<cplx>& a,
+                              const std::vector<cplx>& b, double tol = 1e-9);
+
+/// Solve the dense linear system A x = b by Gaussian elimination with
+/// partial pivoting. A must be square and nonsingular.
+std::vector<double> solve_linear(std::vector<std::vector<double>> a,
+                                 std::vector<double> b);
+
+/// Eigenvalues of a Hermitian matrix via cyclic Jacobi rotations, ascending.
+std::vector<double> hermitian_eigenvalues(const Matrix& m, int sweeps = 64);
+
+/// Full eigendecomposition of a Hermitian matrix: m = V diag(values) V^dag
+/// with eigenvalues ascending and V's columns the eigenvectors.
+struct EigenSystem {
+  std::vector<double> values;
+  Matrix vectors;
+};
+EigenSystem hermitian_eigensystem(const Matrix& m, int sweeps = 64);
+
+/// exp(i * scale * m) for Hermitian m (unitary when scale is real).
+Matrix hermitian_exp_i(const Matrix& m, double scale);
+
+}  // namespace qtc

@@ -1,0 +1,50 @@
+#pragma once
+// Seedable random source used by samplers, noise models and workload
+// generators. A thin wrapper over mt19937_64 so every stochastic component
+// in the toolchain can be made deterministic for tests and benchmarks.
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace qtc {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0xC0FFEE) : eng_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform() { return unit_(eng_); }
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+  /// Uniform integer in [0, n).
+  std::uint64_t index(std::uint64_t n) {
+    return std::uniform_int_distribution<std::uint64_t>(0, n - 1)(eng_);
+  }
+  /// Standard normal sample.
+  double normal() { return normal_(eng_); }
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Sample an index from an (unnormalized) non-negative weight vector.
+  std::size_t discrete(const std::vector<double>& weights) {
+    double total = 0;
+    for (double w : weights) total += w;
+    double r = uniform() * total;
+    double acc = 0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      acc += weights[i];
+      if (r < acc) return i;
+    }
+    return weights.empty() ? 0 : weights.size() - 1;
+  }
+
+  std::mt19937_64& engine() { return eng_; }
+
+ private:
+  std::mt19937_64 eng_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+  std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+}  // namespace qtc

@@ -1,0 +1,124 @@
+#include "core/state_prep.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qtc {
+
+void append_multiplexed_rotation(QuantumCircuit& qc, OpKind axis,
+                                 Qubit target,
+                                 const std::vector<Qubit>& controls,
+                                 const std::vector<double>& angles) {
+  if (axis != OpKind::RY && axis != OpKind::RZ)
+    throw std::invalid_argument("multiplexed rotation: axis must be RY/RZ");
+  if (angles.size() != (std::size_t{1} << controls.size()))
+    throw std::invalid_argument("multiplexed rotation: wrong angle count");
+  // Base case: plain rotation.
+  if (controls.empty()) {
+    if (std::abs(angles[0]) > 1e-12)
+      qc.gate(axis, {target}, {angles[0]});
+    return;
+  }
+  // Split on the most significant selector: because CX conjugation negates
+  // RY/RZ angles, the two branches fold into sum/difference halves around a
+  // CX pair.
+  const Qubit top = controls.back();
+  const std::vector<Qubit> rest(controls.begin(), controls.end() - 1);
+  const std::size_t half = angles.size() / 2;
+  std::vector<double> plus(half), minus(half);
+  bool any_minus = false;
+  for (std::size_t j = 0; j < half; ++j) {
+    plus[j] = (angles[j] + angles[j + half]) / 2;
+    minus[j] = (angles[j] - angles[j + half]) / 2;
+    any_minus = any_minus || std::abs(minus[j]) > 1e-12;
+  }
+  append_multiplexed_rotation(qc, axis, target, rest, plus);
+  if (any_minus) {
+    qc.cx(top, target);
+    append_multiplexed_rotation(qc, axis, target, rest, minus);
+    qc.cx(top, target);
+  }
+}
+
+QuantumCircuit prepare_state(std::vector<cplx> amplitudes) {
+  std::size_t dim = amplitudes.size();
+  int n = 0;
+  while ((std::size_t{1} << n) < dim) ++n;
+  if (dim < 2 || (std::size_t{1} << n) != dim || n > 16)
+    throw std::invalid_argument("prepare_state: size must be 2^n, n <= 16");
+  double norm = 0;
+  for (const auto& a : amplitudes) norm += std::norm(a);
+  if (norm <= 1e-24)
+    throw std::invalid_argument("prepare_state: zero state");
+  norm = std::sqrt(norm);
+  for (auto& a : amplitudes) a /= norm;
+
+  // Build the disentangler D with D|psi> = |0..0|, stage by stage: at stage
+  // s the current LSB (original qubit s) is rotated to |0> by a multiplexed
+  // RZ (phase align) followed by a multiplexed RY, selected by the
+  // remaining higher qubits.
+  QuantumCircuit disentangler(n);
+  std::vector<cplx> current = std::move(amplitudes);
+  for (int s = 0; s < n; ++s) {
+    const std::size_t pairs = current.size() / 2;
+    std::vector<double> beta(pairs), gamma(pairs);
+    std::vector<bool> reachable(pairs, false);
+    std::vector<cplx> next(pairs);
+    for (std::size_t j = 0; j < pairs; ++j) {
+      const cplx a0 = current[2 * j], a1 = current[2 * j + 1];
+      const double r = std::sqrt(std::norm(a0) + std::norm(a1));
+      if (r < 1e-12) {
+        beta[j] = gamma[j] = 0;
+        next[j] = 0;
+        continue;
+      }
+      reachable[j] = true;
+      const double p0 = std::abs(a0) > 1e-12 ? std::arg(a0) : 0.0;
+      const double p1 = std::abs(a1) > 1e-12 ? std::arg(a1) : 0.0;
+      // RZ(p0 - p1) aligns both components to the mean phase; RY(gamma)
+      // then rotates the pair onto its first component.
+      beta[j] = p0 - p1;
+      gamma[j] = -2 * std::atan2(std::abs(a1), std::abs(a0));
+      next[j] = r * std::exp(cplx(0, (p0 + p1) / 2));
+    }
+    // Unreachable selector values are don't-cares: copying the angle of the
+    // previous reachable pair maximizes uniformity (a uniform multiplexor
+    // collapses to a single rotation with no CX).
+    double last_beta = 0, last_gamma = 0;
+    for (std::size_t j = 0; j < pairs; ++j) {
+      if (reachable[j]) {
+        last_beta = beta[j];
+        last_gamma = gamma[j];
+      } else {
+        beta[j] = last_beta;
+        gamma[j] = last_gamma;
+      }
+    }
+    for (std::size_t j = pairs; j-- > 0;) {
+      if (reachable[j]) {
+        last_beta = beta[j];
+        last_gamma = gamma[j];
+      } else {
+        beta[j] = last_beta;
+        gamma[j] = last_gamma;
+      }
+    }
+    bool any_beta = false, any_gamma = false;
+    for (std::size_t j = 0; j < pairs; ++j) {
+      any_beta = any_beta || std::abs(beta[j]) > 1e-12;
+      any_gamma = any_gamma || std::abs(gamma[j]) > 1e-12;
+    }
+    std::vector<Qubit> controls;
+    for (int q = s + 1; q < n; ++q) controls.push_back(q);
+    if (any_beta)
+      append_multiplexed_rotation(disentangler, OpKind::RZ, s, controls,
+                                  beta);
+    if (any_gamma)
+      append_multiplexed_rotation(disentangler, OpKind::RY, s, controls,
+                                  gamma);
+    current = std::move(next);
+  }
+  return disentangler.inverse();
+}
+
+}  // namespace qtc

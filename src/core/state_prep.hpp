@@ -1,0 +1,29 @@
+#pragma once
+// Arbitrary state preparation (the `initialize` feature of the Terra
+// layer): synthesize a circuit taking |0...0> to any given amplitude
+// vector, by inverting a cascade of multiplexed RZ/RY disentanglers
+// (Shende/Bullock/Markov style). Gate count is O(2^n) CX + rotations,
+// which is asymptotically optimal for generic states.
+
+#include <vector>
+
+#include "core/circuit.hpp"
+#include "core/types.hpp"
+
+namespace qtc {
+
+/// Append a uniformly-controlled ("multiplexed") rotation: applies
+/// R_axis(angles[j]) to `target` where j is the basis value of `controls`
+/// (controls[0] = least significant selector bit). axis must be RY or RZ.
+/// angles.size() must be 2^controls.size(). Emits 2^k rotations and CXs.
+void append_multiplexed_rotation(QuantumCircuit& qc, OpKind axis,
+                                 Qubit target,
+                                 const std::vector<Qubit>& controls,
+                                 const std::vector<double>& angles);
+
+/// Circuit c with c|0...0> = amplitudes (up to global phase). The input is
+/// normalized internally; it must be non-zero and of power-of-two size
+/// (n <= 16 qubits).
+QuantumCircuit prepare_state(std::vector<cplx> amplitudes);
+
+}  // namespace qtc

@@ -1,0 +1,32 @@
+#pragma once
+// Fundamental scalar types and numeric helpers shared across the toolchain.
+
+#include <complex>
+#include <cstdint>
+#include <numbers>
+
+namespace qtc {
+
+/// Complex amplitude type used throughout the library.
+using cplx = std::complex<double>;
+
+inline constexpr double PI = std::numbers::pi;
+inline constexpr double SQRT1_2 = 0.70710678118654752440;
+
+/// Absolute tolerance used when comparing amplitudes/matrix entries.
+inline constexpr double EPS = 1e-10;
+
+/// Flattened qubit index within a circuit.
+using Qubit = int;
+/// Flattened classical-bit index within a circuit.
+using Clbit = int;
+
+/// True if two complex numbers agree within `tol`.
+inline bool approx(cplx a, cplx b, double tol = EPS) {
+  return std::abs(a - b) <= tol;
+}
+
+/// True if `x` is negligible within `tol`.
+inline bool near_zero(cplx x, double tol = EPS) { return std::abs(x) <= tol; }
+
+}  // namespace qtc

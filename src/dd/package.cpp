@@ -1,0 +1,597 @@
+#include "dd/package.hpp"
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace qtc::dd {
+
+namespace {
+
+/// Quantization grid for hashing edge weights. Weights that agree within
+/// this tolerance land in the same unique-table bucket.
+constexpr double kQuantum = 1e-12;
+
+std::int64_t quantize(double x) {
+  return static_cast<std::int64_t>(std::llround(x / kQuantum));
+}
+
+std::size_t hash_mix(std::size_t seed, std::size_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+cplx canonical_zero_if_tiny(cplx w) {
+  return std::abs(w) < 1e-13 ? cplx{0, 0} : w;
+}
+
+}  // namespace
+
+std::size_t Package::VKeyHash::operator()(const VKey& k) const {
+  std::size_t h = std::hash<int>()(k.var);
+  h = hash_mix(h, std::hash<const void*>()(k.n0));
+  h = hash_mix(h, std::hash<const void*>()(k.n1));
+  h = hash_mix(h, std::hash<std::int64_t>()(k.w0r));
+  h = hash_mix(h, std::hash<std::int64_t>()(k.w0i));
+  h = hash_mix(h, std::hash<std::int64_t>()(k.w1r));
+  h = hash_mix(h, std::hash<std::int64_t>()(k.w1i));
+  return h;
+}
+
+std::size_t Package::MKeyHash::operator()(const MKey& k) const {
+  std::size_t h = std::hash<int>()(k.var);
+  for (int i = 0; i < 4; ++i) {
+    h = hash_mix(h, std::hash<const void*>()(k.n[i]));
+    h = hash_mix(h, std::hash<std::int64_t>()(k.wr[i]));
+    h = hash_mix(h, std::hash<std::int64_t>()(k.wi[i]));
+  }
+  return h;
+}
+
+std::size_t Package::BinKeyHash::operator()(const BinKey& k) const {
+  std::size_t h = std::hash<const void*>()(k.a);
+  h = hash_mix(h, std::hash<const void*>()(k.b));
+  h = hash_mix(h, std::hash<std::int64_t>()(k.wr));
+  h = hash_mix(h, std::hash<std::int64_t>()(k.wi));
+  h = hash_mix(h, std::hash<int>()(k.var));
+  return h;
+}
+
+Package::Package(int num_qubits) : n_(num_qubits) {
+  if (num_qubits <= 0 || num_qubits > 62)
+    throw std::invalid_argument("dd::Package: unsupported qubit count");
+}
+
+void Package::clear() {
+  vnodes_.clear();
+  mnodes_.clear();
+  v_unique_.clear();
+  m_unique_.clear();
+  add_cache_.clear();
+  madd_cache_.clear();
+  mulv_cache_.clear();
+  mulm_cache_.clear();
+  stats_ = {};
+}
+
+// ---------------------------------------------------------------------------
+// Normalizing constructors
+// ---------------------------------------------------------------------------
+
+VEdge Package::make_vnode(int var, VEdge e0, VEdge e1) {
+  e0.w = canonical_zero_if_tiny(e0.w);
+  e1.w = canonical_zero_if_tiny(e1.w);
+  if (e0.w == cplx{0, 0}) e0 = {};
+  if (e1.w == cplx{0, 0}) e1 = {};
+  if (e0.is_zero() && e1.is_zero()) return {};
+  // Normalize: the child with the larger magnitude (ties -> child 0) takes
+  // weight 1 and its weight moves up to the returned edge.
+  const int pivot = std::abs(e1.w) > std::abs(e0.w) ? 1 : 0;
+  const cplx top = pivot == 0 ? e0.w : e1.w;
+  e0.w /= top;
+  e1.w /= top;
+  VKey key{var,
+           e0.node,
+           e1.node,
+           quantize(e0.w.real()),
+           quantize(e0.w.imag()),
+           quantize(e1.w.real()),
+           quantize(e1.w.imag())};
+  auto it = v_unique_.find(key);
+  if (it != v_unique_.end()) {
+    ++stats_.unique_hits;
+    return {it->second, top};
+  }
+  vnodes_.push_back(VNode{var, {e0, e1}});
+  ++stats_.vector_nodes_allocated;
+  VNode* node = &vnodes_.back();
+  v_unique_.emplace(key, node);
+  return {node, top};
+}
+
+MEdge Package::make_mnode(int var, MEdge e00, MEdge e01, MEdge e10,
+                          MEdge e11) {
+  MEdge e[4] = {e00, e01, e10, e11};
+  int pivot = -1;
+  double best = 0;
+  for (int i = 0; i < 4; ++i) {
+    e[i].w = canonical_zero_if_tiny(e[i].w);
+    if (e[i].w == cplx{0, 0}) e[i] = {};
+    if (std::abs(e[i].w) > best + 1e-15) {
+      best = std::abs(e[i].w);
+      pivot = i;
+    }
+  }
+  if (pivot < 0) return {};
+  const cplx top = e[pivot].w;
+  MKey key;
+  key.var = var;
+  for (int i = 0; i < 4; ++i) {
+    e[i].w /= top;
+    key.n[i] = e[i].node;
+    key.wr[i] = quantize(e[i].w.real());
+    key.wi[i] = quantize(e[i].w.imag());
+  }
+  auto it = m_unique_.find(key);
+  if (it != m_unique_.end()) {
+    ++stats_.unique_hits;
+    return {it->second, top};
+  }
+  mnodes_.push_back(MNode{var, {e[0], e[1], e[2], e[3]}});
+  ++stats_.matrix_nodes_allocated;
+  MNode* node = &mnodes_.back();
+  m_unique_.emplace(key, node);
+  return {node, top};
+}
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+VEdge Package::make_basis_state(std::uint64_t bits) {
+  VEdge below{nullptr, 1};
+  for (int v = 0; v < n_; ++v) {
+    const int bit = static_cast<int>((bits >> v) & 1);
+    VEdge children[2] = {{}, {}};
+    children[bit] = below;
+    below = make_vnode(v, children[0], children[1]);
+  }
+  return below;
+}
+
+VEdge Package::make_state(const std::vector<cplx>& amplitudes) {
+  if (amplitudes.size() != (std::size_t{1} << n_))
+    throw std::invalid_argument("make_state: wrong amplitude count");
+  // Build bottom-up over basis-index prefixes.
+  struct Builder {
+    Package& pkg;
+    const std::vector<cplx>& amp;
+    VEdge build(int var, std::uint64_t prefix) {
+      if (var < 0) {
+        const cplx a = amp[prefix];
+        return std::abs(a) < 1e-15 ? VEdge{} : VEdge{nullptr, a};
+      }
+      VEdge lo = build(var - 1, prefix);
+      VEdge hi = build(var - 1, prefix | (std::uint64_t{1} << var));
+      return pkg.make_vnode(var, lo, hi);
+    }
+  };
+  return Builder{*this, amplitudes}.build(n_ - 1, 0);
+}
+
+MEdge Package::make_identity() {
+  MEdge below{nullptr, 1};
+  for (int v = 0; v < n_; ++v) below = make_mnode(v, below, {}, {}, below);
+  return below;
+}
+
+MEdge Package::make_gate(const Matrix& gate, const std::vector<int>& qubits) {
+  const int k = static_cast<int>(qubits.size());
+  if (gate.rows() != (std::size_t{1} << k) || gate.cols() != gate.rows())
+    throw std::invalid_argument("make_gate: matrix/qubit-count mismatch");
+  std::vector<int> local(n_, -1);
+  for (int t = 0; t < k; ++t) {
+    if (qubits[t] < 0 || qubits[t] >= n_)
+      throw std::out_of_range("make_gate: qubit out of range");
+    if (local[qubits[t]] != -1)
+      throw std::invalid_argument("make_gate: duplicate qubit");
+    local[qubits[t]] = t;
+  }
+  // Recursive block construction: gate qubits branch into the 2x2 block of
+  // the gate matrix, all other qubits contribute identity blocks. Memoized
+  // on (level, accumulated gate-local row/col indices).
+  std::map<std::tuple<int, int, int>, MEdge> memo;
+  struct Builder {
+    Package& pkg;
+    const Matrix& m;
+    const std::vector<int>& local;
+    std::map<std::tuple<int, int, int>, MEdge>& memo;
+    MEdge build(int var, int r, int c) {
+      if (var < 0) {
+        const cplx entry = m(r, c);
+        return std::abs(entry) < 1e-15 ? MEdge{} : MEdge{nullptr, entry};
+      }
+      const auto key = std::make_tuple(var, r, c);
+      auto it = memo.find(key);
+      if (it != memo.end()) return it->second;
+      MEdge result;
+      const int t = local[var];
+      if (t < 0) {
+        MEdge below = build(var - 1, r, c);
+        result = pkg.make_mnode(var, below, {}, {}, below);
+      } else {
+        MEdge e[4];
+        for (int rb = 0; rb < 2; ++rb)
+          for (int cb = 0; cb < 2; ++cb)
+            e[rb * 2 + cb] = build(var - 1, r | (rb << t), c | (cb << t));
+        result = pkg.make_mnode(var, e[0], e[1], e[2], e[3]);
+      }
+      memo.emplace(key, result);
+      return result;
+    }
+  };
+  return Builder{*this, gate, local, memo}.build(n_ - 1, 0, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Addition
+// ---------------------------------------------------------------------------
+
+VEdge Package::add(const VEdge& a, const VEdge& b) {
+  return add_rec(a, b, n_ - 1);
+}
+
+VEdge Package::add_rec(const VEdge& a, const VEdge& b, int var) {
+  if (a.is_zero()) return b;
+  if (b.is_zero()) return a;
+  if (var < 0) {
+    const cplx s = canonical_zero_if_tiny(a.w + b.w);
+    return s == cplx{0, 0} ? VEdge{} : VEdge{nullptr, s};
+  }
+  VEdge x = a, y = b;
+  if (x.node > y.node) std::swap(x, y);  // addition commutes
+  const cplx ratio = y.w / x.w;
+  const BinKey key{x.node, y.node, quantize(ratio.real()),
+                   quantize(ratio.imag()), var};
+  auto it = add_cache_.find(key);
+  VEdge unit;
+  if (it != add_cache_.end()) {
+    ++stats_.compute_hits;
+    unit = it->second;
+  } else {
+    VEdge r[2];
+    for (int i = 0; i < 2; ++i) {
+      const VEdge xc = x.node->e[i];
+      VEdge yc = y.node->e[i];
+      yc.w *= ratio;
+      r[i] = add_rec(xc, yc, var - 1);
+    }
+    unit = make_vnode(var, r[0], r[1]);
+    add_cache_.emplace(key, unit);
+  }
+  return {unit.node, unit.w * x.w};
+}
+
+MEdge Package::add(const MEdge& a, const MEdge& b) {
+  return add_rec(a, b, n_ - 1);
+}
+
+MEdge Package::add_rec(const MEdge& a, const MEdge& b, int var) {
+  if (a.is_zero()) return b;
+  if (b.is_zero()) return a;
+  if (var < 0) {
+    const cplx s = canonical_zero_if_tiny(a.w + b.w);
+    return s == cplx{0, 0} ? MEdge{} : MEdge{nullptr, s};
+  }
+  MEdge x = a, y = b;
+  if (x.node > y.node) std::swap(x, y);
+  const cplx ratio = y.w / x.w;
+  const BinKey key{x.node, y.node, quantize(ratio.real()),
+                   quantize(ratio.imag()), var};
+  auto it = madd_cache_.find(key);
+  MEdge unit;
+  if (it != madd_cache_.end()) {
+    ++stats_.compute_hits;
+    unit = it->second;
+  } else {
+    MEdge r[4];
+    for (int i = 0; i < 4; ++i) {
+      const MEdge xc = x.node->e[i];
+      MEdge yc = y.node->e[i];
+      yc.w *= ratio;
+      r[i] = add_rec(xc, yc, var - 1);
+    }
+    unit = make_mnode(var, r[0], r[1], r[2], r[3]);
+    madd_cache_.emplace(key, unit);
+  }
+  return {unit.node, unit.w * x.w};
+}
+
+// ---------------------------------------------------------------------------
+// Multiplication
+// ---------------------------------------------------------------------------
+
+VEdge Package::multiply(const MEdge& m, const VEdge& v) {
+  if (m.is_zero() || v.is_zero()) return {};
+  if (n_ == 0) return {nullptr, m.w * v.w};
+  VEdge unit = mul_rec(m.node, v.node, n_ - 1);
+  return {unit.node, unit.w * m.w * v.w};
+}
+
+VEdge Package::mul_rec(MNode* m, VNode* v, int var) {
+  const BinKey key{m, v, 0, 0, var};
+  auto it = mulv_cache_.find(key);
+  if (it != mulv_cache_.end()) {
+    ++stats_.compute_hits;
+    return it->second;
+  }
+  VEdge r[2];
+  for (int i = 0; i < 2; ++i) {
+    VEdge sum{};
+    for (int j = 0; j < 2; ++j) {
+      const MEdge& me = m->e[i * 2 + j];
+      const VEdge& ve = v->e[j];
+      if (me.is_zero() || ve.is_zero()) continue;
+      VEdge term;
+      if (var == 0) {
+        term = {nullptr, me.w * ve.w};
+      } else {
+        VEdge unit = mul_rec(me.node, ve.node, var - 1);
+        term = {unit.node, unit.w * me.w * ve.w};
+      }
+      sum = add_rec(sum, term, var - 1);
+    }
+    r[i] = sum;
+  }
+  VEdge result = make_vnode(var, r[0], r[1]);
+  mulv_cache_.emplace(key, result);
+  return result;
+}
+
+MEdge Package::multiply(const MEdge& m1, const MEdge& m2) {
+  if (m1.is_zero() || m2.is_zero()) return {};
+  MEdge unit = mul_rec(m1.node, m2.node, n_ - 1);
+  return {unit.node, unit.w * m1.w * m2.w};
+}
+
+MEdge Package::mul_rec(MNode* a, MNode* b, int var) {
+  const BinKey key{a, b, 1, 0, var};  // wr=1 distinguishes from mul_rec(V)
+  auto it = mulm_cache_.find(key);
+  if (it != mulm_cache_.end()) {
+    ++stats_.compute_hits;
+    return it->second;
+  }
+  MEdge r[4];
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      MEdge sum{};
+      for (int k = 0; k < 2; ++k) {
+        const MEdge& ae = a->e[i * 2 + k];
+        const MEdge& be = b->e[k * 2 + j];
+        if (ae.is_zero() || be.is_zero()) continue;
+        MEdge term;
+        if (var == 0) {
+          term = {nullptr, ae.w * be.w};
+        } else {
+          MEdge unit = mul_rec(ae.node, be.node, var - 1);
+          term = {unit.node, unit.w * ae.w * be.w};
+        }
+        sum = add_rec(sum, term, var - 1);
+      }
+      r[i * 2 + j] = sum;
+    }
+  }
+  MEdge result = make_mnode(var, r[0], r[1], r[2], r[3]);
+  mulm_cache_.emplace(key, result);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Inner products / norms / sampling
+// ---------------------------------------------------------------------------
+
+cplx Package::inner_product(const VEdge& a, const VEdge& b) {
+  return inner_rec(a, b, n_ - 1);
+}
+
+cplx Package::inner_rec(const VEdge& a, const VEdge& b, int var) {
+  if (a.is_zero() || b.is_zero()) return {0, 0};
+  const cplx factor = std::conj(a.w) * b.w;
+  if (var < 0) return factor;
+  cplx sum{0, 0};
+  for (int i = 0; i < 2; ++i)
+    sum += inner_rec(a.node->e[i], b.node->e[i], var - 1);
+  return factor * sum;
+}
+
+double Package::fidelity(const VEdge& a, const VEdge& b) {
+  return std::norm(inner_product(a, b));
+}
+
+double Package::norm_squared(const VEdge& v) {
+  if (v.is_zero()) return 0;
+  std::unordered_map<VNode*, double> memo;
+  return std::norm(v.w) * (v.is_terminal() ? 1.0 : norm_rec(v.node, memo));
+}
+
+double Package::norm_rec(VNode* node,
+                         std::unordered_map<VNode*, double>& memo) {
+  auto it = memo.find(node);
+  if (it != memo.end()) return it->second;
+  double total = 0;
+  for (int i = 0; i < 2; ++i) {
+    const VEdge& e = node->e[i];
+    if (e.is_zero()) continue;
+    total += std::norm(e.w) * (e.is_terminal() ? 1.0 : norm_rec(e.node, memo));
+  }
+  memo.emplace(node, total);
+  return total;
+}
+
+std::uint64_t Package::sample(const VEdge& v, Rng& rng) {
+  if (v.is_zero()) throw std::invalid_argument("sample: zero state");
+  std::unordered_map<VNode*, double> memo;
+  std::uint64_t result = 0;
+  const VEdge* edge = &v;
+  for (int var = n_ - 1; var >= 0; --var) {
+    VNode* node = edge->node;
+    double p[2];
+    for (int i = 0; i < 2; ++i) {
+      const VEdge& c = node->e[i];
+      p[i] = c.is_zero() ? 0.0
+                         : std::norm(c.w) *
+                               (c.is_terminal() ? 1.0 : norm_rec(c.node, memo));
+    }
+    const double total = p[0] + p[1];
+    const int bit = rng.uniform() * total < p[0] ? 0 : 1;
+    if (bit) result |= std::uint64_t{1} << var;
+    edge = &node->e[bit];
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Inspection
+// ---------------------------------------------------------------------------
+
+cplx Package::amplitude(const VEdge& v, std::uint64_t basis) const {
+  cplx w = v.w;
+  const VEdge* edge = &v;
+  for (int var = n_ - 1; var >= 0; --var) {
+    if (edge->is_zero()) return {0, 0};
+    const int bit = static_cast<int>((basis >> var) & 1);
+    edge = &edge->node->e[bit];
+    w *= edge->w;
+  }
+  return edge->is_zero() ? cplx{0, 0} : w;
+}
+
+cplx Package::entry(const MEdge& m, std::uint64_t row,
+                    std::uint64_t col) const {
+  cplx w = m.w;
+  const MEdge* edge = &m;
+  for (int var = n_ - 1; var >= 0; --var) {
+    if (edge->is_zero()) return {0, 0};
+    const int rb = static_cast<int>((row >> var) & 1);
+    const int cb = static_cast<int>((col >> var) & 1);
+    edge = &edge->node->e[rb * 2 + cb];
+    w *= edge->w;
+  }
+  return edge->is_zero() ? cplx{0, 0} : w;
+}
+
+std::vector<cplx> Package::to_vector(const VEdge& v) const {
+  if (n_ > 26) throw std::invalid_argument("to_vector: too many qubits");
+  std::vector<cplx> out(std::size_t{1} << n_, cplx{0, 0});
+  struct Filler {
+    std::vector<cplx>& out;
+    void fill(const VEdge& e, int var, std::uint64_t idx, cplx w) {
+      if (e.is_zero()) return;
+      w *= e.w;
+      if (var < 0) {
+        out[idx] = w;
+        return;
+      }
+      fill(e.node->e[0], var - 1, idx, w);
+      fill(e.node->e[1], var - 1, idx | (std::uint64_t{1} << var), w);
+    }
+  };
+  Filler{out}.fill(v, n_ - 1, 0, cplx{1, 0});
+  return out;
+}
+
+Matrix Package::to_matrix(const MEdge& m) const {
+  if (n_ > 13) throw std::invalid_argument("to_matrix: too many qubits");
+  Matrix out(std::size_t{1} << n_, std::size_t{1} << n_);
+  struct Filler {
+    Matrix& out;
+    void fill(const MEdge& e, int var, std::uint64_t r, std::uint64_t c,
+              cplx w) {
+      if (e.is_zero()) return;
+      w *= e.w;
+      if (var < 0) {
+        out(r, c) = w;
+        return;
+      }
+      for (std::uint64_t rb = 0; rb < 2; ++rb)
+        for (std::uint64_t cb = 0; cb < 2; ++cb)
+          fill(e.node->e[rb * 2 + cb], var - 1, r | (rb << var),
+               c | (cb << var), w);
+    }
+  };
+  Filler{out}.fill(m, n_ - 1, 0, 0, cplx{1, 0});
+  return out;
+}
+
+std::size_t Package::node_count(const VEdge& v) const {
+  std::set<const VNode*> seen;
+  struct Walker {
+    std::set<const VNode*>& seen;
+    void walk(const VNode* node) {
+      if (node == nullptr || !seen.insert(node).second) return;
+      for (const auto& e : node->e) walk(e.node);
+    }
+  };
+  Walker{seen}.walk(v.node);
+  return seen.size();
+}
+
+std::size_t Package::node_count(const MEdge& m) const {
+  std::set<const MNode*> seen;
+  struct Walker {
+    std::set<const MNode*>& seen;
+    void walk(const MNode* node) {
+      if (node == nullptr || !seen.insert(node).second) return;
+      for (const auto& e : node->e) walk(e.node);
+    }
+  };
+  Walker{seen}.walk(m.node);
+  return seen.size();
+}
+
+std::string Package::to_dot(const VEdge& v) const {
+  std::ostringstream os;
+  os << "digraph dd {\n  rankdir=TB;\n";
+  std::map<const VNode*, int> ids;
+  struct Walker {
+    std::ostringstream& os;
+    std::map<const VNode*, int>& ids;
+    int next = 0;
+    int id(const VNode* node) {
+      auto it = ids.find(node);
+      if (it != ids.end()) return it->second;
+      const int i = next++;
+      ids.emplace(node, i);
+      return i;
+    }
+    void walk(const VNode* node) {
+      if (node == nullptr) return;
+      const int my = id(node);
+      os << "  n" << my << " [label=\"q" << node->var << "\"];\n";
+      for (int b = 0; b < 2; ++b) {
+        const VEdge& e = node->e[b];
+        if (e.is_zero()) continue;
+        if (e.is_terminal()) {
+          os << "  n" << my << " -> t [label=\"" << b << ": " << e.w.real();
+          if (std::abs(e.w.imag()) > 1e-12) os << "+" << e.w.imag() << "i";
+          os << "\"];\n";
+        } else {
+          const bool first = ids.find(e.node) == ids.end();
+          os << "  n" << my << " -> n" << id(e.node) << " [label=\"" << b
+             << ": " << e.w.real();
+          if (std::abs(e.w.imag()) > 1e-12) os << "+" << e.w.imag() << "i";
+          os << "\"];\n";
+          if (first) walk(e.node);
+        }
+      }
+    }
+  };
+  os << "  t [shape=box,label=\"1\"];\n";
+  Walker walker{os, ids};
+  walker.walk(v.node);
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace qtc::dd

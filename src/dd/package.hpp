@@ -1,0 +1,182 @@
+#pragma once
+// Decision-diagram package (QMDD style) after the paper's Sec. V-A and the
+// Zulehner/Wille simulator it describes [31][40]: quantum states and
+// operators represented as edge-weighted DAGs obtained by recursively
+// splitting the 2^n vector / 2^n x 2^n matrix into per-qubit blocks (Fig. 3)
+// and sharing structurally equal sub-blocks. Redundancy in structured
+// states makes the representation exponentially more compact than arrays.
+//
+// Conventions:
+//  * Variable order: the top node splits on the HIGHEST qubit (most
+//    significant bit of the basis index); no level skipping — every nonzero
+//    edge at level v points to a node at level v-1 (or the terminal at v=0).
+//  * The terminal is represented by a null node pointer.
+//  * Nodes are normalized so the child of largest magnitude (smallest index
+//    on ties) carries weight 1; the factored weight moves to the parent edge.
+//  * The canonical zero edge is {terminal, 0}.
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/matrix.hpp"
+#include "core/rng.hpp"
+#include "core/types.hpp"
+
+namespace qtc::dd {
+
+struct VNode;
+struct MNode;
+
+/// Weighted edge into a vector-DD node (nullptr node = terminal).
+struct VEdge {
+  VNode* node = nullptr;
+  cplx w{0, 0};
+  bool is_terminal() const { return node == nullptr; }
+  bool is_zero() const { return node == nullptr && w == cplx{0, 0}; }
+};
+
+/// Weighted edge into a matrix-DD node.
+struct MEdge {
+  MNode* node = nullptr;
+  cplx w{0, 0};
+  bool is_terminal() const { return node == nullptr; }
+  bool is_zero() const { return node == nullptr && w == cplx{0, 0}; }
+};
+
+/// Vector node: splits on qubit `var`; e[b] is the sub-vector where this
+/// qubit has value b.
+struct VNode {
+  int var = 0;
+  VEdge e[2];
+};
+
+/// Matrix node: e[r*2 + c] is the sub-matrix with row bit r, column bit c of
+/// qubit `var` (exactly the 4-way split of the paper's Fig. 3).
+struct MNode {
+  int var = 0;
+  MEdge e[4];
+};
+
+/// Aggregate statistics for benchmarking (Fig. 3 / E3, E5).
+struct PackageStats {
+  std::size_t vector_nodes_allocated = 0;
+  std::size_t matrix_nodes_allocated = 0;
+  std::size_t unique_hits = 0;
+  std::size_t compute_hits = 0;
+};
+
+class Package {
+ public:
+  explicit Package(int num_qubits);
+
+  int num_qubits() const { return n_; }
+
+  // --- construction -------------------------------------------------------
+  /// |bits> basis state (bit q of `bits` = value of qubit q).
+  VEdge make_basis_state(std::uint64_t bits);
+  /// |0...0>.
+  VEdge make_zero_state() { return make_basis_state(0); }
+  /// DD of an arbitrary state vector (size 2^n). Intended for tests.
+  VEdge make_state(const std::vector<cplx>& amplitudes);
+  /// Identity operator DD.
+  MEdge make_identity();
+  /// Operator DD of a 2^k x 2^k gate matrix acting on `qubits` (qubits[0] is
+  /// the least significant gate-local bit, as in op_matrix), identity on all
+  /// other qubits.
+  MEdge make_gate(const Matrix& gate, const std::vector<int>& qubits);
+
+  // --- algebra --------------------------------------------------------------
+  VEdge add(const VEdge& a, const VEdge& b);
+  MEdge add(const MEdge& a, const MEdge& b);
+  /// Matrix-vector product (applying a gate to a state).
+  VEdge multiply(const MEdge& m, const VEdge& v);
+  /// Matrix-matrix product (composing operators; m2 applied first).
+  MEdge multiply(const MEdge& m1, const MEdge& m2);
+  /// <a|b>.
+  cplx inner_product(const VEdge& a, const VEdge& b);
+  /// |<a|b>|^2.
+  double fidelity(const VEdge& a, const VEdge& b);
+
+  // --- inspection -----------------------------------------------------------
+  /// Amplitude <basis|v>.
+  cplx amplitude(const VEdge& v, std::uint64_t basis) const;
+  /// Dense vector (n <= 26 guard).
+  std::vector<cplx> to_vector(const VEdge& v) const;
+  /// Dense matrix (n <= 13 guard).
+  Matrix to_matrix(const MEdge& m) const;
+  /// Matrix entry <row| M |col>.
+  cplx entry(const MEdge& m, std::uint64_t row, std::uint64_t col) const;
+  /// Number of distinct nodes reachable from the edge (terminal excluded).
+  std::size_t node_count(const VEdge& v) const;
+  std::size_t node_count(const MEdge& m) const;
+  /// Squared norm <v|v>.
+  double norm_squared(const VEdge& v);
+  /// Sample one basis state according to |amplitude|^2 (state must be
+  /// normalized; O(n) per sample after an O(nodes) preprocessing pass).
+  std::uint64_t sample(const VEdge& v, Rng& rng);
+  /// Graphviz DOT rendering of a vector DD (for the developer example).
+  std::string to_dot(const VEdge& v) const;
+
+  const PackageStats& stats() const { return stats_; }
+  /// Drop all nodes and caches. Invalidates every outstanding edge.
+  void clear();
+
+ private:
+  struct VKey {
+    int var;
+    VNode* n0;
+    VNode* n1;
+    std::int64_t w0r, w0i, w1r, w1i;
+    bool operator==(const VKey&) const = default;
+  };
+  struct MKey {
+    int var;
+    MNode* n[4];
+    std::int64_t wr[4], wi[4];
+    bool operator==(const MKey&) const = default;
+  };
+  struct VKeyHash {
+    std::size_t operator()(const VKey& k) const;
+  };
+  struct MKeyHash {
+    std::size_t operator()(const MKey& k) const;
+  };
+  // Compute-table keys: operands plus one quantized relative weight.
+  struct BinKey {
+    const void* a;
+    const void* b;
+    std::int64_t wr, wi;
+    int var;
+    bool operator==(const BinKey&) const = default;
+  };
+  struct BinKeyHash {
+    std::size_t operator()(const BinKey& k) const;
+  };
+
+  /// Normalizing node constructors (the only way nodes are created).
+  VEdge make_vnode(int var, VEdge e0, VEdge e1);
+  MEdge make_mnode(int var, MEdge e00, MEdge e01, MEdge e10, MEdge e11);
+
+  VEdge add_rec(const VEdge& a, const VEdge& b, int var);
+  MEdge add_rec(const MEdge& a, const MEdge& b, int var);
+  VEdge mul_rec(MNode* m, VNode* v, int var);
+  MEdge mul_rec(MNode* a, MNode* b, int var);
+  cplx inner_rec(const VEdge& a, const VEdge& b, int var);
+  double norm_rec(VNode* node, std::unordered_map<VNode*, double>& memo);
+
+  int n_ = 0;
+  std::deque<VNode> vnodes_;
+  std::deque<MNode> mnodes_;
+  std::unordered_map<VKey, VNode*, VKeyHash> v_unique_;
+  std::unordered_map<MKey, MNode*, MKeyHash> m_unique_;
+  std::unordered_map<BinKey, VEdge, BinKeyHash> add_cache_;
+  std::unordered_map<BinKey, MEdge, BinKeyHash> madd_cache_;
+  std::unordered_map<BinKey, VEdge, BinKeyHash> mulv_cache_;
+  std::unordered_map<BinKey, MEdge, BinKeyHash> mulm_cache_;
+  PackageStats stats_;
+};
+
+}  // namespace qtc::dd

@@ -1,0 +1,73 @@
+#include "dd/simulator.hpp"
+
+#include <stdexcept>
+
+#include "sim/statevector.hpp"  // format_bits
+
+namespace qtc::dd {
+
+DDSimulator::StateHandle DDSimulator::simulate(const QuantumCircuit& circuit) {
+  auto pkg = std::make_unique<Package>(circuit.num_qubits());
+  VEdge state = pkg->make_zero_state();
+  for (const auto& op : circuit.ops()) {
+    if (op.kind == OpKind::Barrier || op.kind == OpKind::Measure) continue;
+    if (!op_is_unitary(op.kind) || op.conditioned())
+      throw std::invalid_argument(
+          "dd::simulate: only unitary, unconditioned circuits");
+    const MEdge gate = pkg->make_gate(op_matrix(op.kind, op.params), op.qubits);
+    state = pkg->multiply(gate, state);
+  }
+  return {std::move(pkg), state};
+}
+
+std::vector<cplx> DDSimulator::statevector(const QuantumCircuit& circuit) {
+  auto handle = simulate(circuit);
+  return handle.package->to_vector(handle.state);
+}
+
+DDRunResult DDSimulator::run(const QuantumCircuit& circuit, int shots) {
+  if (shots <= 0) throw std::invalid_argument("run: shots must be positive");
+  // Collect the measurement layer; everything else must be unitary.
+  std::vector<std::pair<int, int>> qubit_to_clbit;
+  for (const auto& op : circuit.ops()) {
+    if (op.kind == OpKind::Measure)
+      qubit_to_clbit.emplace_back(op.qubits[0], op.clbits[0]);
+    else if (op.kind == OpKind::Reset || op.conditioned())
+      throw std::invalid_argument(
+          "dd::run: reset/conditioned circuits are not supported");
+  }
+  auto handle = simulate(circuit);
+  DDRunResult result;
+  result.final_nodes = handle.package->node_count(handle.state);
+  const auto& stats = handle.package->stats();
+  result.allocated_nodes =
+      stats.vector_nodes_allocated + stats.matrix_nodes_allocated;
+  if (qubit_to_clbit.empty()) {
+    result.counts.shots = shots;
+    return result;
+  }
+  const int ncl = circuit.num_clbits();
+  for (int s = 0; s < shots; ++s) {
+    const std::uint64_t basis = handle.package->sample(handle.state, rng_);
+    std::uint64_t clbits = 0;
+    for (auto [q, c] : qubit_to_clbit)
+      if ((basis >> q) & 1) clbits |= std::uint64_t{1} << c;
+    result.counts.record(sim::format_bits(clbits, ncl));
+  }
+  return result;
+}
+
+DDSimulator::UnitaryHandle DDSimulator::unitary(const QuantumCircuit& circuit) {
+  auto pkg = std::make_unique<Package>(circuit.num_qubits());
+  MEdge u = pkg->make_identity();
+  for (const auto& op : circuit.ops()) {
+    if (op.kind == OpKind::Barrier) continue;
+    if (!op_is_unitary(op.kind) || op.conditioned())
+      throw std::invalid_argument("dd::unitary: circuit must be unitary");
+    const MEdge gate = pkg->make_gate(op_matrix(op.kind, op.params), op.qubits);
+    u = pkg->multiply(gate, u);  // later gates compose from the left
+  }
+  return {std::move(pkg), u};
+}
+
+}  // namespace qtc::dd

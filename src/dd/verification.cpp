@@ -1,0 +1,69 @@
+#include "dd/verification.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qtc::dd {
+
+namespace {
+
+/// Trace of a matrix DD, computed along the diagonal blocks.
+cplx dd_trace(const MEdge& m, int var) {
+  if (m.is_zero()) return {0, 0};
+  if (var < 0) return m.w;
+  return m.w *
+         (dd_trace(m.node->e[0], var - 1) + dd_trace(m.node->e[3], var - 1));
+}
+
+void require_unitary_only(const QuantumCircuit& qc) {
+  for (const auto& op : qc.ops())
+    if (op.kind != OpKind::Barrier &&
+        (!op_is_unitary(op.kind) || op.conditioned()))
+      throw std::invalid_argument(
+          "equivalence check: circuits must be unitary-only");
+}
+
+}  // namespace
+
+EquivalenceResult check_equivalence(const QuantumCircuit& c1,
+                                    const QuantumCircuit& c2,
+                                    double tolerance) {
+  if (c1.num_qubits() != c2.num_qubits())
+    throw std::invalid_argument("equivalence check: qubit count mismatch");
+  require_unitary_only(c1);
+  require_unitary_only(c2);
+  const int n = c1.num_qubits();
+  Package pkg(n);
+  // Miter M = U2^dag U1: apply c1 forward, then c2's inverses in reverse.
+  MEdge m = pkg.make_identity();
+  for (const auto& op : c1.ops()) {
+    if (op.kind == OpKind::Barrier) continue;
+    m = pkg.multiply(pkg.make_gate(op_matrix(op.kind, op.params), op.qubits),
+                     m);
+  }
+  for (auto it = c2.ops().rbegin(); it != c2.ops().rend(); ++it) {
+    if (it->kind == OpKind::Barrier) continue;
+    m = pkg.multiply(
+        pkg.make_gate(op_matrix(it->kind, it->params).dagger(), it->qubits),
+        m);
+  }
+  // M = e^{i phi} I  <=>  |tr M| = 2^n.
+  const double dim = std::pow(2.0, n);
+  const cplx trace = dd_trace(m, n - 1);
+  EquivalenceResult result;
+  result.miter_nodes = pkg.node_count(m);
+  result.equivalent = std::abs(std::abs(trace) - dim) <= tolerance * dim;
+  if (result.equivalent && std::abs(trace) > 0)
+    result.phase = trace / std::abs(trace);
+  return result;
+}
+
+EquivalenceResult check_equivalence_with_layout(
+    const QuantumCircuit& logical, const QuantumCircuit& physical,
+    const std::vector<int>& layout, double tolerance) {
+  const QuantumCircuit relabeled =
+      logical.remapped(layout, physical.num_qubits());
+  return check_equivalence(relabeled, physical, tolerance);
+}
+
+}  // namespace qtc::dd

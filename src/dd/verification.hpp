@@ -1,0 +1,33 @@
+#pragma once
+// Equivalence checking with decision diagrams — the verification use the
+// paper cites for DDs (refs [22][33]): two circuits are equivalent iff
+// U2^dag U1 is the identity, and that product stays compact as a DD when
+// the circuits are in fact equivalent ("miter"-style checking).
+
+#include "core/circuit.hpp"
+#include "dd/package.hpp"
+
+namespace qtc::dd {
+
+struct EquivalenceResult {
+  bool equivalent = false;
+  /// Phase e^{i phi} with U1 = e^{i phi} U2 (meaningful when equivalent).
+  cplx phase{1, 0};
+  /// Nodes of the miter DD (1 chain per qubit when equivalent).
+  std::size_t miter_nodes = 0;
+};
+
+/// Check U(c1) == e^{i phi} U(c2). Both circuits must be unitary-only and
+/// act on the same number of qubits. Cost tracks DD sizes, not 4^n.
+EquivalenceResult check_equivalence(const QuantumCircuit& c1,
+                                    const QuantumCircuit& c2,
+                                    double tolerance = 1e-9);
+
+/// Convenience: equivalence up to a relabeling of qubits (e.g. a mapper's
+/// final layout): compares c1 with c2 conjugated by the permutation
+/// `layout` (logical -> physical), padding c1 onto c2's width.
+EquivalenceResult check_equivalence_with_layout(
+    const QuantumCircuit& logical, const QuantumCircuit& physical,
+    const std::vector<int>& layout, double tolerance = 1e-9);
+
+}  // namespace qtc::dd

@@ -1,0 +1,103 @@
+#include "ignis/clifford.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace qtc::ignis {
+
+namespace {
+
+struct CliffordTable {
+  std::vector<std::vector<OpKind>> sequences;  // gate kinds, applied in order
+  std::vector<Matrix> matrices;
+  std::array<std::array<int, kNumCliffords1Q>, kNumCliffords1Q> compose{};
+  std::array<int, kNumCliffords1Q> inverse{};
+};
+
+int find_by_matrix(const std::vector<Matrix>& mats, const Matrix& m) {
+  for (std::size_t i = 0; i < mats.size(); ++i)
+    if (mats[i].equal_up_to_phase(m, 1e-9)) return static_cast<int>(i);
+  return -1;
+}
+
+/// Generate the group as the closure of {H, S} by breadth-first search.
+const CliffordTable& table() {
+  static const CliffordTable t = [] {
+    CliffordTable out;
+    out.sequences.push_back({});
+    out.matrices.push_back(Matrix::identity(2));
+    const std::vector<std::pair<OpKind, Matrix>> generators = {
+        {OpKind::H, op_matrix(OpKind::H)}, {OpKind::S, op_matrix(OpKind::S)}};
+    for (std::size_t i = 0; i < out.matrices.size(); ++i) {
+      for (const auto& [kind, gen] : generators) {
+        const Matrix next = gen * out.matrices[i];
+        if (find_by_matrix(out.matrices, next) >= 0) continue;
+        auto seq = out.sequences[i];
+        seq.push_back(kind);
+        out.sequences.push_back(std::move(seq));
+        out.matrices.push_back(next);
+      }
+    }
+    if (out.matrices.size() != kNumCliffords1Q)
+      throw std::logic_error("clifford closure has wrong size");
+    for (int a = 0; a < kNumCliffords1Q; ++a)
+      for (int b = 0; b < kNumCliffords1Q; ++b) {
+        const int c =
+            find_by_matrix(out.matrices, out.matrices[b] * out.matrices[a]);
+        if (c < 0) throw std::logic_error("clifford composition left group");
+        out.compose[a][b] = c;
+      }
+    for (int a = 0; a < kNumCliffords1Q; ++a) {
+      const int inv = find_by_matrix(out.matrices, out.matrices[a].dagger());
+      if (inv < 0) throw std::logic_error("clifford inverse missing");
+      out.inverse[a] = inv;
+    }
+    return out;
+  }();
+  return t;
+}
+
+void check_index(int index) {
+  if (index < 0 || index >= kNumCliffords1Q)
+    throw std::out_of_range("clifford index out of range");
+}
+
+}  // namespace
+
+std::vector<Operation> clifford_ops(int index, Qubit q) {
+  check_index(index);
+  std::vector<Operation> ops;
+  for (OpKind kind : table().sequences[index]) {
+    Operation op;
+    op.kind = kind;
+    op.qubits = {q};
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+Matrix clifford_matrix(int index) {
+  check_index(index);
+  return table().matrices[index];
+}
+
+int clifford_compose(int a, int b) {
+  check_index(a);
+  check_index(b);
+  return table().compose[a][b];
+}
+
+int clifford_inverse(int index) {
+  check_index(index);
+  return table().inverse[index];
+}
+
+int random_clifford(Rng& rng) {
+  return static_cast<int>(rng.index(kNumCliffords1Q));
+}
+
+int clifford_index_of(const Matrix& m) {
+  return find_by_matrix(table().matrices, m);
+}
+
+}  // namespace qtc::ignis

@@ -1,0 +1,31 @@
+#pragma once
+// The 24-element single-qubit Clifford group, used by randomized
+// benchmarking (the noise-characterization method named in the paper's
+// Ignis description).
+
+#include <vector>
+
+#include "core/circuit.hpp"
+#include "core/matrix.hpp"
+#include "core/rng.hpp"
+
+namespace qtc::ignis {
+
+/// Number of single-qubit Cliffords.
+inline constexpr int kNumCliffords1Q = 24;
+
+/// Gate sequence realizing Clifford `index` (0..23) on qubit q. Index 0 is
+/// the identity.
+std::vector<Operation> clifford_ops(int index, Qubit q);
+/// Unitary of Clifford `index`.
+Matrix clifford_matrix(int index);
+/// Group composition: index of (b . a), i.e. a applied first.
+int clifford_compose(int a, int b);
+/// Index of the inverse element.
+int clifford_inverse(int index);
+/// Uniformly random Clifford index.
+int random_clifford(Rng& rng);
+/// Index whose unitary equals m up to global phase, or -1.
+int clifford_index_of(const Matrix& m);
+
+}  // namespace qtc::ignis

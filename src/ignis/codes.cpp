@@ -1,0 +1,108 @@
+#include "ignis/codes.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "noise/trajectory.hpp"
+
+namespace qtc::ignis {
+
+RepetitionCode::RepetitionCode(int distance, bool phase_flip)
+    : d_(distance), phase_flip_(phase_flip) {
+  if (distance < 3 || distance % 2 == 0)
+    throw std::invalid_argument("repetition code: distance must be odd >= 3");
+}
+
+QuantumCircuit RepetitionCode::encoder() const {
+  QuantumCircuit qc(d_);
+  for (int q = 1; q < d_; ++q) qc.cx(0, q);
+  if (phase_flip_)
+    for (int q = 0; q < d_; ++q) qc.h(q);
+  return qc;
+}
+
+QuantumCircuit RepetitionCode::decoder() const { return encoder().inverse(); }
+
+QuantumCircuit RepetitionCode::memory_circuit() const {
+  QuantumCircuit qc(d_, d_);
+  qc.compose(encoder());
+  qc.barrier();
+  for (int q = 0; q < d_; ++q) qc.id(q);  // noise attaches here
+  qc.barrier();
+  if (phase_flip_)  // rotate Z errors into the computational basis
+    for (int q = 0; q < d_; ++q) qc.h(q);
+  qc.measure_all();
+  return qc;
+}
+
+QuantumCircuit RepetitionCode::corrected_memory_circuit() const {
+  if (d_ != 3)
+    throw std::invalid_argument(
+        "corrected_memory_circuit: implemented for distance 3");
+  QuantumCircuit qc;
+  qc.add_qreg("q", 5);  // data 0..2, ancillas 3..4
+  const int synd = qc.add_creg("synd", 2);
+  qc.add_creg("out", 1);
+  // Encode.
+  qc.cx(0, 1).cx(0, 2);
+  if (phase_flip_) qc.h(0).h(1).h(2);
+  qc.barrier({0, 1, 2});
+  for (int q = 0; q < 3; ++q) qc.id(q);  // noise slots
+  qc.barrier({0, 1, 2});
+  if (phase_flip_) qc.h(0).h(1).h(2);  // Z errors -> X errors
+  // Syndrome extraction: parity(0,1) -> anc 3, parity(1,2) -> anc 4.
+  qc.cx(0, 3).cx(1, 3);
+  qc.cx(1, 4).cx(2, 4);
+  qc.measure(3, 0);  // synd bit 0
+  qc.measure(4, 1);  // synd bit 1
+  // Conditioned correction.
+  qc.x(0).c_if(synd, 1);
+  qc.x(1).c_if(synd, 3);
+  qc.x(2).c_if(synd, 2);
+  // Decode and read the logical qubit. (For the phase-flip code the earlier
+  // basis rotation composes with the decoder's Hadamards to the identity, so
+  // only the CX un-encoding remains.)
+  qc.cx(0, 2).cx(0, 1);
+  qc.measure(0, 2);  // "out"
+  return qc;
+}
+
+int RepetitionCode::decode_majority(const std::string& data_bits) const {
+  if (static_cast<int>(data_bits.size()) != d_)
+    throw std::invalid_argument("decode: wrong readout width");
+  int ones = 0;
+  for (char c : data_bits) ones += c == '1';
+  return ones > d_ / 2 ? 1 : 0;
+}
+
+noise::NoiseModel RepetitionCode::error_model(double p) const {
+  noise::NoiseModel model;
+  model.add_all_qubit_error(
+      phase_flip_ ? noise::phase_flip(p) : noise::bit_flip(p), OpKind::I);
+  return model;
+}
+
+double logical_error_rate(const RepetitionCode& code, double physical_p,
+                          int shots, std::uint64_t seed) {
+  noise::TrajectorySimulator sim(seed);
+  const auto counts =
+      sim.run(code.memory_circuit(), code.error_model(physical_p), shots);
+  int errors = 0;
+  for (const auto& [bits, c] : counts.histogram)
+    if (code.decode_majority(bits) == 1) errors += c;
+  return static_cast<double>(errors) / counts.shots;
+}
+
+double theoretical_logical_error_rate(int distance, double p) {
+  double total = 0;
+  for (int k = distance / 2 + 1; k <= distance; ++k) {
+    // C(distance, k)
+    double binom = 1;
+    for (int i = 0; i < k; ++i)
+      binom = binom * (distance - i) / (i + 1);
+    total += binom * std::pow(p, k) * std::pow(1 - p, distance - k);
+  }
+  return total;
+}
+
+}  // namespace qtc::ignis

@@ -1,0 +1,62 @@
+#pragma once
+// Error-correcting codes — the "portfolio of error correcting codes and
+// algorithms" the paper promises for Ignis. Distance-d repetition codes
+// against bit flips (and their phase-flip duals), with both in-circuit
+// syndrome correction (classically conditioned, d = 3) and offline
+// majority decoding, plus the logical-vs-physical error-rate experiment.
+
+#include "core/circuit.hpp"
+#include "noise/noise_model.hpp"
+
+namespace qtc::ignis {
+
+class RepetitionCode {
+ public:
+  /// distance must be odd and >= 3. phase_flip selects the dual code
+  /// (protects against Z errors by conjugating with Hadamards).
+  explicit RepetitionCode(int distance, bool phase_flip = false);
+
+  int distance() const { return d_; }
+  bool is_phase_flip() const { return phase_flip_; }
+  /// Data qubits only.
+  int num_data_qubits() const { return d_; }
+  /// Data + syndrome ancillas.
+  int num_total_qubits() const { return 2 * d_ - 1; }
+
+  /// Encoder: logical state in qubit 0 spreads over qubits 0..d-1.
+  QuantumCircuit encoder() const;
+  /// Inverse of the encoder.
+  QuantumCircuit decoder() const;
+
+  /// Memory experiment circuit: encode |0>_L, barrier, one `id` per data
+  /// qubit (noise attaches there), measure all data qubits.
+  QuantumCircuit memory_circuit() const;
+
+  /// Distance-3 only: memory experiment with in-circuit correction — two
+  /// ancillas extract the syndrome, classically conditioned X (or Z) gates
+  /// repair the data, then the data is decoded and qubit 0 measured.
+  QuantumCircuit corrected_memory_circuit() const;
+
+  /// Majority decode of a data-qubit readout (bitstring, highest qubit
+  /// leftmost): the logical value.
+  int decode_majority(const std::string& data_bits) const;
+
+  /// Noise model with the matching error (bit or phase flip with
+  /// probability p) attached to the `id` slots of memory_circuit().
+  noise::NoiseModel error_model(double p) const;
+
+ private:
+  int d_;
+  bool phase_flip_;
+};
+
+/// Run the memory experiment: fraction of shots whose majority-decoded
+/// logical value flipped. Uses the trajectory simulator.
+double logical_error_rate(const RepetitionCode& code, double physical_p,
+                          int shots, std::uint64_t seed = 0xC0FFEE);
+
+/// Closed-form logical error rate of a distance-d repetition code under
+/// independent flips with probability p: P[more than (d-1)/2 flips].
+double theoretical_logical_error_rate(int distance, double p);
+
+}  // namespace qtc::ignis

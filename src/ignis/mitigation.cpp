@@ -1,0 +1,88 @@
+#include "ignis/mitigation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/matrix.hpp"
+#include "noise/trajectory.hpp"
+#include "sim/statevector.hpp"
+
+namespace qtc::ignis {
+
+MeasurementMitigator MeasurementMitigator::calibrate(
+    int num_qubits, const noise::NoiseModel& noise, int shots,
+    std::uint64_t seed) {
+  if (num_qubits < 1 || num_qubits > 6)
+    throw std::invalid_argument("mitigation: 1..6 qubits supported");
+  const std::size_t dim = std::size_t{1} << num_qubits;
+  std::vector<std::vector<double>> a(dim, std::vector<double>(dim, 0));
+  noise::TrajectorySimulator sim(seed);
+  for (std::uint64_t prepared = 0; prepared < dim; ++prepared) {
+    QuantumCircuit qc(num_qubits, num_qubits);
+    for (int q = 0; q < num_qubits; ++q)
+      if ((prepared >> q) & 1) qc.x(q);
+    qc.measure_all();
+    const auto counts = sim.run(qc, noise, shots);
+    for (const auto& [bits, c] : counts.histogram) {
+      std::uint64_t measured = 0;
+      for (int q = 0; q < num_qubits; ++q)
+        if (bits[num_qubits - 1 - q] == '1') measured |= std::uint64_t{1} << q;
+      a[measured][prepared] += static_cast<double>(c) / counts.shots;
+    }
+  }
+  return MeasurementMitigator(std::move(a));
+}
+
+MeasurementMitigator::MeasurementMitigator(
+    std::vector<std::vector<double>> confusion)
+    : a_(std::move(confusion)) {
+  const std::size_t dim = a_.size();
+  int n = 0;
+  while ((std::size_t{1} << n) < dim) ++n;
+  if (dim == 0 || (std::size_t{1} << n) != dim)
+    throw std::invalid_argument("mitigation: confusion matrix not 2^n");
+  for (const auto& row : a_)
+    if (row.size() != dim)
+      throw std::invalid_argument("mitigation: confusion matrix not square");
+  n_ = n;
+}
+
+sim::Counts MeasurementMitigator::apply(const sim::Counts& raw) const {
+  const std::size_t dim = a_.size();
+  std::vector<double> y(dim, 0);
+  for (const auto& [bits, c] : raw.histogram) {
+    if (static_cast<int>(bits.size()) != n_)
+      throw std::invalid_argument("mitigation: bit width mismatch");
+    std::uint64_t idx = 0;
+    for (int q = 0; q < n_; ++q)
+      if (bits[n_ - 1 - q] == '1') idx |= std::uint64_t{1} << q;
+    y[idx] = static_cast<double>(c) / raw.shots;
+  }
+  std::vector<double> x = solve_linear(a_, y);
+  double total = 0;
+  for (double& v : x) {
+    v = std::max(0.0, v);
+    total += v;
+  }
+  sim::Counts corrected;
+  corrected.shots = raw.shots;
+  if (total <= 0) return corrected;
+  for (std::size_t i = 0; i < dim; ++i) {
+    const int c = static_cast<int>(std::lround(x[i] / total * raw.shots));
+    if (c > 0) corrected.histogram[sim::format_bits(i, n_)] = c;
+  }
+  return corrected;
+}
+
+double MeasurementMitigator::total_variation(const sim::Counts& a,
+                                             const sim::Counts& b,
+                                             int num_bits) {
+  double tv = 0;
+  for (std::uint64_t i = 0; i < (std::uint64_t{1} << num_bits); ++i) {
+    const std::string bits = sim::format_bits(i, num_bits);
+    tv += std::abs(a.probability(bits) - b.probability(bits));
+  }
+  return tv / 2;
+}
+
+}  // namespace qtc::ignis

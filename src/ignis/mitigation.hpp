@@ -1,0 +1,43 @@
+#pragma once
+// Measurement-error mitigation: calibrate the readout confusion matrix by
+// preparing every basis state, then invert it to correct raw counts — the
+// "mitigation" workflow of the paper's Ignis description.
+
+#include <vector>
+
+#include "core/circuit.hpp"
+#include "noise/noise_model.hpp"
+#include "sim/result.hpp"
+
+namespace qtc::ignis {
+
+class MeasurementMitigator {
+ public:
+  /// Confusion matrix a[measured][prepared] estimated from 2^n calibration
+  /// circuits (X gates + measure) run under `noise`. num_qubits <= 6.
+  static MeasurementMitigator calibrate(int num_qubits,
+                                        const noise::NoiseModel& noise,
+                                        int shots = 4096,
+                                        std::uint64_t seed = 0xC0FFEE);
+
+  /// Construct from a known confusion matrix (column-stochastic).
+  explicit MeasurementMitigator(std::vector<std::vector<double>> confusion);
+
+  int num_qubits() const { return n_; }
+  const std::vector<std::vector<double>>& confusion() const { return a_; }
+
+  /// Solve A x = y for the true distribution, clip negatives, renormalize,
+  /// and rescale back to counts.
+  sim::Counts apply(const sim::Counts& raw) const;
+
+  /// Total variation distance between two count distributions over the same
+  /// bit width (utility for before/after comparisons).
+  static double total_variation(const sim::Counts& a, const sim::Counts& b,
+                                int num_bits);
+
+ private:
+  int n_ = 0;
+  std::vector<std::vector<double>> a_;  // a_[measured][prepared]
+};
+
+}  // namespace qtc::ignis

@@ -1,0 +1,79 @@
+#include "ignis/process_tomography.hpp"
+
+#include <stdexcept>
+
+#include "ignis/tomography.hpp"
+
+namespace qtc::ignis {
+
+Matrix choi_of_channel(const noise::KrausChannel& channel) {
+  if (channel.num_qubits != 1)
+    throw std::invalid_argument("choi: single-qubit channels only");
+  Matrix j(4, 4);
+  for (int i = 0; i < 2; ++i)
+    for (int jj = 0; jj < 2; ++jj) {
+      // Lambda(|i><j|) = sum_k K |i><j| K^dag.
+      Matrix e(2, 2);
+      e(i, jj) = 1;
+      Matrix block(2, 2);
+      for (const auto& k : channel.ops) block = block + k * e * k.dagger();
+      for (int s = 0; s < 2; ++s)
+        for (int t = 0; t < 2; ++t) j(i * 2 + s, jj * 2 + t) = block(s, t);
+    }
+  return j;
+}
+
+double ProcessTomographyResult::process_fidelity(
+    const noise::KrausChannel& reference) const {
+  const Matrix j_ref = choi_of_channel(reference);
+  return (choi * j_ref).trace().real() / 4.0;
+}
+
+ProcessTomographyResult process_tomography(const QuantumCircuit& gate,
+                                           const noise::NoiseModel& noise,
+                                           int shots, std::uint64_t seed) {
+  if (gate.num_qubits() != 1)
+    throw std::invalid_argument("process tomography: 1-qubit gates only");
+  // The four informationally complete inputs.
+  auto make_prep = [&](int which) {
+    QuantumCircuit qc(1);
+    switch (which) {
+      case 0:  // |0>
+        break;
+      case 1:  // |1>
+        qc.x(0);
+        break;
+      case 2:  // |+>
+        qc.h(0);
+        break;
+      default:  // |+i>
+        qc.h(0);
+        qc.s(0);
+    }
+    qc.compose(gate);
+    return qc;
+  };
+  Matrix rho[4];
+  for (int k = 0; k < 4; ++k)
+    rho[k] = state_tomography(make_prep(k), noise, shots, seed + k).rho;
+
+  // Linear inversion: with A = Lambda(|0><1|) and B = Lambda(|1><0|),
+  //   rho_+ = (rho_0 + rho_1 + A + B) / 2
+  //   rho_y = (rho_0 + rho_1 - iA + iB) / 2
+  const Matrix s =
+      rho[2] * cplx{2, 0} - rho[0] - rho[1];           // A + B
+  const Matrix t = rho[3] * cplx{2, 0} - rho[0] - rho[1];  // i(B - A)
+  const Matrix a = (s + t * cplx{0, 1}) * cplx{0.5, 0};
+  const Matrix b = (s - t * cplx{0, 1}) * cplx{0.5, 0};
+
+  Matrix choi(4, 4);
+  const Matrix* blocks[2][2] = {{&rho[0], &a}, {&b, &rho[1]}};
+  for (int i = 0; i < 2; ++i)
+    for (int jj = 0; jj < 2; ++jj)
+      for (int ss = 0; ss < 2; ++ss)
+        for (int tt = 0; tt < 2; ++tt)
+          choi(i * 2 + ss, jj * 2 + tt) = (*blocks[i][jj])(ss, tt);
+  return ProcessTomographyResult{std::move(choi)};
+}
+
+}  // namespace qtc::ignis

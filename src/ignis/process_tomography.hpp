@@ -1,0 +1,32 @@
+#pragma once
+// Single-qubit quantum process tomography: reconstruct a channel's Choi
+// matrix from state tomography of its action on the four standard inputs
+// |0>, |1>, |+>, |+i> — the "verification" leg of the paper's Ignis
+// description, one level above state tomography.
+
+#include "core/circuit.hpp"
+#include "core/matrix.hpp"
+#include "noise/noise_model.hpp"
+
+namespace qtc::ignis {
+
+struct ProcessTomographyResult {
+  /// Choi matrix J = sum_ij |i><j| (x) Lambda(|i><j|), trace d.
+  Matrix choi;
+  /// Process fidelity against a reference channel (1 for a perfect match):
+  /// F = Tr(J_rec J_ref) / d^2 for a unitary reference.
+  double process_fidelity(const noise::KrausChannel& reference) const;
+};
+
+/// Choi matrix of a known channel (for references and tests).
+Matrix choi_of_channel(const noise::KrausChannel& channel);
+
+/// Reconstruct the process implemented by `gate` (a 1-qubit circuit)
+/// executed under `noise`. The noise model participates in every
+/// preparation/rotation, so the recovered channel is the *effective* one.
+ProcessTomographyResult process_tomography(const QuantumCircuit& gate,
+                                           const noise::NoiseModel& noise,
+                                           int shots = 4096,
+                                           std::uint64_t seed = 0xC0FFEE);
+
+}  // namespace qtc::ignis

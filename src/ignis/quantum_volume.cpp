@@ -1,0 +1,82 @@
+#include "ignis/quantum_volume.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "noise/trajectory.hpp"
+#include "sim/simulator.hpp"
+
+namespace qtc::ignis {
+
+namespace {
+
+/// Random SU(4)-ish block on (a, b): single-qubit U3s around an XX+YY+ZZ
+/// interaction core with random strengths. Covers the two-qubit gate set
+/// densely enough for heavy-output statistics (exact Haar not required).
+void random_su4(QuantumCircuit& qc, int a, int b, Rng& rng) {
+  auto random_u = [&](int q) {
+    qc.u(rng.uniform(0, PI), rng.uniform(-PI, PI), rng.uniform(-PI, PI), q);
+  };
+  random_u(a);
+  random_u(b);
+  qc.rxx(rng.uniform(0, PI), a, b);
+  // RYY via conjugation: YY = (S ⊗ S) XX (S† ⊗ S†).
+  qc.sdg(a).sdg(b);
+  qc.rxx(rng.uniform(0, PI), a, b);
+  qc.s(a).s(b);
+  qc.rzz(rng.uniform(0, PI), a, b);
+  random_u(a);
+  random_u(b);
+}
+
+}  // namespace
+
+QuantumCircuit qv_model_circuit(int width, Rng& rng) {
+  if (width < 2 || width > 14)
+    throw std::invalid_argument("quantum volume: width 2..14");
+  QuantumCircuit qc(width, width);
+  std::vector<int> order(width);
+  for (int q = 0; q < width; ++q) order[q] = q;
+  for (int layer = 0; layer < width; ++layer) {
+    std::shuffle(order.begin(), order.end(), rng.engine());
+    for (int pair = 0; pair + 1 < width; pair += 2)
+      random_su4(qc, order[pair], order[pair + 1], rng);
+  }
+  return qc;
+}
+
+QvResult run_quantum_volume(const QvConfig& config,
+                            const noise::NoiseModel& noise) {
+  if (config.circuits < 1 || config.shots < 1)
+    throw std::invalid_argument("quantum volume: bad config");
+  Rng rng(config.seed);
+  noise::TrajectorySimulator noisy(config.seed ^ 0xDEAD);
+  sim::StatevectorSimulator ideal;
+  double heavy_sum = 0;
+  for (int c = 0; c < config.circuits; ++c) {
+    const QuantumCircuit model = qv_model_circuit(config.width, rng);
+    // Heavy set: ideal outcomes above the median probability.
+    const auto probs = ideal.statevector(model).probabilities();
+    std::vector<double> sorted = probs;
+    std::sort(sorted.begin(), sorted.end());
+    const double median =
+        (sorted[sorted.size() / 2 - 1] + sorted[sorted.size() / 2]) / 2;
+    QuantumCircuit measured = model;
+    measured.measure_all();
+    const auto counts = noisy.run(measured, noise, config.shots);
+    int heavy = 0;
+    for (const auto& [bits, n] : counts.histogram) {
+      std::uint64_t idx = 0;
+      for (int q = 0; q < config.width; ++q)
+        if (bits[config.width - 1 - q] == '1') idx |= std::uint64_t{1} << q;
+      if (probs[idx] > median) heavy += n;
+    }
+    heavy_sum += static_cast<double>(heavy) / counts.shots;
+  }
+  QvResult result;
+  result.width = config.width;
+  result.heavy_output_probability = heavy_sum / config.circuits;
+  return result;
+}
+
+}  // namespace qtc::ignis

@@ -1,0 +1,43 @@
+#pragma once
+// Quantum Volume: the holistic device benchmark built from square random
+// circuits (depth = width) of two-qubit blocks on shuffled qubit pairs.
+// A width-n volume test passes when the heavy-output probability (the
+// chance of sampling outputs that lie above the ideal distribution's
+// median) exceeds 2/3. Another of the characterization workflows in the
+// spirit of the paper's Ignis section.
+
+#include <cstdint>
+
+#include "core/circuit.hpp"
+#include "noise/noise_model.hpp"
+
+namespace qtc::ignis {
+
+/// One model circuit: `width` qubits, `width` layers; each layer shuffles
+/// the qubits and applies an (approximately Haar-)random SU(4) block to
+/// every disjoint pair. No measurements (appended by the runner).
+QuantumCircuit qv_model_circuit(int width, Rng& rng);
+
+struct QvConfig {
+  int width = 3;
+  int circuits = 20;  // model circuits averaged per width
+  int shots = 512;
+  std::uint64_t seed = 0xC0FFEE;
+};
+
+struct QvResult {
+  int width = 0;
+  double heavy_output_probability = 0;
+  /// Pass threshold for the volume test.
+  bool passed() const { return heavy_output_probability > 2.0 / 3.0; }
+  /// The quantum volume value this width certifies when passed.
+  std::uint64_t volume() const { return std::uint64_t{1} << width; }
+};
+
+/// Run the protocol under a noise model (trajectory simulator): for each
+/// model circuit, the ideal simulator defines the heavy set, the noisy
+/// execution is scored against it.
+QvResult run_quantum_volume(const QvConfig& config,
+                            const noise::NoiseModel& noise);
+
+}  // namespace qtc::ignis

@@ -1,0 +1,109 @@
+#include "ignis/rb.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ignis/clifford.hpp"
+#include "noise/trajectory.hpp"
+
+namespace qtc::ignis {
+
+QuantumCircuit rb_sequence(int length, int num_qubits, int qubit, Rng& rng) {
+  if (length <= 0) throw std::invalid_argument("rb: length must be positive");
+  QuantumCircuit qc(num_qubits, 1);
+  int product = 0;  // identity
+  for (int i = 0; i < length; ++i) {
+    const int c = random_clifford(rng);
+    for (auto& op : clifford_ops(c, qubit)) qc.append(std::move(op));
+    product = clifford_compose(product, c);
+  }
+  const int recovery = clifford_inverse(product);
+  for (auto& op : clifford_ops(recovery, qubit)) qc.append(std::move(op));
+  qc.measure(qubit, 0);
+  return qc;
+}
+
+RbResult run_rb(const RbConfig& config, const noise::NoiseModel& noise) {
+  Rng rng(config.seed);
+  noise::TrajectorySimulator sim(config.seed ^ 0x5eed);
+  RbResult result;
+  for (int length : config.lengths) {
+    double survival = 0;
+    for (int s = 0; s < config.sequences_per_length; ++s) {
+      const QuantumCircuit qc = rb_sequence(length, 1, config.qubit, rng);
+      const auto counts = sim.run(qc, noise, config.shots);
+      survival += counts.probability("0");
+    }
+    result.points.push_back(
+        {length, survival / config.sequences_per_length});
+  }
+  fit_decay(result);
+  return result;
+}
+
+QuantumCircuit interleaved_rb_sequence(int length, int num_qubits, int qubit,
+                                       int interleaved, Rng& rng) {
+  if (length <= 0) throw std::invalid_argument("rb: length must be positive");
+  QuantumCircuit qc(num_qubits, 1);
+  int product = 0;
+  for (int i = 0; i < length; ++i) {
+    const int c = random_clifford(rng);
+    for (auto& op : clifford_ops(c, qubit)) qc.append(std::move(op));
+    product = clifford_compose(product, c);
+    for (auto& op : clifford_ops(interleaved, qubit)) qc.append(std::move(op));
+    product = clifford_compose(product, interleaved);
+  }
+  const int recovery = clifford_inverse(product);
+  for (auto& op : clifford_ops(recovery, qubit)) qc.append(std::move(op));
+  qc.measure(qubit, 0);
+  return qc;
+}
+
+InterleavedRbResult run_interleaved_rb(const RbConfig& config,
+                                       int interleaved_clifford,
+                                       const noise::NoiseModel& noise) {
+  InterleavedRbResult result;
+  result.reference = run_rb(config, noise);
+  Rng rng(config.seed + 1);
+  noise::TrajectorySimulator sim(config.seed ^ 0x1ee7);
+  for (int length : config.lengths) {
+    double survival = 0;
+    for (int s = 0; s < config.sequences_per_length; ++s) {
+      const QuantumCircuit qc = interleaved_rb_sequence(
+          length, 1, config.qubit, interleaved_clifford, rng);
+      const auto counts = sim.run(qc, noise, config.shots);
+      survival += counts.probability("0");
+    }
+    result.interleaved.points.push_back(
+        {length, survival / config.sequences_per_length});
+  }
+  fit_decay(result.interleaved);
+  return result;
+}
+
+void fit_decay(RbResult& result) {
+  // y = A p^m + 1/2  =>  ln(y - 1/2) = ln A + m ln p : linear regression.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  int n = 0;
+  for (const auto& [m, y] : result.points) {
+    if (y <= 0.5 + 1e-6) continue;
+    const double ly = std::log(y - 0.5);
+    sx += m;
+    sy += ly;
+    sxx += static_cast<double>(m) * m;
+    sxy += m * ly;
+    ++n;
+  }
+  if (n < 2) {
+    result.amplitude = 0.5;
+    result.decay = 0;
+    return;
+  }
+  const double denom = n * sxx - sx * sx;
+  const double slope = (n * sxy - sx * sy) / denom;
+  const double intercept = (sy - slope * sx) / n;
+  result.decay = std::exp(slope);
+  result.amplitude = std::exp(intercept);
+}
+
+}  // namespace qtc::ignis

@@ -1,0 +1,73 @@
+#pragma once
+// Single-qubit randomized benchmarking: random Clifford sequences of growing
+// length, closed by the recovery Clifford, executed under noise; the ground
+// state survival probability decays as A p^m + B, and the error per
+// Clifford is (1 - p) / 2. ("Rigorously categorizing and analyzing noise
+// processes through randomized benchmarking" — paper Sec. III, Ignis.)
+
+#include <vector>
+
+#include "core/circuit.hpp"
+#include "noise/noise_model.hpp"
+
+namespace qtc::ignis {
+
+struct RbConfig {
+  std::vector<int> lengths = {1, 2, 4, 8, 16, 32, 64};
+  int sequences_per_length = 8;
+  int shots = 512;
+  int qubit = 0;
+  std::uint64_t seed = 0xC0FFEE;
+};
+
+struct RbPoint {
+  int length = 0;
+  double survival = 0;  // P(measuring |0>) averaged over random sequences
+};
+
+struct RbResult {
+  std::vector<RbPoint> points;
+  double amplitude = 0;  // fitted A
+  double decay = 0;      // fitted p
+  double offset = 0.5;   // fixed B = 1/2 (depolarizing limit)
+  /// Error per Clifford: (1 - p) / 2.
+  double epc() const { return (1 - decay) / 2; }
+};
+
+/// A length-m RB circuit: m random Cliffords, the inverse of their product,
+/// then a measurement. Returns via `recovery_is_identity` whether the
+/// composed sequence really inverts (for testing).
+QuantumCircuit rb_sequence(int length, int num_qubits, int qubit, Rng& rng);
+
+/// Run the full protocol under the given noise model.
+RbResult run_rb(const RbConfig& config, const noise::NoiseModel& noise);
+
+/// Least-squares fit of y = A p^m + 1/2 over (m, y) points (log-linear on
+/// y - 1/2, weighted uniformly). Points with y <= 1/2 are skipped.
+void fit_decay(RbResult& result);
+
+// --- interleaved randomized benchmarking -----------------------------------
+
+/// Interleaved RB isolates the error of ONE Clifford: a reference decay
+/// p_ref from plain random sequences, an interleaved decay p_int from
+/// sequences with the target Clifford inserted after every random element;
+/// the target's error is estimated as (1 - p_int / p_ref) / 2.
+struct InterleavedRbResult {
+  RbResult reference;
+  RbResult interleaved;
+  double gate_error() const {
+    if (reference.decay <= 0) return 0;
+    return (1.0 - interleaved.decay / reference.decay) / 2.0;
+  }
+};
+
+/// Like rb_sequence but with Clifford `interleaved` inserted after every
+/// random element.
+QuantumCircuit interleaved_rb_sequence(int length, int num_qubits, int qubit,
+                                       int interleaved, Rng& rng);
+
+InterleavedRbResult run_interleaved_rb(const RbConfig& config,
+                                       int interleaved_clifford,
+                                       const noise::NoiseModel& noise);
+
+}  // namespace qtc::ignis

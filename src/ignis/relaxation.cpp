@@ -1,0 +1,75 @@
+#include "ignis/relaxation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "noise/trajectory.hpp"
+
+namespace qtc::ignis {
+
+namespace {
+
+/// Log-linear least squares fit of signal = exp(-k / tau); points with
+/// non-positive signal are skipped.
+double fit_time(const std::vector<RelaxationPoint>& points) {
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  int n = 0;
+  for (const auto& [k, y] : points) {
+    if (y <= 1e-3) continue;
+    const double ly = std::log(y);
+    sx += k;
+    sy += ly;
+    sxx += static_cast<double>(k) * k;
+    sxy += k * ly;
+    ++n;
+  }
+  if (n < 2) return 0;
+  const double slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+  return slope < 0 ? -1.0 / slope : 0;
+}
+
+RelaxationResult run_experiment(const RelaxationConfig& config,
+                                const noise::NoiseModel& noise,
+                                bool ramsey) {
+  if (config.shots < 1) throw std::invalid_argument("relaxation: bad shots");
+  noise::TrajectorySimulator sim(config.seed);
+  RelaxationResult result;
+  for (int k : config.delays) {
+    if (k < 0) throw std::invalid_argument("relaxation: negative delay");
+    QuantumCircuit qc(config.qubit + 1, 1);
+    if (ramsey)
+      qc.h(config.qubit);
+    else
+      qc.x(config.qubit);
+    for (int slot = 0; slot < k; ++slot) qc.id(config.qubit);
+    if (ramsey) qc.h(config.qubit);
+    qc.measure(config.qubit, 0);
+    const auto counts = sim.run(qc, noise, config.shots);
+    const double signal = ramsey ? 2 * counts.probability("0") - 1
+                                 : counts.probability("1");
+    result.points.push_back({k, signal});
+  }
+  result.fitted_time = fit_time(result.points);
+  return result;
+}
+
+}  // namespace
+
+RelaxationResult measure_t1(const RelaxationConfig& config,
+                            const noise::NoiseModel& noise) {
+  return run_experiment(config, noise, false);
+}
+
+RelaxationResult measure_t2_ramsey(const RelaxationConfig& config,
+                                   const noise::NoiseModel& noise) {
+  return run_experiment(config, noise, true);
+}
+
+noise::NoiseModel idle_relaxation_model(double t1, double t2) {
+  noise::NoiseModel model;
+  model.add_all_qubit_error(noise::thermal_relaxation(t1, t2, 1.0),
+                            OpKind::I);
+  return model;
+}
+
+}  // namespace qtc::ignis

@@ -1,0 +1,45 @@
+#pragma once
+// T1 / T2 characterization experiments: idle "delay" slots (id gates, to
+// which the noise model attaches thermal relaxation) of growing length,
+// with exponential-decay fits — the coherence-time side of the hardware
+// characterization the paper assigns to Ignis.
+
+#include <vector>
+
+#include "noise/noise_model.hpp"
+
+namespace qtc::ignis {
+
+struct RelaxationConfig {
+  std::vector<int> delays = {0, 1, 2, 4, 8, 16, 32, 64};
+  int shots = 1024;
+  int qubit = 0;
+  std::uint64_t seed = 0xC0FFEE;
+};
+
+struct RelaxationPoint {
+  int delay = 0;       // number of idle slots
+  double signal = 0;   // P(1) for T1; 2 P(0) - 1 for Ramsey
+};
+
+struct RelaxationResult {
+  std::vector<RelaxationPoint> points;
+  /// Fitted decay time in units of one delay slot.
+  double fitted_time = 0;
+};
+
+/// T1 (energy relaxation): prepare |1>, idle for k slots, measure P(1);
+/// fit P(1) = exp(-k / T1).
+RelaxationResult measure_t1(const RelaxationConfig& config,
+                            const noise::NoiseModel& noise);
+
+/// T2 (Ramsey without detuning): H, idle k slots, H, measure; the fringe
+/// contrast decays as 2 P(0) - 1 = exp(-k / T2).
+RelaxationResult measure_t2_ramsey(const RelaxationConfig& config,
+                                   const noise::NoiseModel& noise);
+
+/// Noise model whose idle slots (id gates) carry thermal relaxation with
+/// the given T1/T2 (in slot units).
+noise::NoiseModel idle_relaxation_model(double t1, double t2);
+
+}  // namespace qtc::ignis

@@ -1,0 +1,114 @@
+#include "ignis/tomography.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "noise/trajectory.hpp"
+
+namespace qtc::ignis {
+
+std::vector<std::string> tomography_settings(int num_qubits) {
+  std::vector<std::string> settings{""};
+  for (int q = 0; q < num_qubits; ++q) {
+    std::vector<std::string> next;
+    for (const auto& s : settings)
+      for (char basis : {'X', 'Y', 'Z'}) next.push_back(s + basis);
+    settings = std::move(next);
+  }
+  return settings;
+}
+
+QuantumCircuit tomography_circuit(const QuantumCircuit& preparation,
+                                  const std::string& setting) {
+  const int n = preparation.num_qubits();
+  if (static_cast<int>(setting.size()) != n)
+    throw std::invalid_argument("tomography: setting length mismatch");
+  QuantumCircuit qc(n, n);
+  for (const auto& op : preparation.ops()) {
+    if (!op_is_unitary(op.kind))
+      throw std::invalid_argument("tomography: preparation must be unitary");
+    qc.append(op);
+  }
+  for (int q = 0; q < n; ++q) {
+    const char basis = setting[n - 1 - q];  // leftmost char = highest qubit
+    if (basis == 'X') {
+      qc.h(q);
+    } else if (basis == 'Y') {
+      qc.sdg(q);
+      qc.h(q);
+    } else if (basis != 'Z') {
+      throw std::invalid_argument("tomography: bad basis character");
+    }
+  }
+  qc.measure_all();
+  return qc;
+}
+
+double TomographyResult::fidelity(const std::vector<cplx>& reference) const {
+  if (reference.size() != rho.rows())
+    throw std::invalid_argument("tomography fidelity: size mismatch");
+  cplx f{0, 0};
+  for (std::size_t i = 0; i < reference.size(); ++i)
+    for (std::size_t j = 0; j < reference.size(); ++j)
+      f += std::conj(reference[i]) * rho(i, j) * reference[j];
+  return f.real();
+}
+
+TomographyResult state_tomography(const QuantumCircuit& preparation,
+                                  const noise::NoiseModel& noise, int shots,
+                                  std::uint64_t seed) {
+  const int n = preparation.num_qubits();
+  if (n > 4) throw std::invalid_argument("tomography: at most 4 qubits");
+  noise::TrajectorySimulator sim(seed);
+
+  // Accumulate <P> estimates for every Pauli string; strings estimable from
+  // several settings (those with I components) get averaged.
+  std::map<std::string, double> sums;
+  std::map<std::string, int> hits;
+  for (const auto& setting : tomography_settings(n)) {
+    const QuantumCircuit qc = tomography_circuit(preparation, setting);
+    const auto counts = sim.run(qc, noise, shots);
+    // Every qubit subset defines a sub-Pauli of this setting.
+    for (std::uint64_t mask = 1; mask < (std::uint64_t{1} << n); ++mask) {
+      std::string pauli(n, 'I');
+      for (int q = 0; q < n; ++q)
+        if ((mask >> q) & 1) pauli[n - 1 - q] = setting[n - 1 - q];
+      double expectation = 0;
+      for (const auto& [bits, c] : counts.histogram) {
+        int parity = 0;
+        for (int q = 0; q < n; ++q)
+          if (((mask >> q) & 1) && bits[n - 1 - q] == '1') parity ^= 1;
+        expectation += (parity ? -1.0 : 1.0) * c;
+      }
+      sums[pauli] += expectation / counts.shots;
+      ++hits[pauli];
+    }
+  }
+
+  const std::size_t dim = std::size_t{1} << n;
+  const Matrix paulis[4] = {Matrix::identity(2), op_matrix(OpKind::X),
+                            op_matrix(OpKind::Y), op_matrix(OpKind::Z)};
+  auto pauli_of = [&](char c) -> const Matrix& {
+    switch (c) {
+      case 'X':
+        return paulis[1];
+      case 'Y':
+        return paulis[2];
+      case 'Z':
+        return paulis[3];
+      default:
+        return paulis[0];
+    }
+  };
+  // rho = 2^-n sum_P <P> P, with <I..I> = 1.
+  Matrix rho = Matrix::identity(dim) * cplx(1.0 / dim, 0);
+  for (const auto& [pauli, sum] : sums) {
+    const double value = sum / hits[pauli];
+    std::vector<Matrix> factors;
+    for (char c : pauli) factors.push_back(pauli_of(c));
+    rho = rho + kron_all(factors) * cplx(value / dim, 0);
+  }
+  return TomographyResult{std::move(rho)};
+}
+
+}  // namespace qtc::ignis

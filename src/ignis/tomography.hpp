@@ -1,0 +1,37 @@
+#pragma once
+// Pauli-basis quantum state tomography with linear-inversion
+// reconstruction: rho = 2^-n sum_P <P> P over all 4^n Pauli strings, with
+// the expectations estimated from 3^n measurement settings.
+
+#include <string>
+#include <vector>
+
+#include "core/circuit.hpp"
+#include "core/matrix.hpp"
+#include "noise/noise_model.hpp"
+
+namespace qtc::ignis {
+
+/// All 3^n measurement settings (strings over {X, Y, Z}, leftmost = highest
+/// qubit).
+std::vector<std::string> tomography_settings(int num_qubits);
+
+/// The state-preparation circuit extended by the basis rotation for
+/// `setting` and measurements of all qubits.
+QuantumCircuit tomography_circuit(const QuantumCircuit& preparation,
+                                  const std::string& setting);
+
+struct TomographyResult {
+  Matrix rho;
+  /// <psi|rho|psi> against a pure reference.
+  double fidelity(const std::vector<cplx>& reference) const;
+};
+
+/// Run the full protocol: 3^n settings, `shots` each, under `noise`,
+/// reconstruct by linear inversion. Supports num_qubits <= 4.
+TomographyResult state_tomography(const QuantumCircuit& preparation,
+                                  const noise::NoiseModel& noise,
+                                  int shots = 2048,
+                                  std::uint64_t seed = 0xC0FFEE);
+
+}  // namespace qtc::ignis

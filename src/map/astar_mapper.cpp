@@ -1,0 +1,125 @@
+#include <algorithm>
+#include <optional>
+#include <map>
+#include <queue>
+
+#include "map/mapping.hpp"
+#include "map/router_detail.hpp"
+
+namespace qtc::map {
+
+namespace {
+
+/// One A* search: find a SWAP sequence (as physical-qubit pairs) that makes
+/// every gate in `layer` act on coupled qubits. Returns the sequence, or an
+/// empty optional if the node budget runs out.
+std::optional<std::vector<std::pair<int, int>>> search_layer(
+    const std::vector<std::pair<int, int>>& layer_logical,
+    const Layout& start, const arch::CouplingMap& coupling,
+    std::size_t node_limit) {
+  struct SearchNode {
+    Layout layout;
+    int g = 0;
+    int parent = -1;
+    std::pair<int, int> via{-1, -1};
+  };
+  auto heuristic = [&](const Layout& layout) {
+    int h = 0;
+    for (const auto& [a, b] : layer_logical)
+      h += coupling.distance(layout.l2p[a], layout.l2p[b]) - 1;
+    return h;
+  };
+  std::vector<SearchNode> arena;
+  arena.push_back({start, 0, -1, {-1, -1}});
+  using QEntry = std::pair<int, int>;  // (f, arena index)
+  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> open;
+  open.push({heuristic(start), 0});
+  std::map<std::vector<int>, int> best_g;
+  best_g[start.p2l] = 0;
+  while (!open.empty() && arena.size() < node_limit) {
+    const auto [f, idx] = open.top();
+    open.pop();
+    const SearchNode node = arena[idx];  // copy: arena may reallocate
+    if (node.g > best_g[node.layout.p2l]) continue;  // stale entry
+    if (heuristic(node.layout) == 0) {
+      std::vector<std::pair<int, int>> swaps;
+      for (int i = idx; arena[i].parent >= 0; i = arena[i].parent)
+        swaps.push_back(arena[i].via);
+      std::reverse(swaps.begin(), swaps.end());
+      return swaps;
+    }
+    for (const auto& [ea, eb] : coupling.edges()) {
+      Layout next = node.layout;
+      next.swap_physical(ea, eb);
+      const int g = node.g + 1;
+      auto it = best_g.find(next.p2l);
+      if (it != best_g.end() && it->second <= g) continue;
+      best_g[next.p2l] = g;
+      arena.push_back({std::move(next), g, idx, {ea, eb}});
+      open.push({g + heuristic(arena.back().layout),
+                 static_cast<int>(arena.size() - 1)});
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+MappingResult AStarMapper::run(const QuantumCircuit& circuit,
+                               const arch::CouplingMap& coupling) const {
+  detail::validate(circuit, coupling);
+  detail::RoutingContext ctx(circuit, coupling);
+  const Layout initial = ctx.layout;
+
+  // Current layer: consecutive two-qubit gates on pairwise disjoint qubits.
+  std::vector<const Operation*> layer;
+  auto layer_uses = [&](Qubit q) {
+    for (const Operation* op : layer)
+      if (op->qubits[0] == q || op->qubits[1] == q) return true;
+    return false;
+  };
+  auto flush_layer = [&]() {
+    if (layer.empty()) return;
+    std::vector<std::pair<int, int>> pairs;
+    for (const Operation* op : layer)
+      pairs.emplace_back(op->qubits[0], op->qubits[1]);
+    const auto swaps = search_layer(pairs, ctx.layout, coupling, node_limit_);
+    if (swaps) {
+      for (const auto& [p1, p2] : *swaps) ctx.emit_swap(p1, p2);
+    } else {
+      // Budget exhausted: route each gate naively instead.
+      for (const auto& [a, b] : pairs) {
+        const auto path =
+            coupling.shortest_path(ctx.layout.l2p[a], ctx.layout.l2p[b]);
+        for (std::size_t i = 0; i + 2 < path.size(); ++i)
+          ctx.emit_swap(path[i], path[i + 1]);
+      }
+    }
+    for (const Operation* op : layer) ctx.emit_remapped(*op);
+    layer.clear();
+  };
+
+  for (const auto& op : circuit.ops()) {
+    if (detail::is_two_qubit_gate(op) && !op.conditioned()) {
+      if (layer_uses(op.qubits[0]) || layer_uses(op.qubits[1])) flush_layer();
+      layer.push_back(&op);
+      continue;
+    }
+    // Anything else only synchronizes when it touches a layer qubit (or is
+    // classically conditioned, which orders against everything).
+    bool overlaps = op.conditioned();
+    for (Qubit q : op.qubits) overlaps = overlaps || layer_uses(q);
+    if (overlaps) flush_layer();
+    if (detail::is_two_qubit_gate(op)) {  // conditioned 2q gate: route naively
+      const auto path = coupling.shortest_path(ctx.layout.l2p[op.qubits[0]],
+                                               ctx.layout.l2p[op.qubits[1]]);
+      for (std::size_t i = 0; i + 2 < path.size(); ++i)
+        ctx.emit_swap(path[i], path[i + 1]);
+    }
+    ctx.emit_remapped(op);
+  }
+  flush_layer();
+  return std::move(ctx).finish(initial);
+}
+
+}  // namespace qtc::map

@@ -1,0 +1,43 @@
+#include "map/mapping.hpp"
+
+#include <stdexcept>
+
+namespace qtc::map {
+
+Layout Layout::trivial(int num_logical, int num_physical) {
+  if (num_logical > num_physical)
+    throw std::invalid_argument("layout: more logical than physical qubits");
+  Layout layout;
+  layout.l2p.resize(num_logical);
+  layout.p2l.assign(num_physical, -1);
+  for (int l = 0; l < num_logical; ++l) {
+    layout.l2p[l] = l;
+    layout.p2l[l] = l;
+  }
+  return layout;
+}
+
+void Layout::swap_physical(int p1, int p2) {
+  const int l1 = p2l[p1], l2 = p2l[p2];
+  p2l[p1] = l2;
+  p2l[p2] = l1;
+  if (l1 >= 0) l2p[l1] = p2;
+  if (l2 >= 0) l2p[l2] = p1;
+}
+
+std::vector<cplx> embed_state(const std::vector<cplx>& logical_state,
+                              const Layout& layout, int num_physical) {
+  const int nl = layout.num_logical();
+  if (logical_state.size() != (std::size_t{1} << nl))
+    throw std::invalid_argument("embed_state: state size mismatch");
+  std::vector<cplx> physical(std::size_t{1} << num_physical, cplx{0, 0});
+  for (std::uint64_t idx = 0; idx < logical_state.size(); ++idx) {
+    std::uint64_t phys = 0;
+    for (int l = 0; l < nl; ++l)
+      if ((idx >> l) & 1) phys |= std::uint64_t{1} << layout.l2p[l];
+    physical[phys] = logical_state[idx];
+  }
+  return physical;
+}
+
+}  // namespace qtc::map

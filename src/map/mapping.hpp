@@ -1,0 +1,96 @@
+#pragma once
+// Qubit mapping (the paper's Sec. V-B): placing logical qubits onto physical
+// ones and inserting SWAPs so every two-qubit gate acts on coupled qubits.
+// Minimizing the inserted gates is NP-hard [11]; this module provides the
+// straightforward mapper Qiskit shipped (Fig. 4a) and two improved
+// heuristics in the spirit of [18] (SABRE) and [39] (layered A*).
+
+#include <string>
+#include <vector>
+
+#include "arch/coupling_map.hpp"
+#include "core/circuit.hpp"
+#include "core/types.hpp"
+
+namespace qtc::map {
+
+/// Bidirectional logical<->physical qubit assignment. Physical qubits not
+/// hosting a logical qubit map to -1.
+struct Layout {
+  std::vector<int> l2p;  // logical -> physical
+  std::vector<int> p2l;  // physical -> logical or -1
+
+  static Layout trivial(int num_logical, int num_physical);
+  /// Exchange the logical occupants of two physical qubits.
+  void swap_physical(int p1, int p2);
+  int num_logical() const { return static_cast<int>(l2p.size()); }
+  int num_physical() const { return static_cast<int>(p2l.size()); }
+};
+
+/// A routed circuit over physical qubits plus the layouts that relate it to
+/// the logical circuit: logical qubit l starts at initial.l2p[l] and (after
+/// the inserted SWAPs) ends at final.l2p[l].
+struct MappingResult {
+  QuantumCircuit circuit;
+  Layout initial;
+  Layout final_layout;
+  int swaps_inserted = 0;
+};
+
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+  virtual std::string name() const = 0;
+  /// Route `circuit` onto `coupling`. Requires every gate to act on at most
+  /// two qubits (run DecomposeMultiQubit first) and the coupling graph to be
+  /// connected with at least as many physical as logical qubits.
+  virtual MappingResult run(const QuantumCircuit& circuit,
+                            const arch::CouplingMap& coupling) const = 0;
+};
+
+/// Routes each offending gate along a shortest path with SWAPs, greedily and
+/// with no lookahead: the baseline behaviour of the paper's Fig. 4a.
+class NaiveMapper final : public Mapper {
+ public:
+  std::string name() const override { return "naive"; }
+  MappingResult run(const QuantumCircuit& circuit,
+                    const arch::CouplingMap& coupling) const override;
+};
+
+/// SABRE-style heuristic (Li/Ding/Xie [18]): front-layer routing with a
+/// lookahead window and per-qubit decay to escape ping-pong swaps.
+class SabreMapper final : public Mapper {
+ public:
+  explicit SabreMapper(int lookahead = 20, double lookahead_weight = 0.5)
+      : lookahead_(lookahead), lookahead_weight_(lookahead_weight) {}
+  std::string name() const override { return "sabre"; }
+  MappingResult run(const QuantumCircuit& circuit,
+                    const arch::CouplingMap& coupling) const override;
+
+ private:
+  int lookahead_;
+  double lookahead_weight_;
+};
+
+/// Layered A* search (Zulehner/Paler/Wille [39]): the circuit is split into
+/// layers of disjoint two-qubit gates and an optimal (within the node
+/// budget) SWAP sequence is searched per layer.
+class AStarMapper final : public Mapper {
+ public:
+  explicit AStarMapper(std::size_t node_limit = 200000)
+      : node_limit_(node_limit) {}
+  std::string name() const override { return "astar"; }
+  MappingResult run(const QuantumCircuit& circuit,
+                    const arch::CouplingMap& coupling) const override;
+
+ private:
+  std::size_t node_limit_;
+};
+
+/// Embed an n-logical-qubit statevector into n_physical qubits under a
+/// layout (ancilla physical qubits in |0>). Used to verify that a mapped
+/// circuit is equivalent to the original up to the layout permutation.
+std::vector<cplx> embed_state(const std::vector<cplx>& logical_state,
+                              const Layout& layout, int num_physical);
+
+}  // namespace qtc::map

@@ -1,0 +1,27 @@
+#include "map/mapping.hpp"
+#include "map/router_detail.hpp"
+
+namespace qtc::map {
+
+MappingResult NaiveMapper::run(const QuantumCircuit& circuit,
+                               const arch::CouplingMap& coupling) const {
+  detail::validate(circuit, coupling);
+  detail::RoutingContext ctx(circuit, coupling);
+  const Layout initial = ctx.layout;
+  for (const auto& op : circuit.ops()) {
+    if (detail::is_two_qubit_gate(op)) {
+      const int a = ctx.layout.l2p[op.qubits[0]];
+      const int b = ctx.layout.l2p[op.qubits[1]];
+      if (!coupling.connected(a, b)) {
+        // Walk the first operand towards the second along a shortest path.
+        const auto path = coupling.shortest_path(a, b);
+        for (std::size_t i = 0; i + 2 < path.size(); ++i)
+          ctx.emit_swap(path[i], path[i + 1]);
+      }
+    }
+    ctx.emit_remapped(op);
+  }
+  return std::move(ctx).finish(initial);
+}
+
+}  // namespace qtc::map

@@ -1,0 +1,31 @@
+#pragma once
+// Noise-aware initial placement: calibration data (per-edge CX error, per-
+// qubit readout error) varies across a device, so where a circuit's
+// frequently-interacting qubits land matters. This is one of the
+// "improved solutions" the paper invites the EDA community to contribute
+// on top of the stock flow.
+
+#include "arch/backend.hpp"
+#include "map/mapping.hpp"
+
+namespace qtc::map {
+
+/// Greedy placement: logical qubits are laid out in order of interaction
+/// weight, each onto the free physical qubit that maximizes the error-
+/// weighted adjacency to its already-placed partners (falling back to
+/// distance, then readout quality).
+Layout noise_aware_layout(const QuantumCircuit& circuit,
+                          const arch::Backend& backend);
+
+/// Relabel a logical circuit onto physical qubits according to a layout
+/// (the circuit then has backend-many qubits and an identity layout).
+QuantumCircuit apply_layout(const QuantumCircuit& circuit,
+                            const Layout& layout, int num_physical);
+
+/// Pessimistic success estimate of a routed, coupling-legal circuit:
+/// product over gates of (1 - gate error) and over measured qubits of
+/// (1 - readout error). A cheap, monotone figure of merit for layouts.
+double estimated_success(const QuantumCircuit& physical_circuit,
+                         const arch::Backend& backend);
+
+}  // namespace qtc::map

@@ -1,0 +1,65 @@
+#pragma once
+// Shared plumbing for the mappers: operand remapping, SWAP insertion and
+// input validation. Internal to the map module.
+
+#include <stdexcept>
+
+#include "map/mapping.hpp"
+
+namespace qtc::map::detail {
+
+inline bool is_two_qubit_gate(const Operation& op) {
+  return op.kind != OpKind::Barrier && op_is_unitary(op.kind) &&
+         op.qubits.size() == 2;
+}
+
+inline void validate(const QuantumCircuit& circuit,
+                     const arch::CouplingMap& coupling) {
+  if (circuit.num_qubits() > coupling.num_qubits())
+    throw std::invalid_argument("mapper: circuit larger than device");
+  if (!coupling.is_connected())
+    throw std::invalid_argument("mapper: coupling graph is disconnected");
+  for (const auto& op : circuit.ops())
+    if (op.kind != OpKind::Barrier && op.qubits.size() > 2)
+      throw std::invalid_argument(
+          "mapper: 3+ qubit gate; run DecomposeMultiQubit first");
+}
+
+/// Streams rewritten operations into a physical-qubit circuit while the
+/// layout evolves under inserted SWAPs.
+struct RoutingContext {
+  RoutingContext(const QuantumCircuit& logical,
+                 const arch::CouplingMap& coupling)
+      : coupling_map(coupling),
+        out(coupling.num_qubits(), logical.num_clbits()),
+        layout(Layout::trivial(logical.num_qubits(), coupling.num_qubits())) {
+  }
+
+  void emit_remapped(const Operation& op) {
+    Operation moved = op;
+    for (auto& q : moved.qubits) q = layout.l2p[q];
+    out.append(std::move(moved));
+  }
+
+  void emit_swap(int p1, int p2) {
+    if (!coupling_map.connected(p1, p2))
+      throw std::logic_error("mapper: swap on uncoupled pair");
+    Operation sw;
+    sw.kind = OpKind::SWAP;
+    sw.qubits = {p1, p2};
+    out.append(std::move(sw));
+    layout.swap_physical(p1, p2);
+    ++swaps;
+  }
+
+  MappingResult finish(Layout initial) && {
+    return MappingResult{std::move(out), std::move(initial), layout, swaps};
+  }
+
+  const arch::CouplingMap& coupling_map;
+  QuantumCircuit out;
+  Layout layout;
+  int swaps = 0;
+};
+
+}  // namespace qtc::map::detail

@@ -1,0 +1,165 @@
+#include <algorithm>
+#include <set>
+
+#include "map/mapping.hpp"
+#include "map/router_detail.hpp"
+
+namespace qtc::map {
+
+namespace {
+
+/// Dependency DAG over operations: op B depends on A when they share a
+/// qubit or clbit and A precedes B.
+struct OpDag {
+  std::vector<std::vector<int>> successors;
+  std::vector<int> indegree;
+
+  explicit OpDag(const QuantumCircuit& circuit) {
+    const auto& ops = circuit.ops();
+    successors.resize(ops.size());
+    indegree.assign(ops.size(), 0);
+    std::vector<int> last_q(circuit.num_qubits(), -1);
+    std::vector<int> last_c(circuit.num_clbits(), -1);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      std::set<int> preds;
+      for (Qubit q : ops[i].qubits) {
+        if (last_q[q] >= 0) preds.insert(last_q[q]);
+        last_q[q] = static_cast<int>(i);
+      }
+      for (Clbit c : ops[i].clbits) {
+        if (last_c[c] >= 0) preds.insert(last_c[c]);
+        last_c[c] = static_cast<int>(i);
+      }
+      if (ops[i].conditioned())
+        for (int c = 0; c < circuit.num_clbits(); ++c)
+          if (last_c[c] >= 0 && last_c[c] != static_cast<int>(i))
+            preds.insert(last_c[c]);
+      for (int p : preds) {
+        successors[p].push_back(static_cast<int>(i));
+        ++indegree[i];
+      }
+    }
+  }
+};
+
+}  // namespace
+
+MappingResult SabreMapper::run(const QuantumCircuit& circuit,
+                               const arch::CouplingMap& coupling) const {
+  detail::validate(circuit, coupling);
+  detail::RoutingContext ctx(circuit, coupling);
+  const Layout initial = ctx.layout;
+  const auto& ops = circuit.ops();
+  OpDag dag(circuit);
+
+  std::set<int> front;
+  std::vector<int> indegree = dag.indegree;
+  for (std::size_t i = 0; i < ops.size(); ++i)
+    if (indegree[i] == 0) front.insert(static_cast<int>(i));
+
+  std::vector<double> decay(coupling.num_qubits(), 1.0);
+  int stall = 0;
+  const int stall_limit =
+      4 * coupling.num_qubits() * coupling.num_qubits() + 16;
+
+  auto phys_dist = [&](const Operation& op) {
+    return coupling.distance(ctx.layout.l2p[op.qubits[0]],
+                             ctx.layout.l2p[op.qubits[1]]);
+  };
+  auto executable = [&](int i) {
+    return !detail::is_two_qubit_gate(ops[i]) || phys_dist(ops[i]) == 1;
+  };
+  auto retire = [&](int i) {
+    ctx.emit_remapped(ops[i]);
+    front.erase(i);
+    for (int succ : dag.successors[i])
+      if (--indegree[succ] == 0) front.insert(succ);
+  };
+
+  /// The lookahead window: the next few two-qubit gates reachable from the
+  /// front, collected breadth-first through the DAG.
+  auto extended_set = [&]() {
+    std::vector<int> window;
+    std::vector<int> frontier(front.begin(), front.end());
+    std::set<int> seen(front.begin(), front.end());
+    while (!frontier.empty() &&
+           static_cast<int>(window.size()) < lookahead_) {
+      std::vector<int> next;
+      for (int i : frontier)
+        for (int succ : dag.successors[i])
+          if (seen.insert(succ).second) {
+            next.push_back(succ);
+            if (detail::is_two_qubit_gate(ops[succ]))
+              window.push_back(succ);
+          }
+      frontier = std::move(next);
+    }
+    return window;
+  };
+
+  while (!front.empty()) {
+    // Retire everything currently executable (in program order).
+    std::vector<int> ready;
+    for (int i : front)
+      if (executable(i)) ready.push_back(i);
+    if (!ready.empty()) {
+      std::sort(ready.begin(), ready.end());
+      for (int i : ready) retire(i);
+      std::fill(decay.begin(), decay.end(), 1.0);
+      stall = 0;
+      continue;
+    }
+    ++stall;
+    if (stall > stall_limit) {
+      // Safety valve: force-route the oldest blocked gate along a shortest
+      // path (the naive step) to guarantee progress.
+      const Operation& op = ops[*front.begin()];
+      const auto path = coupling.shortest_path(ctx.layout.l2p[op.qubits[0]],
+                                               ctx.layout.l2p[op.qubits[1]]);
+      for (std::size_t i = 0; i + 2 < path.size(); ++i)
+        ctx.emit_swap(path[i], path[i + 1]);
+      stall = 0;
+      continue;
+    }
+    // Score candidate swaps on edges touching any blocked front gate.
+    std::set<std::pair<int, int>> candidates;
+    for (int i : front) {
+      if (!detail::is_two_qubit_gate(ops[i])) continue;
+      for (Qubit lq : ops[i].qubits) {
+        const int p = ctx.layout.l2p[lq];
+        for (int nb : coupling.neighbors(p))
+          candidates.insert({std::min(p, nb), std::max(p, nb)});
+      }
+    }
+    const auto window = extended_set();
+    double best_score = 0;
+    std::pair<int, int> best{-1, -1};
+    for (const auto& [p1, p2] : candidates) {
+      ctx.layout.swap_physical(p1, p2);
+      double front_cost = 0;
+      int front_gates = 0;
+      for (int i : front)
+        if (detail::is_two_qubit_gate(ops[i])) {
+          front_cost += phys_dist(ops[i]);
+          ++front_gates;
+        }
+      double ahead_cost = 0;
+      for (int i : window) ahead_cost += phys_dist(ops[i]);
+      ctx.layout.swap_physical(p1, p2);  // undo
+      double score = front_cost / std::max(front_gates, 1);
+      if (!window.empty())
+        score += lookahead_weight_ * ahead_cost / window.size();
+      score *= std::max(decay[p1], decay[p2]);
+      if (best.first < 0 || score < best_score) {
+        best_score = score;
+        best = {p1, p2};
+      }
+    }
+    ctx.emit_swap(best.first, best.second);
+    decay[best.first] += 0.01;
+    decay[best.second] += 0.01;
+  }
+  return std::move(ctx).finish(initial);
+}
+
+}  // namespace qtc::map

@@ -1,0 +1,127 @@
+#include "noise/channel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/gates.hpp"
+
+namespace qtc::noise {
+
+namespace {
+
+void check_probability(double p) {
+  if (p < 0 || p > 1)
+    throw std::invalid_argument("channel: probability out of [0, 1]");
+}
+
+}  // namespace
+
+bool is_cptp(const KrausChannel& channel, double tol) {
+  if (channel.ops.empty()) return false;
+  const std::size_t dim = channel.ops.front().rows();
+  Matrix sum(dim, dim);
+  for (const auto& k : channel.ops) {
+    if (k.rows() != dim || k.cols() != dim) return false;
+    sum = sum + k.dagger() * k;
+  }
+  return sum.approx_equal(Matrix::identity(dim), tol);
+}
+
+KrausChannel identity_channel(int num_qubits) {
+  return {{Matrix::identity(std::size_t{1} << num_qubits)}, num_qubits};
+}
+
+KrausChannel depolarizing(double p) {
+  check_probability(p);
+  const double keep = std::sqrt(1 - p);
+  const double flip = std::sqrt(p / 3);
+  return {{Matrix::identity(2) * keep, op_matrix(OpKind::X) * flip,
+           op_matrix(OpKind::Y) * flip, op_matrix(OpKind::Z) * flip},
+          1};
+}
+
+KrausChannel depolarizing2(double p) {
+  check_probability(p);
+  KrausChannel ch;
+  ch.num_qubits = 2;
+  const Matrix paulis[4] = {Matrix::identity(2), op_matrix(OpKind::X),
+                            op_matrix(OpKind::Y), op_matrix(OpKind::Z)};
+  for (int a = 0; a < 4; ++a)
+    for (int b = 0; b < 4; ++b) {
+      const double weight =
+          (a == 0 && b == 0) ? std::sqrt(1 - p) : std::sqrt(p / 15);
+      // kron(high qubit, low qubit): qubit 0 of the channel is the low bit.
+      ch.ops.push_back(paulis[b].kron(paulis[a]) * weight);
+    }
+  return ch;
+}
+
+KrausChannel bit_flip(double p) {
+  check_probability(p);
+  return {{Matrix::identity(2) * std::sqrt(1 - p),
+           op_matrix(OpKind::X) * std::sqrt(p)},
+          1};
+}
+
+KrausChannel phase_flip(double p) {
+  check_probability(p);
+  return {{Matrix::identity(2) * std::sqrt(1 - p),
+           op_matrix(OpKind::Z) * std::sqrt(p)},
+          1};
+}
+
+KrausChannel bit_phase_flip(double p) {
+  check_probability(p);
+  return {{Matrix::identity(2) * std::sqrt(1 - p),
+           op_matrix(OpKind::Y) * std::sqrt(p)},
+          1};
+}
+
+KrausChannel amplitude_damping(double gamma) {
+  check_probability(gamma);
+  Matrix k0{{1, 0}, {0, std::sqrt(1 - gamma)}};
+  Matrix k1{{0, std::sqrt(gamma)}, {0, 0}};
+  return {{std::move(k0), std::move(k1)}, 1};
+}
+
+KrausChannel phase_damping(double lambda) {
+  check_probability(lambda);
+  Matrix k0{{1, 0}, {0, std::sqrt(1 - lambda)}};
+  Matrix k1{{0, 0}, {0, std::sqrt(lambda)}};
+  return {{std::move(k0), std::move(k1)}, 1};
+}
+
+KrausChannel thermal_relaxation(double t1, double t2, double time) {
+  if (t1 <= 0 || t2 <= 0 || time < 0)
+    throw std::invalid_argument("thermal_relaxation: bad times");
+  if (t2 > 2 * t1)
+    throw std::invalid_argument("thermal_relaxation: t2 must be <= 2*t1");
+  const double gamma = 1 - std::exp(-time / t1);
+  // Pure dephasing rate: 1/t_phi = 1/t2 - 1/(2 t1).
+  const double rate_phi = 1.0 / t2 - 0.5 / t1;
+  const double lambda = rate_phi > 0 ? 1 - std::exp(-2 * time * rate_phi) : 0;
+  return compose(amplitude_damping(gamma), phase_damping(lambda));
+}
+
+KrausChannel compose(const KrausChannel& a, const KrausChannel& b) {
+  if (a.num_qubits != b.num_qubits)
+    throw std::invalid_argument("compose: channel arity mismatch");
+  KrausChannel out;
+  out.num_qubits = a.num_qubits;
+  for (const auto& kb : b.ops)
+    for (const auto& ka : a.ops) out.ops.push_back(kb * ka);
+  return out;
+}
+
+KrausChannel tensor(const KrausChannel& low, const KrausChannel& high) {
+  if (low.num_qubits != 1 || high.num_qubits != 1)
+    throw std::invalid_argument("tensor: expects single-qubit channels");
+  KrausChannel out;
+  out.num_qubits = 2;
+  for (const auto& kh : high.ops)
+    for (const auto& kl : low.ops)
+      out.ops.push_back(kh.kron(kl));  // high qubit = most significant
+  return out;
+}
+
+}  // namespace qtc::noise

@@ -1,0 +1,52 @@
+#pragma once
+// Quantum channels in Kraus form, used to model the "specific noise
+// processes" the paper's Aer section describes injecting into circuits.
+
+#include <vector>
+
+#include "core/matrix.hpp"
+
+namespace qtc::noise {
+
+/// A completely-positive trace-preserving map given by Kraus operators:
+/// rho -> sum_k K_k rho K_k^dagger with sum_k K_k^dagger K_k = I.
+struct KrausChannel {
+  std::vector<Matrix> ops;
+  int num_qubits = 1;
+
+  bool empty() const { return ops.empty(); }
+};
+
+/// sum K^dag K == I within tol.
+bool is_cptp(const KrausChannel& channel, double tol = 1e-9);
+
+/// Identity (no-op) channel.
+KrausChannel identity_channel(int num_qubits = 1);
+/// Single-qubit depolarizing channel with error probability p:
+/// rho -> (1-p) rho + p/3 (X rho X + Y rho Y + Z rho Z).
+KrausChannel depolarizing(double p);
+/// Two-qubit depolarizing channel: with probability p one of the 15
+/// non-identity two-qubit Paulis is applied uniformly.
+KrausChannel depolarizing2(double p);
+/// X with probability p.
+KrausChannel bit_flip(double p);
+/// Z with probability p.
+KrausChannel phase_flip(double p);
+/// Y with probability p.
+KrausChannel bit_phase_flip(double p);
+/// Amplitude damping (T1 decay) with decay probability gamma.
+KrausChannel amplitude_damping(double gamma);
+/// Phase damping (pure dephasing) with dephasing probability lambda.
+KrausChannel phase_damping(double lambda);
+/// Combined T1/T2 relaxation over `time` (same units as t1/t2). Requires
+/// t2 <= 2 t1. Implemented as amplitude damping followed by phase damping.
+KrausChannel thermal_relaxation(double t1, double t2, double time);
+
+/// Compose two channels acting on the same qubits (b after a).
+KrausChannel compose(const KrausChannel& a, const KrausChannel& b);
+
+/// Independent channels on two qubits combined into one two-qubit channel:
+/// `low` acts on the channel's qubit 0 (gate-local LSB), `high` on qubit 1.
+KrausChannel tensor(const KrausChannel& low, const KrausChannel& high);
+
+}  // namespace qtc::noise

@@ -1,0 +1,108 @@
+#include "noise/noise_model.hpp"
+
+#include <stdexcept>
+
+namespace qtc::noise {
+
+void NoiseModel::add_all_qubit_error(const KrausChannel& channel,
+                                     OpKind kind) {
+  if (!op_is_unitary(kind))
+    throw std::invalid_argument("noise: can only attach to unitary gates");
+  if (channel.num_qubits != op_num_qubits(kind))
+    throw std::invalid_argument("noise: channel/gate arity mismatch");
+  all_qubit_[kind] = channel;
+}
+
+void NoiseModel::add_qubit_error(const KrausChannel& channel, OpKind kind,
+                                 const std::vector<int>& qubits) {
+  if (channel.num_qubits != op_num_qubits(kind) ||
+      static_cast<int>(qubits.size()) != op_num_qubits(kind))
+    throw std::invalid_argument("noise: channel/gate arity mismatch");
+  per_qubit_[{kind, qubits}] = channel;
+}
+
+void NoiseModel::set_readout_error(int qubit, ReadoutError error) {
+  readout_[qubit] = error;
+}
+
+std::optional<KrausChannel> NoiseModel::error_for(const Operation& op) const {
+  auto specific = per_qubit_.find({op.kind, op.qubits});
+  if (specific != per_qubit_.end()) return specific->second;
+  auto general = all_qubit_.find(op.kind);
+  if (general != all_qubit_.end()) return general->second;
+  return std::nullopt;
+}
+
+const ReadoutError* NoiseModel::readout_error(int qubit) const {
+  auto it = readout_.find(qubit);
+  return it == readout_.end() ? nullptr : &it->second;
+}
+
+int NoiseModel::apply_readout(int qubit, int value, Rng& rng) const {
+  const ReadoutError* err = readout_error(qubit);
+  if (err == nullptr) return value;
+  const double flip_prob = value == 1 ? err->p0_given_1 : err->p1_given_0;
+  return rng.bernoulli(flip_prob) ? 1 - value : value;
+}
+
+NoiseModel from_backend(const arch::Backend& backend) {
+  NoiseModel model;
+  const auto& cal = backend.calibration();
+  const auto& map = backend.coupling_map();
+  // 1q gates: calibrated depolarizing composed with thermal relaxation over
+  // the gate duration.
+  std::vector<KrausChannel> thermal_1q;
+  for (int q = 0; q < backend.num_qubits(); ++q)
+    thermal_1q.push_back(
+        thermal_relaxation(cal.t1_us[q], cal.t2_us[q], cal.gate_time_1q_us));
+  for (int q = 0; q < backend.num_qubits(); ++q) {
+    const KrausChannel ch =
+        compose(depolarizing(cal.single_qubit_error[q]), thermal_1q[q]);
+    for (OpKind kind : {OpKind::U, OpKind::U2, OpKind::P, OpKind::H,
+                        OpKind::X, OpKind::T, OpKind::S, OpKind::RZ,
+                        OpKind::RX, OpKind::RY})
+      model.add_qubit_error(ch, kind, {q});
+    model.set_readout_error(q,
+                            {cal.readout_error[q], cal.readout_error[q]});
+  }
+  // CX: per-edge depolarizing composed with both qubits relaxing over the
+  // (longer) two-qubit gate duration; attached in both operand orders.
+  for (std::size_t e = 0; e < map.edges().size(); ++e) {
+    const auto [a, b] = map.edges()[e];
+    auto thermal_for = [&](int q) {
+      return thermal_relaxation(cal.t1_us[q], cal.t2_us[q],
+                                cal.gate_time_cx_us);
+    };
+    const KrausChannel base = depolarizing2(cal.cx_error[e]);
+    model.add_qubit_error(
+        compose(base, tensor(thermal_for(a), thermal_for(b))), OpKind::CX,
+        {a, b});
+    model.add_qubit_error(
+        compose(base, tensor(thermal_for(b), thermal_for(a))), OpKind::CX,
+        {b, a});
+  }
+  return model;
+}
+
+NoiseModel uniform_depolarizing(double p1, double p2, double readout) {
+  NoiseModel model;
+  const KrausChannel one = depolarizing(p1);
+  for (OpKind kind : {OpKind::U, OpKind::U2, OpKind::P, OpKind::H, OpKind::X,
+                      OpKind::Y, OpKind::Z, OpKind::S, OpKind::Sdg, OpKind::T,
+                      OpKind::Tdg, OpKind::RX, OpKind::RY, OpKind::RZ})
+    model.add_all_qubit_error(one, kind);
+  const KrausChannel two = depolarizing2(p2);
+  for (OpKind kind : {OpKind::CX, OpKind::CY, OpKind::CZ, OpKind::CH,
+                      OpKind::SWAP, OpKind::ISWAP, OpKind::RZZ, OpKind::RXX,
+                      OpKind::CRX, OpKind::CRY, OpKind::CRZ, OpKind::CP,
+                      OpKind::CU})
+    model.add_all_qubit_error(two, kind);
+  if (readout > 0) {
+    // Uniform symmetric readout error on a generous qubit range.
+    for (int q = 0; q < 64; ++q)
+      model.set_readout_error(q, {readout, readout});
+  }
+  return model;
+}
+
+}  // namespace qtc::noise

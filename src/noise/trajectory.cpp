@@ -1,0 +1,74 @@
+#include "noise/trajectory.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/simulator.hpp"
+#include "sim/statevector.hpp"
+
+namespace qtc::noise {
+
+namespace {
+
+/// Stochastically apply one Kraus operator: candidate states K_k|psi> are
+/// selected with probability ||K_k psi||^2 and renormalized.
+void sample_kraus(sim::Statevector& sv, const KrausChannel& channel,
+                  const std::vector<int>& qubits, Rng& rng) {
+  const double r = rng.uniform();
+  double acc = 0;
+  for (std::size_t k = 0; k < channel.ops.size(); ++k) {
+    sim::Statevector candidate = sv;
+    candidate.apply_matrix(channel.ops[k], qubits);
+    const double p = candidate.norm() * candidate.norm();
+    acc += p;
+    if (r < acc || k + 1 == channel.ops.size()) {
+      candidate.normalize();
+      sv = std::move(candidate);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+sim::Counts TrajectorySimulator::run(const QuantumCircuit& circuit,
+                                     const NoiseModel& noise, int shots) {
+  if (shots <= 0) throw std::invalid_argument("run: shots must be positive");
+  sim::Counts counts;
+  const int ncl = circuit.num_clbits();
+  for (int s = 0; s < shots; ++s) {
+    sim::Statevector sv(circuit.num_qubits());
+    std::vector<int> clbits(ncl, 0);
+    for (const auto& op : circuit.ops()) {
+      if (op.conditioned()) {
+        const Register& reg = circuit.cregs()[op.cond_reg];
+        if (sim::creg_value(reg, clbits) != op.cond_val) continue;
+      }
+      switch (op.kind) {
+        case OpKind::Measure: {
+          const int value = sv.measure(op.qubits[0], rng_);
+          clbits[op.clbits[0]] =
+              noise.apply_readout(op.qubits[0], value, rng_);
+          break;
+        }
+        case OpKind::Reset:
+          sv.reset(op.qubits[0], rng_);
+          break;
+        case OpKind::Barrier:
+          break;
+        default: {
+          sv.apply(op);
+          if (const auto channel = noise.error_for(op))
+            sample_kraus(sv, *channel, op.qubits, rng_);
+        }
+      }
+    }
+    std::uint64_t value = 0;
+    for (int c = 0; c < ncl; ++c)
+      if (clbits[c]) value |= std::uint64_t{1} << c;
+    counts.record(sim::format_bits(value, ncl));
+  }
+  return counts;
+}
+
+}  // namespace qtc::noise

@@ -1,0 +1,27 @@
+#pragma once
+// Monte-Carlo (quantum trajectory) noisy simulator: per shot, evolve a
+// statevector and stochastically sample one Kraus operator after each noisy
+// gate. Scales like the ideal array simulator per shot and supports the
+// full instruction set (measure/reset/conditionals), so it is the
+// stand-in for executing on the "real device" throughout this repo.
+
+#include <cstdint>
+
+#include "core/circuit.hpp"
+#include "noise/noise_model.hpp"
+#include "sim/result.hpp"
+
+namespace qtc::noise {
+
+class TrajectorySimulator {
+ public:
+  explicit TrajectorySimulator(std::uint64_t seed = 0xC0FFEE) : rng_(seed) {}
+
+  sim::Counts run(const QuantumCircuit& circuit, const NoiseModel& noise,
+                  int shots = 1024);
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace qtc::noise

@@ -1,0 +1,125 @@
+#include "qasm/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace qtc::qasm {
+
+ParseError::ParseError(std::string message, int line, int col)
+    : line_(line), col_(col) {
+  full_ = "qasm:" + std::to_string(line) + ":" + std::to_string(col) + ": " +
+          std::move(message);
+}
+
+std::vector<Token> tokenize(const std::string& src) {
+  std::vector<Token> out;
+  int line = 1, col = 1;
+  std::size_t i = 0;
+  auto advance = [&](std::size_t n = 1) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (i < src.size() && src[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+      ++i;
+    }
+  };
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      while (i < src.size() && src[i] != '\n') advance();
+      continue;
+    }
+    Token tok;
+    tok.line = line;
+    tok.col = col;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = i;
+      while (i < src.size() &&
+             (std::isalnum(static_cast<unsigned char>(src[i])) ||
+              src[i] == '_'))
+        advance();
+      tok.kind = Token::Kind::Ident;
+      tok.text = src.substr(start, i - start);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < src.size() &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      std::size_t start = i;
+      bool is_real = false;
+      while (i < src.size() &&
+             (std::isdigit(static_cast<unsigned char>(src[i])) ||
+              src[i] == '.' || src[i] == 'e' || src[i] == 'E' ||
+              ((src[i] == '+' || src[i] == '-') && i > start &&
+               (src[i - 1] == 'e' || src[i - 1] == 'E')))) {
+        if (src[i] == '.' || src[i] == 'e' || src[i] == 'E') is_real = true;
+        advance();
+      }
+      const std::string text = src.substr(start, i - start);
+      if (is_real) {
+        tok.kind = Token::Kind::Real;
+        tok.real = std::strtod(text.c_str(), nullptr);
+      } else {
+        tok.kind = Token::Kind::Integer;
+        tok.integer = std::strtoll(text.c_str(), nullptr, 10);
+        tok.real = static_cast<double>(tok.integer);
+      }
+      tok.text = text;
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '"') {
+      advance();
+      std::size_t start = i;
+      while (i < src.size() && src[i] != '"') advance();
+      if (i >= src.size())
+        throw ParseError("unterminated string literal", tok.line, tok.col);
+      tok.kind = Token::Kind::Str;
+      tok.text = src.substr(start, i - start);
+      advance();  // closing quote
+      out.push_back(std::move(tok));
+      continue;
+    }
+    // Symbols
+    if (c == '=' && i + 1 < src.size() && src[i + 1] == '=') {
+      tok.kind = Token::Kind::Sym;
+      tok.text = "==";
+      advance(2);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '-' && i + 1 < src.size() && src[i + 1] == '>') {
+      tok.kind = Token::Kind::Sym;
+      tok.text = "->";
+      advance(2);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    static const std::string singles = ";,()[]{}+-*/^";
+    if (singles.find(c) != std::string::npos) {
+      tok.kind = Token::Kind::Sym;
+      tok.text = std::string(1, c);
+      advance();
+      out.push_back(std::move(tok));
+      continue;
+    }
+    throw ParseError(std::string("unexpected character '") + c + "'", line,
+                     col);
+  }
+  Token eof;
+  eof.kind = Token::Kind::Eof;
+  eof.line = line;
+  eof.col = col;
+  out.push_back(std::move(eof));
+  return out;
+}
+
+}  // namespace qtc::qasm

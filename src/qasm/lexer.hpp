@@ -1,0 +1,36 @@
+#pragma once
+// Tokenizer for OpenQASM 2.0 source text.
+
+#include <string>
+#include <vector>
+
+namespace qtc::qasm {
+
+struct Token {
+  enum class Kind { Ident, Integer, Real, Str, Sym, Eof };
+  Kind kind{};
+  std::string text;   // identifier name, symbol spelling, or string contents
+  double real = 0;    // value for Real
+  long long integer = 0;  // value for Integer
+  int line = 0;
+  int col = 0;
+};
+
+/// Tokenize the whole source. Throws ParseError on malformed input.
+/// Symbols: ; , ( ) [ ] { } + - * / ^ == ->
+std::vector<Token> tokenize(const std::string& source);
+
+/// Error type for both lexing and parsing problems, with source position.
+class ParseError : public std::exception {
+ public:
+  ParseError(std::string message, int line, int col);
+  const char* what() const noexcept override { return full_.c_str(); }
+  int line() const { return line_; }
+  int col() const { return col_; }
+
+ private:
+  std::string full_;
+  int line_, col_;
+};
+
+}  // namespace qtc::qasm

@@ -1,0 +1,20 @@
+#include "sim/result.hpp"
+
+#include <sstream>
+
+namespace qtc::sim {
+
+std::string Counts::to_string(int bar_width) const {
+  std::ostringstream os;
+  int max_count = 0;
+  for (const auto& [bits, c] : histogram) max_count = std::max(max_count, c);
+  for (const auto& [bits, c] : histogram) {
+    const int bar =
+        max_count > 0 ? (c * bar_width + max_count - 1) / max_count : 0;
+    os << bits << " : " << std::string(bar, '#') << " " << c << " ("
+       << (shots ? 100.0 * c / shots : 0.0) << "%)\n";
+  }
+  return os.str();
+}
+
+}  // namespace qtc::sim

@@ -1,0 +1,131 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace qtc::sim {
+
+std::uint64_t creg_value(const Register& reg, const std::vector<int>& clbits) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < reg.size; ++i)
+    if (clbits[reg.offset + i]) value |= std::uint64_t{1} << i;
+  return value;
+}
+
+bool StatevectorSimulator::sampling_friendly(
+    const QuantumCircuit& circuit) const {
+  bool seen_measure = false;
+  for (const auto& op : circuit.ops()) {
+    if (op.conditioned() || op.kind == OpKind::Reset) return false;
+    if (op.kind == OpKind::Measure) {
+      seen_measure = true;
+      continue;
+    }
+    if (op.kind == OpKind::Barrier) continue;
+    if (seen_measure) return false;  // gate after a measurement
+  }
+  return true;
+}
+
+RunResult StatevectorSimulator::run(const QuantumCircuit& circuit, int shots) {
+  if (shots <= 0) throw std::invalid_argument("run: shots must be positive");
+  RunResult result;
+  const int ncl = circuit.num_clbits();
+
+  if (!circuit.has_measurements()) {
+    Statevector sv = statevector(circuit);
+    result.statevector = sv.amplitudes();
+    result.counts.shots = shots;
+    return result;
+  }
+
+  if (sampling_friendly(circuit)) {
+    // Simulate the unitary prefix once, then sample the measurement layer.
+    Statevector sv(circuit.num_qubits());
+    std::vector<std::pair<int, int>> qubit_to_clbit;  // (qubit, clbit)
+    for (const auto& op : circuit.ops()) {
+      if (op.kind == OpKind::Measure)
+        qubit_to_clbit.emplace_back(op.qubits[0], op.clbits[0]);
+      else
+        sv.apply(op);
+    }
+    result.statevector = sv.amplitudes();
+    for (int s = 0; s < shots; ++s) {
+      const std::uint64_t basis = sv.sample(rng_);
+      std::uint64_t clbits = 0;
+      for (auto [q, c] : qubit_to_clbit)
+        if ((basis >> q) & 1) clbits |= std::uint64_t{1} << c;
+      result.counts.record(format_bits(clbits, ncl));
+    }
+    return result;
+  }
+
+  // General path: re-execute the whole circuit for every shot.
+  for (int s = 0; s < shots; ++s) {
+    Statevector sv(circuit.num_qubits());
+    std::vector<int> clbits(ncl, 0);
+    for (const auto& op : circuit.ops()) {
+      if (op.conditioned()) {
+        const Register& reg = circuit.cregs()[op.cond_reg];
+        if (creg_value(reg, clbits) != op.cond_val) continue;
+      }
+      switch (op.kind) {
+        case OpKind::Measure:
+          clbits[op.clbits[0]] = sv.measure(op.qubits[0], rng_);
+          break;
+        case OpKind::Reset:
+          sv.reset(op.qubits[0], rng_);
+          break;
+        case OpKind::Barrier:
+          break;
+        default:
+          sv.apply(op);
+      }
+    }
+    std::uint64_t value = 0;
+    for (int c = 0; c < ncl; ++c)
+      if (clbits[c]) value |= std::uint64_t{1} << c;
+    result.counts.record(format_bits(value, ncl));
+    if (s + 1 == shots) result.statevector = sv.amplitudes();
+  }
+  return result;
+}
+
+Statevector StatevectorSimulator::statevector(const QuantumCircuit& circuit) {
+  Statevector sv(circuit.num_qubits());
+  for (const auto& op : circuit.ops()) {
+    if (!op_is_unitary(op.kind)) continue;
+    if (op.conditioned())
+      throw std::invalid_argument(
+          "statevector: circuit with conditionals needs run()");
+    sv.apply(op);
+  }
+  return sv;
+}
+
+Matrix UnitarySimulator::unitary(const QuantumCircuit& circuit) const {
+  const int n = circuit.num_qubits();
+  if (n > 14)
+    throw std::invalid_argument("unitary: too many qubits for dense matrix");
+  const std::size_t dim = std::size_t{1} << n;
+  // Columns of U are the images of the basis states.
+  std::vector<Statevector> columns;
+  columns.reserve(dim);
+  for (std::size_t j = 0; j < dim; ++j) {
+    std::vector<cplx> e(dim, cplx{0, 0});
+    e[j] = 1;
+    columns.emplace_back(std::move(e));
+  }
+  for (const auto& op : circuit.ops()) {
+    if (op.kind == OpKind::Barrier) continue;
+    if (!op_is_unitary(op.kind) || op.conditioned())
+      throw std::invalid_argument(
+          "unitary: circuit contains non-unitary or conditioned ops");
+    for (auto& col : columns) col.apply(op);
+  }
+  Matrix u(dim, dim);
+  for (std::size_t j = 0; j < dim; ++j)
+    for (std::size_t i = 0; i < dim; ++i) u(i, j) = columns[j].amplitude(i);
+  return u;
+}
+
+}  // namespace qtc::sim

@@ -1,0 +1,55 @@
+#pragma once
+// The "qasm_simulator" of the paper's Sec. IV: executes circuits with
+// measurements, resets and classical conditioning over many shots, and the
+// "unitary_simulator": accumulates a circuit's full 2^n x 2^n matrix.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/circuit.hpp"
+#include "core/matrix.hpp"
+#include "core/rng.hpp"
+#include "sim/result.hpp"
+#include "sim/statevector.hpp"
+
+namespace qtc::sim {
+
+struct RunResult {
+  Counts counts;
+  /// Final pre-measurement state when the fast (deterministic) path was
+  /// taken; final state of the last shot otherwise.
+  std::vector<cplx> statevector;
+};
+
+/// Array-based circuit executor.
+class StatevectorSimulator {
+ public:
+  explicit StatevectorSimulator(std::uint64_t seed = 0xC0FFEE) : rng_(seed) {}
+
+  /// Execute with sampling. Circuits whose measurements form a final layer
+  /// (no conditionals/resets) are simulated once and sampled `shots` times;
+  /// anything else is re-simulated shot by shot. Circuits without any
+  /// measurement yield empty counts.
+  RunResult run(const QuantumCircuit& circuit, int shots = 1024);
+
+  /// Final statevector of the unitary part of the circuit (measurements,
+  /// resets and barriers ignored).
+  Statevector statevector(const QuantumCircuit& circuit);
+
+ private:
+  bool sampling_friendly(const QuantumCircuit& circuit) const;
+  Rng rng_;
+};
+
+/// Builds the unitary matrix of a (measurement-free) circuit by applying its
+/// gates to every column of the identity. Exponential in qubits; intended
+/// for verification and the paper's Fig. 3 dense-matrix baseline.
+class UnitarySimulator {
+ public:
+  Matrix unitary(const QuantumCircuit& circuit) const;
+};
+
+/// Read the value of classical register `reg` out of flattened clbits.
+std::uint64_t creg_value(const Register& reg, const std::vector<int>& clbits);
+
+}  // namespace qtc::sim

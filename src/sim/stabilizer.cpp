@@ -1,0 +1,220 @@
+#include "sim/stabilizer.hpp"
+
+#include <stdexcept>
+
+#include "sim/simulator.hpp"
+
+namespace qtc::sim {
+
+StabilizerState::StabilizerState(int num_qubits) : n_(num_qubits) {
+  if (num_qubits < 1 || num_qubits > 4096)
+    throw std::invalid_argument("stabilizer: unsupported qubit count");
+  const int rows = 2 * n_ + 1;  // + scratch row
+  x_.assign(rows, std::vector<std::uint8_t>(n_, 0));
+  z_.assign(rows, std::vector<std::uint8_t>(n_, 0));
+  r_.assign(rows, 0);
+  for (int i = 0; i < n_; ++i) {
+    x_[i][i] = 1;        // destabilizer X_i
+    z_[n_ + i][i] = 1;   // stabilizer Z_i
+  }
+}
+
+void StabilizerState::h(int q) {
+  for (int i = 0; i < 2 * n_; ++i) {
+    r_[i] ^= x_[i][q] & z_[i][q];
+    std::swap(x_[i][q], z_[i][q]);
+  }
+}
+
+void StabilizerState::s(int q) {
+  for (int i = 0; i < 2 * n_; ++i) {
+    r_[i] ^= x_[i][q] & z_[i][q];
+    z_[i][q] ^= x_[i][q];
+  }
+}
+
+void StabilizerState::cx(int control, int target) {
+  for (int i = 0; i < 2 * n_; ++i) {
+    r_[i] ^= x_[i][control] & z_[i][target] &
+             (x_[i][target] ^ z_[i][control] ^ 1);
+    x_[i][target] ^= x_[i][control];
+    z_[i][control] ^= z_[i][target];
+  }
+}
+
+void StabilizerState::apply(const Operation& op) {
+  const auto& q = op.qubits;
+  switch (op.kind) {
+    case OpKind::I:
+    case OpKind::Barrier:
+      return;
+    case OpKind::X:
+      return x(q[0]);
+    case OpKind::Y:
+      return y(q[0]);
+    case OpKind::Z:
+      return z(q[0]);
+    case OpKind::H:
+      return h(q[0]);
+    case OpKind::S:
+      return s(q[0]);
+    case OpKind::Sdg:
+      return sdg(q[0]);
+    case OpKind::SX:
+      return sx(q[0]);
+    case OpKind::SXdg:
+      return sxdg(q[0]);
+    case OpKind::CX:
+      return cx(q[0], q[1]);
+    case OpKind::CY:
+      return cy(q[0], q[1]);
+    case OpKind::CZ:
+      return cz(q[0], q[1]);
+    case OpKind::SWAP:
+      return swap(q[0], q[1]);
+    default:
+      throw std::invalid_argument(std::string("stabilizer: non-Clifford op ") +
+                                  op_name(op.kind));
+  }
+}
+
+int StabilizerState::g_exponent(int x1, int z1, int x2, int z2) const {
+  if (!x1 && !z1) return 0;
+  if (x1 && z1) return z2 - x2;
+  if (x1 && !z1) return z2 * (2 * x2 - 1);
+  return x2 * (1 - 2 * z2);
+}
+
+void StabilizerState::rowsum(int h, int i) {
+  int sum = 2 * r_[h] + 2 * r_[i];
+  for (int j = 0; j < n_; ++j)
+    sum += g_exponent(x_[i][j], z_[i][j], x_[h][j], z_[h][j]);
+  sum = ((sum % 4) + 4) % 4;
+  r_[h] = sum == 2 ? 1 : 0;
+  for (int j = 0; j < n_; ++j) {
+    x_[h][j] ^= x_[i][j];
+    z_[h][j] ^= z_[i][j];
+  }
+}
+
+bool StabilizerState::is_deterministic(int q) const {
+  for (int p = n_; p < 2 * n_; ++p)
+    if (x_[p][q]) return false;
+  return true;
+}
+
+int StabilizerState::measure(int q, Rng& rng) {
+  int p = -1;
+  for (int i = n_; i < 2 * n_; ++i)
+    if (x_[i][q]) {
+      p = i;
+      break;
+    }
+  if (p >= 0) {
+    // Random outcome: Z_q anticommutes with stabilizer p.
+    for (int i = 0; i < 2 * n_; ++i)
+      if (i != p && x_[i][q]) rowsum(i, p);
+    x_[p - n_] = x_[p];
+    z_[p - n_] = z_[p];
+    r_[p - n_] = r_[p];
+    std::fill(x_[p].begin(), x_[p].end(), 0);
+    std::fill(z_[p].begin(), z_[p].end(), 0);
+    z_[p][q] = 1;
+    r_[p] = rng.bernoulli(0.5) ? 1 : 0;
+    return r_[p];
+  }
+  // Deterministic outcome: accumulate into the scratch row.
+  const int scratch = 2 * n_;
+  std::fill(x_[scratch].begin(), x_[scratch].end(), 0);
+  std::fill(z_[scratch].begin(), z_[scratch].end(), 0);
+  r_[scratch] = 0;
+  for (int i = 0; i < n_; ++i)
+    if (x_[i][q]) rowsum(scratch, i + n_);
+  return r_[scratch];
+}
+
+void StabilizerState::reset(int q, Rng& rng) {
+  if (measure(q, rng) == 1) x(q);
+}
+
+std::vector<std::string> StabilizerState::stabilizer_strings() const {
+  std::vector<std::string> out;
+  for (int i = n_; i < 2 * n_; ++i) {
+    std::string s = r_[i] ? "-" : "+";
+    for (int q = n_ - 1; q >= 0; --q) {
+      if (x_[i][q] && z_[i][q])
+        s += 'Y';
+      else if (x_[i][q])
+        s += 'X';
+      else if (z_[i][q])
+        s += 'Z';
+      else
+        s += 'I';
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+bool is_clifford_circuit(const QuantumCircuit& circuit) {
+  for (const auto& op : circuit.ops()) {
+    if (!op_is_unitary(op.kind)) continue;
+    switch (op.kind) {
+      case OpKind::I:
+      case OpKind::X:
+      case OpKind::Y:
+      case OpKind::Z:
+      case OpKind::H:
+      case OpKind::S:
+      case OpKind::Sdg:
+      case OpKind::SX:
+      case OpKind::SXdg:
+      case OpKind::CX:
+      case OpKind::CY:
+      case OpKind::CZ:
+      case OpKind::SWAP:
+      case OpKind::Barrier:
+        break;
+      default:
+        return false;
+    }
+  }
+  return true;
+}
+
+Counts StabilizerSimulator::run(const QuantumCircuit& circuit, int shots) {
+  if (shots <= 0) throw std::invalid_argument("run: shots must be positive");
+  if (!is_clifford_circuit(circuit))
+    throw std::invalid_argument("stabilizer: circuit is not Clifford");
+  Counts counts;
+  const int ncl = circuit.num_clbits();
+  for (int shot = 0; shot < shots; ++shot) {
+    StabilizerState state(circuit.num_qubits());
+    std::vector<int> clbits(ncl, 0);
+    for (const auto& op : circuit.ops()) {
+      if (op.conditioned()) {
+        const Register& reg = circuit.cregs()[op.cond_reg];
+        if (creg_value(reg, clbits) != op.cond_val) continue;
+      }
+      switch (op.kind) {
+        case OpKind::Measure:
+          clbits[op.clbits[0]] = state.measure(op.qubits[0], rng_);
+          break;
+        case OpKind::Reset:
+          state.reset(op.qubits[0], rng_);
+          break;
+        case OpKind::Barrier:
+          break;
+        default:
+          state.apply(op);
+      }
+    }
+    std::uint64_t value = 0;
+    for (int c = 0; c < ncl; ++c)
+      if (clbits[c]) value |= std::uint64_t{1} << c;
+    counts.record(format_bits(value, ncl));
+  }
+  return counts;
+}
+
+}  // namespace qtc::sim

@@ -1,0 +1,201 @@
+#include "sim/statevector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qtc::sim {
+
+namespace {
+
+bool is_power_of_two(std::size_t x) { return x && (x & (x - 1)) == 0; }
+
+int log2_exact(std::size_t x) {
+  int n = 0;
+  while ((std::size_t{1} << n) < x) ++n;
+  return n;
+}
+
+}  // namespace
+
+Statevector::Statevector(int num_qubits) : n_(num_qubits) {
+  if (num_qubits < 0 || num_qubits > 30)
+    throw std::invalid_argument("statevector: unsupported qubit count");
+  amp_.assign(std::size_t{1} << n_, cplx{0, 0});
+  amp_[0] = 1;
+}
+
+Statevector::Statevector(std::vector<cplx> amplitudes)
+    : amp_(std::move(amplitudes)) {
+  if (!is_power_of_two(amp_.size()))
+    throw std::invalid_argument("statevector: size must be a power of two");
+  n_ = log2_exact(amp_.size());
+}
+
+void Statevector::apply(const Operation& op) {
+  if (op.kind == OpKind::Barrier) return;
+  if (!op_is_unitary(op.kind))
+    throw std::invalid_argument("statevector: cannot apply non-unitary op");
+  // Fast paths for the ubiquitous gates.
+  if (op.kind == OpKind::CX) {
+    const std::uint64_t cmask = std::uint64_t{1} << op.qubits[0];
+    const std::uint64_t tmask = std::uint64_t{1} << op.qubits[1];
+    for (std::uint64_t i = 0; i < amp_.size(); ++i)
+      if ((i & cmask) && !(i & tmask)) std::swap(amp_[i], amp_[i | tmask]);
+    return;
+  }
+  if (op.qubits.size() == 1) {
+    const Matrix m = op_matrix(op.kind, op.params);
+    const std::uint64_t mask = std::uint64_t{1} << op.qubits[0];
+    const cplx m00 = m(0, 0), m01 = m(0, 1), m10 = m(1, 0), m11 = m(1, 1);
+    for (std::uint64_t i = 0; i < amp_.size(); ++i) {
+      if (i & mask) continue;
+      const cplx a0 = amp_[i], a1 = amp_[i | mask];
+      amp_[i] = m00 * a0 + m01 * a1;
+      amp_[i | mask] = m10 * a0 + m11 * a1;
+    }
+    return;
+  }
+  apply_matrix(op_matrix(op.kind, op.params), op.qubits);
+}
+
+void Statevector::apply_matrix(const Matrix& m, const std::vector<int>& qs) {
+  const int k = static_cast<int>(qs.size());
+  const std::size_t dim = std::size_t{1} << k;
+  if (m.rows() != dim || m.cols() != dim)
+    throw std::invalid_argument("apply_matrix: matrix/qubit-count mismatch");
+  for (int q : qs)
+    if (q < 0 || q >= n_)
+      throw std::out_of_range("apply_matrix: qubit out of range");
+
+  // Iterate over all base indices with zeros in the gate-qubit positions and
+  // apply the small matrix to the 2^k amplitudes addressed by those qubits.
+  std::vector<int> sorted = qs;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::uint64_t> offsets(dim, 0);
+  for (std::size_t j = 0; j < dim; ++j)
+    for (int t = 0; t < k; ++t)
+      if ((j >> t) & 1) offsets[j] |= std::uint64_t{1} << qs[t];
+
+  std::vector<cplx> in(dim), out(dim);
+  const std::uint64_t groups = amp_.size() >> k;
+  for (std::uint64_t g = 0; g < groups; ++g) {
+    // Expand g by inserting a 0 bit at each (sorted) gate qubit position.
+    std::uint64_t base = g;
+    for (int t = 0; t < k; ++t) {
+      const std::uint64_t low_mask = (std::uint64_t{1} << sorted[t]) - 1;
+      base = (base & low_mask) | ((base & ~low_mask) << 1);
+    }
+    for (std::size_t j = 0; j < dim; ++j) in[j] = amp_[base | offsets[j]];
+    for (std::size_t r = 0; r < dim; ++r) {
+      cplx acc{0, 0};
+      for (std::size_t c = 0; c < dim; ++c) acc += m(r, c) * in[c];
+      out[r] = acc;
+    }
+    for (std::size_t j = 0; j < dim; ++j) amp_[base | offsets[j]] = out[j];
+  }
+}
+
+void Statevector::apply_circuit(const QuantumCircuit& circuit) {
+  if (circuit.num_qubits() != n_)
+    throw std::invalid_argument("apply_circuit: qubit count mismatch");
+  for (const auto& op : circuit.ops()) apply(op);
+}
+
+double Statevector::probability_of_one(int q) const {
+  const std::uint64_t mask = std::uint64_t{1} << q;
+  double p = 0;
+  for (std::uint64_t i = 0; i < amp_.size(); ++i)
+    if (i & mask) p += std::norm(amp_[i]);
+  return p;
+}
+
+std::vector<double> Statevector::probabilities() const {
+  std::vector<double> p(amp_.size());
+  for (std::size_t i = 0; i < amp_.size(); ++i) p[i] = std::norm(amp_[i]);
+  return p;
+}
+
+int Statevector::measure(int q, Rng& rng) {
+  const double p1 = probability_of_one(q);
+  const int outcome = rng.bernoulli(p1) ? 1 : 0;
+  const std::uint64_t mask = std::uint64_t{1} << q;
+  const double keep = outcome ? p1 : 1 - p1;
+  const double scale = keep > 0 ? 1.0 / std::sqrt(keep) : 0.0;
+  for (std::uint64_t i = 0; i < amp_.size(); ++i) {
+    const bool one = (i & mask) != 0;
+    if (one == (outcome == 1))
+      amp_[i] *= scale;
+    else
+      amp_[i] = 0;
+  }
+  return outcome;
+}
+
+void Statevector::reset(int q, Rng& rng) {
+  if (measure(q, rng) == 1) {
+    Operation op;
+    op.kind = OpKind::X;
+    op.qubits = {q};
+    apply(op);
+  }
+}
+
+std::uint64_t Statevector::sample(Rng& rng) const {
+  double r = rng.uniform();
+  double acc = 0;
+  for (std::uint64_t i = 0; i < amp_.size(); ++i) {
+    acc += std::norm(amp_[i]);
+    if (r < acc) return i;
+  }
+  return amp_.size() - 1;
+}
+
+double Statevector::expectation_pauli(const std::string& paulis) const {
+  if (static_cast<int>(paulis.size()) != n_)
+    throw std::invalid_argument("expectation_pauli: wrong string length");
+  Statevector copy = *this;
+  for (int q = 0; q < n_; ++q) {
+    const char p = paulis[n_ - 1 - q];  // leftmost char = highest qubit
+    Operation op;
+    op.qubits = {q};
+    switch (p) {
+      case 'I':
+        continue;
+      case 'X':
+        op.kind = OpKind::X;
+        break;
+      case 'Y':
+        op.kind = OpKind::Y;
+        break;
+      case 'Z':
+        op.kind = OpKind::Z;
+        break;
+      default:
+        throw std::invalid_argument("expectation_pauli: bad character");
+    }
+    copy.apply(op);
+  }
+  return inner(amp_, copy.amp_).real();
+}
+
+double Statevector::fidelity(const Statevector& other) const {
+  return std::norm(inner(amp_, other.amp_));
+}
+
+double Statevector::norm() const { return norm2(amp_); }
+
+void Statevector::normalize() {
+  const double n = norm();
+  if (n <= 0) throw std::runtime_error("normalize: zero state");
+  for (auto& a : amp_) a /= n;
+}
+
+std::string format_bits(std::uint64_t value, int width) {
+  std::string s(width, '0');
+  for (int i = 0; i < width; ++i)
+    if ((value >> i) & 1) s[width - 1 - i] = '1';
+  return s;
+}
+
+}  // namespace qtc::sim

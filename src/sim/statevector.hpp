@@ -1,0 +1,70 @@
+#pragma once
+// Array-based quantum state: the 2^n complex amplitude vector and the gate
+// kernels that update it. This is the simulation technique the paper's
+// Sec. V-A describes as Qiskit's baseline (and whose exponential memory the
+// decision-diagram package addresses).
+
+#include <string>
+#include <vector>
+
+#include "core/circuit.hpp"
+#include "core/matrix.hpp"
+#include "core/rng.hpp"
+#include "core/types.hpp"
+
+namespace qtc::sim {
+
+/// Basis-state convention: qubit q is bit q of the index (little-endian, as
+/// in Qiskit). Bitstrings print with the highest qubit leftmost.
+class Statevector {
+ public:
+  /// |0...0> on n qubits.
+  explicit Statevector(int num_qubits);
+  /// Adopt an existing amplitude vector (size must be a power of two).
+  explicit Statevector(std::vector<cplx> amplitudes);
+
+  int num_qubits() const { return n_; }
+  std::size_t dim() const { return amp_.size(); }
+  const std::vector<cplx>& amplitudes() const { return amp_; }
+  std::vector<cplx>& amplitudes() { return amp_; }
+  cplx amplitude(std::uint64_t basis_state) const {
+    return amp_[basis_state];
+  }
+
+  /// Apply a unitary operation from the IR (throws on measure/reset).
+  void apply(const Operation& op);
+  /// Apply a 2^k x 2^k matrix to the listed qubits; qubits[0] is the least
+  /// significant gate-local bit (same convention as op_matrix).
+  void apply_matrix(const Matrix& m, const std::vector<int>& qubits);
+  /// Run all unitary gates of a circuit (skips barriers; throws on measure).
+  void apply_circuit(const QuantumCircuit& circuit);
+
+  /// Probability that qubit q reads 1.
+  double probability_of_one(int q) const;
+  /// Per-basis-state probabilities (length 2^n).
+  std::vector<double> probabilities() const;
+  /// Projective measurement of qubit q: collapses the state, returns 0/1.
+  int measure(int q, Rng& rng);
+  /// Measure-and-discard to |0>: projective measurement then X if needed.
+  void reset(int q, Rng& rng);
+  /// Sample a basis state index without collapsing.
+  std::uint64_t sample(Rng& rng) const;
+
+  /// <psi| P |psi> for a Pauli string. `paulis` uses one character per qubit,
+  /// leftmost = highest qubit (e.g. "ZZI" on 3 qubits: Z on q2, Z on q1).
+  double expectation_pauli(const std::string& paulis) const;
+
+  /// |<this|other>|^2.
+  double fidelity(const Statevector& other) const;
+  double norm() const;
+  void normalize();
+
+ private:
+  int n_ = 0;
+  std::vector<cplx> amp_;
+};
+
+/// Render a basis index as a bitstring, qubit width-1 first (Qiskit order).
+std::string format_bits(std::uint64_t value, int width);
+
+}  // namespace qtc::sim

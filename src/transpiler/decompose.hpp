@@ -1,0 +1,41 @@
+#pragma once
+// Gate decomposition passes. The paper (Sec. II-B): "the user first has to
+// decompose all non-elementary quantum operations (e.g. Toffoli gate, SWAP
+// gate, or Fredkin gate) to the elementary operations U(theta, phi, lambda)
+// and CNOT".
+
+#include "transpiler/pass_manager.hpp"
+
+namespace qtc::transpiler {
+
+/// Rewrites multi-qubit gates other than CX into {1q gates, CX}:
+/// CZ/CY/CH/CRX/CRY/CRZ/CP/CU via the ABC controlled-unitary construction,
+/// SWAP as three CX, iSWAP/RZZ/RXX via standard identities, CCX via the
+/// Clifford+T network, CSWAP via CCX. Single-qubit gates are left alone.
+class DecomposeMultiQubit final : public Pass {
+ public:
+  std::string name() const override { return "decompose-multi-qubit"; }
+  QuantumCircuit run(const QuantumCircuit& circuit) const override;
+};
+
+/// Rewrites every remaining 1q gate into the QX-native U(theta,phi,lambda)
+/// (named gates keep their exact unitary; RZ etc. may pick up a global
+/// phase). Run after DecomposeMultiQubit for a full {U, CX} basis.
+class RewriteToUBasis final : public Pass {
+ public:
+  std::string name() const override { return "rewrite-u-basis"; }
+  QuantumCircuit run(const QuantumCircuit& circuit) const override;
+};
+
+/// Rewrites every 1q gate into the modern IBM basis {RZ, SX} via
+/// U(theta, phi, lambda) ~ RZ(phi + pi) SX RZ(theta + pi) SX RZ(lambda)
+/// (up to global phase), leaving CX untouched: the {RZ, SX, CX} target of
+/// current devices. Run after DecomposeMultiQubit. Pure Z rotations emit a
+/// single RZ; identities vanish.
+class RewriteToRzSxBasis final : public Pass {
+ public:
+  std::string name() const override { return "rewrite-rzsx-basis"; }
+  QuantumCircuit run(const QuantumCircuit& circuit) const override;
+};
+
+}  // namespace qtc::transpiler

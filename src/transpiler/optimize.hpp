@@ -1,0 +1,28 @@
+#pragma once
+// Optimization passes: the paper's Sec. III names "minimizing occurrences of
+// CNOT gates" and general circuit optimization as the transpiler's job.
+
+#include "transpiler/pass_manager.hpp"
+
+namespace qtc::transpiler {
+
+/// Cancels adjacent inverse pairs (H-H, X-X, CX-CX, T-Tdg, SWAP-SWAP, ...)
+/// and merges adjacent same-axis rotations (RZ RZ -> RZ, P P -> P, ...),
+/// where "adjacent" means no intervening operation touches the gate's
+/// qubits. Runs to a fixed point. Conditioned ops are never touched.
+class GateCancellation final : public Pass {
+ public:
+  std::string name() const override { return "gate-cancellation"; }
+  QuantumCircuit run(const QuantumCircuit& circuit) const override;
+};
+
+/// Fuses maximal runs of single-qubit gates on each qubit into one
+/// U(theta, phi, lambda) via ZYZ resynthesis; identity runs vanish.
+/// Preserves each run's unitary up to global phase.
+class FuseSingleQubitGates final : public Pass {
+ public:
+  std::string name() const override { return "fuse-1q-gates"; }
+  QuantumCircuit run(const QuantumCircuit& circuit) const override;
+};
+
+}  // namespace qtc::transpiler

@@ -1,0 +1,49 @@
+#pragma once
+// Transpiler pass infrastructure: circuit-to-circuit rewrites composed into
+// pipelines, mirroring Terra's transpiler described in the paper's Sec. III
+// ("letting the transpiler find a more optimized circuit while maintaining
+// the exact functionality prescribed by the user").
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/circuit.hpp"
+
+namespace qtc::transpiler {
+
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  virtual std::string name() const = 0;
+  virtual QuantumCircuit run(const QuantumCircuit& circuit) const = 0;
+};
+
+class PassManager {
+ public:
+  PassManager& append(std::unique_ptr<Pass> pass) {
+    passes_.push_back(std::move(pass));
+    return *this;
+  }
+  template <typename P, typename... Args>
+  PassManager& append(Args&&... args) {
+    return append(std::make_unique<P>(std::forward<Args>(args)...));
+  }
+
+  QuantumCircuit run(const QuantumCircuit& circuit) const {
+    QuantumCircuit current = circuit;
+    for (const auto& pass : passes_) current = pass->run(current);
+    return current;
+  }
+
+  std::vector<std::string> pass_names() const {
+    std::vector<std::string> names;
+    for (const auto& p : passes_) names.push_back(p->name());
+    return names;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+}  // namespace qtc::transpiler

@@ -1,0 +1,56 @@
+#include "transpiler/transpile.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "transpiler/commutative.hpp"
+#include "transpiler/decompose.hpp"
+#include "transpiler/direction.hpp"
+#include "transpiler/optimize.hpp"
+
+namespace qtc::transpiler {
+
+TranspileResult transpile(const QuantumCircuit& circuit,
+                          const arch::Backend& backend,
+                          const TranspileOptions& options) {
+  // 1. Bring everything down to {1q, CX} so the router sees only pairs.
+  QuantumCircuit current = DecomposeMultiQubit().run(circuit);
+
+  // 2. Layout + routing.
+  std::unique_ptr<map::Mapper> mapper;
+  switch (options.mapper) {
+    case MapperKind::Naive:
+      mapper = std::make_unique<map::NaiveMapper>();
+      break;
+    case MapperKind::Sabre:
+      mapper = std::make_unique<map::SabreMapper>();
+      break;
+    case MapperKind::AStar:
+      mapper = std::make_unique<map::AStarMapper>();
+      break;
+  }
+  map::MappingResult mapped = mapper->run(current, backend.coupling_map());
+
+  // 3. Inserted SWAPs become CXs; wrong-way CXs get the 4-H conjugation.
+  current = DecomposeMultiQubit().run(mapped.circuit);
+  current = FixCxDirections(backend.coupling_map()).run(current);
+
+  // 4. Cleanup.
+  if (options.optimization_level >= 1)
+    current = GateCancellation().run(current);
+  if (options.optimization_level >= 2) {
+    current = CommutativeCancellation().run(current);
+    current = FuseSingleQubitGates().run(current);
+    current = GateCancellation().run(current);
+  }
+  if (options.to_u_basis) current = RewriteToUBasis().run(current);
+
+  if (!satisfies_coupling(current, backend.coupling_map()))
+    throw std::logic_error("transpile: produced an illegal circuit");
+
+  return TranspileResult{std::move(current), std::move(mapped.initial),
+                         std::move(mapped.final_layout),
+                         mapped.swaps_inserted};
+}
+
+}  // namespace qtc::transpiler

@@ -1,0 +1,35 @@
+#pragma once
+// End-to-end compilation for a QX backend — the `compile(circ, ibmqx4)` step
+// of the paper's Sec. IV: decompose to {U, CX}, place & route under the
+// coupling map, legalize CNOT directions, and clean up.
+
+#include "arch/backend.hpp"
+#include "map/mapping.hpp"
+#include "transpiler/pass_manager.hpp"
+
+namespace qtc::transpiler {
+
+enum class MapperKind { Naive, Sabre, AStar };
+
+struct TranspileOptions {
+  MapperKind mapper = MapperKind::Sabre;
+  /// 0 = no cleanup, 1 = gate cancellation, 2 = + 1q-gate fusion.
+  int optimization_level = 1;
+  /// Rewrite all 1q gates into the device-native U(theta, phi, lambda).
+  bool to_u_basis = false;
+};
+
+struct TranspileResult {
+  QuantumCircuit circuit;  // over physical qubits, coupling-legal
+  map::Layout initial_layout;
+  map::Layout final_layout;
+  int swaps_inserted = 0;
+};
+
+/// Compile `circuit` for `backend`. The result satisfies
+/// transpiler::satisfies_coupling on the backend's coupling map.
+TranspileResult transpile(const QuantumCircuit& circuit,
+                          const arch::Backend& backend,
+                          const TranspileOptions& options = {});
+
+}  // namespace qtc::transpiler

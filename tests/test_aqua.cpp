@@ -1,0 +1,458 @@
+#include "aqua/algorithms.hpp"
+#include "aqua/ansatz.hpp"
+#include "aqua/h2.hpp"
+#include "aqua/maxcut.hpp"
+#include "aqua/optimizer.hpp"
+#include "aqua/vqe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "sim/simulator.hpp"
+
+namespace qtc::aqua {
+namespace {
+
+// --- optimizers -------------------------------------------------------------
+
+double rosenbrock(const std::vector<double>& x) {
+  return 100 * std::pow(x[1] - x[0] * x[0], 2) + std::pow(1 - x[0], 2);
+}
+
+double quadratic(const std::vector<double>& x) {
+  double s = 0;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    s += (x[i] - 0.5 * (i + 1)) * (x[i] - 0.5 * (i + 1));
+  return s;
+}
+
+TEST(Optimizer, NelderMeadSolvesRosenbrock) {
+  const auto result = NelderMead(8000).minimize(rosenbrock, {-1.2, 1.0});
+  EXPECT_NEAR(result.parameters[0], 1.0, 1e-3);
+  EXPECT_NEAR(result.parameters[1], 1.0, 1e-3);
+  EXPECT_LT(result.value, 1e-6);
+}
+
+TEST(Optimizer, NelderMeadSolvesQuadratic) {
+  const auto result =
+      NelderMead().minimize(quadratic, {0, 0, 0});
+  EXPECT_LT(result.value, 1e-8);
+  EXPECT_NEAR(result.parameters[2], 1.5, 1e-3);
+}
+
+TEST(Optimizer, SpsaApproachesQuadraticMinimum) {
+  const auto result = Spsa(800, 0.4, 0.2, 9).minimize(quadratic, {2, -1, 0});
+  EXPECT_LT(result.value, 0.05);
+}
+
+TEST(Optimizer, GradientDescentOnQuadratic) {
+  const auto result = GradientDescent(300, 0.3).minimize(quadratic, {0, 0, 0});
+  EXPECT_LT(result.value, 1e-8);
+}
+
+TEST(Optimizer, EmptyParametersThrow) {
+  EXPECT_THROW(NelderMead().minimize(quadratic, {}), std::invalid_argument);
+  EXPECT_THROW(Spsa().minimize(quadratic, {}), std::invalid_argument);
+}
+
+// --- ansaetze ---------------------------------------------------------------
+
+TEST(Ansatz, RyLinearShape) {
+  const Ansatz a = ry_linear(3, 2);
+  EXPECT_EQ(a.num_parameters, 9);
+  const QuantumCircuit qc = a.build(std::vector<double>(9, 0.1));
+  EXPECT_EQ(qc.count(OpKind::RY), 9);
+  EXPECT_EQ(qc.count(OpKind::CX), 4);  // 2 entangling layers x 2 pairs
+  EXPECT_THROW(a.build({0.1}), std::invalid_argument);
+}
+
+TEST(Ansatz, EfficientSu2Shape) {
+  const Ansatz a = efficient_su2(2, 1);
+  EXPECT_EQ(a.num_parameters, 8);
+  const QuantumCircuit qc = a.build(std::vector<double>(8, 0.0));
+  EXPECT_EQ(qc.count(OpKind::RZ), 4);
+}
+
+// --- H2 electronic structure ---------------------------------------------------
+
+TEST(H2, BoysFunctionLimits) {
+  EXPECT_NEAR(boys_f0(0), 1.0, 1e-9);
+  EXPECT_NEAR(boys_f0(1e-14), 1.0, 1e-9);
+  // Large t: F0 -> 0.5 sqrt(pi/t).
+  EXPECT_NEAR(boys_f0(100.0), 0.5 * std::sqrt(PI / 100.0), 1e-9);
+}
+
+TEST(H2, OverlapMatchesSzaboOstlund) {
+  // Szabo & Ostlund give S12 = 0.6593 for STO-3G H2 at R = 1.4 bohr.
+  const auto ints = h2_integrals(1.4 * 0.52917721092);
+  EXPECT_NEAR(ints.overlap12, 0.6593, 2e-3);
+}
+
+TEST(H2, CoreHamiltonianIsSymmetryDiagonal) {
+  const auto ints = h2_integrals(0.74);
+  EXPECT_NEAR(ints.h_mo[0][1], 0.0, 1e-10);
+  EXPECT_NEAR(ints.h_mo[1][0], 0.0, 1e-10);
+  EXPECT_LT(ints.h_mo[0][0], ints.h_mo[1][1]);  // bonding below antibonding
+}
+
+TEST(H2, HamiltonianIsHermitianAndFourQubits) {
+  const H2Problem problem = h2_problem(0.735);
+  EXPECT_EQ(problem.hamiltonian.num_qubits(), 4);
+  EXPECT_TRUE(problem.hamiltonian.is_hermitian(1e-8));
+  EXPECT_GT(problem.hamiltonian.num_terms(), 5u);
+}
+
+TEST(H2, FciEnergyNearEquilibriumMatchesLiterature) {
+  // Full CI in STO-3G at the equilibrium bond length ~0.735 A gives a total
+  // energy of about -1.137 Hartree.
+  const H2Problem problem = h2_problem(0.735);
+  const double fci = problem.fci_energy();
+  EXPECT_GT(fci, -1.16);
+  EXPECT_LT(fci, -1.12);
+}
+
+TEST(H2, DissociationCurveHasMinimumNearEquilibrium) {
+  const double e_short = h2_problem(0.4).fci_energy();
+  const double e_eq = h2_problem(0.735).fci_energy();
+  const double e_long = h2_problem(2.5).fci_energy();
+  EXPECT_LT(e_eq, e_short);
+  EXPECT_LT(e_eq, e_long);
+  // Dissociation limit: two hydrogen atoms, ~-0.93 Ha in this basis at 2.5 A.
+  EXPECT_GT(e_long, -1.01);
+}
+
+TEST(H2, InvalidBondLengthThrows) {
+  EXPECT_THROW(h2_problem(0.0), std::invalid_argument);
+  EXPECT_THROW(h2_problem(-1.0), std::invalid_argument);
+}
+
+// --- VQE -----------------------------------------------------------------------
+
+TEST(Vqe, FindsGroundStateOfSingleQubitHamiltonian) {
+  // H = X + Z, ground energy -sqrt(2).
+  const PauliOp h = PauliOp::term(1, "X") + PauliOp::term(1, "Z");
+  VqeOptions options;
+  options.seed = 7;
+  const VqeResult result = vqe(h, ry_linear(1, 0), NelderMead(), options);
+  EXPECT_NEAR(result.energy, -std::sqrt(2.0), 1e-4);
+}
+
+TEST(Vqe, SolvesH2AtEquilibrium) {
+  const H2Problem problem = h2_problem(0.735);
+  VqeOptions options;
+  options.seed = 13;
+  options.restarts = 2;
+  const VqeResult result =
+      vqe(problem.hamiltonian, ry_linear(4, 2), NelderMead(6000), options);
+  const double exact = problem.hamiltonian.ground_energy();
+  EXPECT_NEAR(result.energy, exact, 2e-3);
+}
+
+TEST(Vqe, ShotBasedExpectationApproachesExact) {
+  const PauliOp h = PauliOp::term(2, "ZZ") + PauliOp::term(2, "XI", {0.5, 0});
+  QuantumCircuit prep(2);
+  prep.h(0).cx(0, 1);
+  const double exact = estimate_expectation(prep, h, 0);
+  const double sampled = estimate_expectation(prep, h, 20000, {}, 5);
+  EXPECT_NEAR(sampled, exact, 0.05);
+}
+
+TEST(Vqe, RejectsMismatchedSizes) {
+  const PauliOp h = PauliOp::term(2, "ZZ");
+  EXPECT_THROW(vqe(h, ry_linear(1, 0), NelderMead()), std::invalid_argument);
+}
+
+TEST(Vqe, RejectsNonHermitianHamiltonian) {
+  const PauliOp h = PauliOp::term(1, "X", {0, 1});
+  QuantumCircuit prep(1);
+  EXPECT_THROW(estimate_expectation(prep, h), std::invalid_argument);
+}
+
+// --- Max-Cut ---------------------------------------------------------------------
+
+Graph square_graph() {
+  // 4-cycle: max cut = 4.
+  return Graph{4, {{0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {3, 0, 1}}};
+}
+
+TEST(MaxCut, CutValueCountsCrossingEdges) {
+  const Graph g = square_graph();
+  EXPECT_EQ(cut_value(g, 0b0101), 4);
+  EXPECT_EQ(cut_value(g, 0b0011), 2);
+  EXPECT_EQ(cut_value(g, 0b0000), 0);
+}
+
+TEST(MaxCut, BruteForceOnSquare) {
+  EXPECT_EQ(max_cut_brute_force(square_graph()), 4);
+}
+
+TEST(MaxCut, HamiltonianGroundEnergyEqualsMinusMaxCut) {
+  const Graph g = square_graph();
+  const PauliOp h = maxcut_hamiltonian(g);
+  EXPECT_NEAR(h.ground_energy(), -max_cut_brute_force(g), 1e-8);
+}
+
+TEST(MaxCut, QaoaFindsTheOptimalCut) {
+  const Graph g = square_graph();
+  const PauliOp h = maxcut_hamiltonian(g);
+  VqeOptions options;
+  options.seed = 23;
+  options.restarts = 3;
+  const VqeResult result = vqe(h, qaoa_ansatz(g, 2), NelderMead(), options);
+  // Read the cut from the optimized distribution.
+  const QuantumCircuit qc = qaoa_ansatz(g, 2).build(result.parameters);
+  sim::StatevectorSimulator sim;
+  const auto probs = sim.statevector(qc).probabilities();
+  const std::uint64_t assignment = best_assignment(g, probs);
+  EXPECT_EQ(cut_value(g, assignment), max_cut_brute_force(g));
+}
+
+TEST(MaxCut, BadEdgesThrow) {
+  EXPECT_THROW(maxcut_hamiltonian(Graph{2, {{0, 5, 1}}}),
+               std::invalid_argument);
+  EXPECT_THROW(maxcut_hamiltonian(Graph{2, {{1, 1, 1}}}),
+               std::invalid_argument);
+}
+
+// --- algorithm library -------------------------------------------------------------
+
+TEST(Algorithms, GhzAmplitudes) {
+  sim::StatevectorSimulator sim;
+  const auto sv = sim.statevector(ghz(4).unitary_part());
+  EXPECT_NEAR(std::abs(sv.amplitude(0)), SQRT1_2, 1e-10);
+  EXPECT_NEAR(std::abs(sv.amplitude(15)), SQRT1_2, 1e-10);
+}
+
+TEST(Algorithms, WStateIsUniformOverWeightOne) {
+  sim::StatevectorSimulator sim;
+  const int n = 4;
+  const auto sv = sim.statevector(w_state(n).unitary_part());
+  for (std::uint64_t i = 0; i < (1u << n); ++i) {
+    const int weight = __builtin_popcountll(i);
+    if (weight == 1)
+      EXPECT_NEAR(std::abs(sv.amplitude(i)), 1.0 / std::sqrt(n), 1e-9) << i;
+    else
+      EXPECT_NEAR(std::abs(sv.amplitude(i)), 0.0, 1e-9) << i;
+  }
+}
+
+TEST(Algorithms, QftMatchesDiscreteFourierMatrix) {
+  const int n = 3;
+  const Matrix u = sim::UnitarySimulator().unitary(qft(n));
+  const std::size_t dim = 1 << n;
+  const cplx omega = std::exp(cplx(0, 2 * PI / dim));
+  for (std::size_t r = 0; r < dim; ++r)
+    for (std::size_t c = 0; c < dim; ++c)
+      EXPECT_LT(std::abs(u(r, c) - std::pow(omega, r * c) /
+                                        std::sqrt(double(dim))),
+                1e-9)
+          << r << "," << c;
+}
+
+TEST(Algorithms, IqftInvertsQft) {
+  QuantumCircuit combined(3);
+  combined.compose(qft(3));
+  combined.compose(iqft(3));
+  const Matrix u = sim::UnitarySimulator().unitary(combined);
+  EXPECT_TRUE(u.equal_up_to_phase(Matrix::identity(8), 1e-9));
+}
+
+TEST(Algorithms, McxActsAsMultiControlledX) {
+  for (int controls = 1; controls <= 4; ++controls) {
+    QuantumCircuit qc(controls + 1);
+    std::vector<Qubit> cs;
+    for (int i = 0; i < controls; ++i) cs.push_back(i);
+    mcx(qc, cs, controls);
+    const Matrix u = sim::UnitarySimulator().unitary(qc);
+    const std::size_t dim = u.rows();
+    // Only |1..1 0> <-> |1..1 1> swap; everything else identity.
+    const std::size_t all_controls = (std::size_t{1} << controls) - 1;
+    for (std::size_t i = 0; i < dim; ++i) {
+      const std::size_t expected_col =
+          ((i & all_controls) == all_controls)
+              ? (i ^ (std::size_t{1} << controls))
+              : i;
+      EXPECT_NEAR(std::abs(u(expected_col, i)), 1.0, 1e-8)
+          << controls << " controls, col " << i;
+    }
+  }
+}
+
+TEST(Algorithms, GroverFindsMarkedElement) {
+  sim::StatevectorSimulator sim(31);
+  for (const std::string marked : {"101", "0110"}) {
+    const auto result = sim.run(grover(marked), 2000);
+    EXPECT_GT(result.counts.probability(marked), 0.6) << marked;
+  }
+}
+
+TEST(Algorithms, BernsteinVaziraniIsDeterministic) {
+  sim::StatevectorSimulator sim;
+  for (const std::string secret : {"1011", "0001", "111"}) {
+    const auto result = sim.run(bernstein_vazirani(secret), 200);
+    EXPECT_EQ(result.counts.count(secret), 200) << secret;
+  }
+}
+
+TEST(Algorithms, DeutschJozsaConstantGivesZeros) {
+  sim::StatevectorSimulator sim;
+  const auto constant = sim.run(deutsch_jozsa("000"), 100);
+  EXPECT_EQ(constant.counts.count("000"), 100);
+  const auto balanced = sim.run(deutsch_jozsa("010"), 100);
+  EXPECT_EQ(balanced.counts.count("000"), 0);
+}
+
+TEST(Algorithms, QpeRecoversExactPhase) {
+  sim::StatevectorSimulator sim;
+  // phase = 5/16 with 4 counting qubits is exactly representable.
+  const auto result = sim.run(qpe(5.0 / 16.0, 4), 500);
+  EXPECT_EQ(result.counts.count("0101"), 500);
+}
+
+TEST(Algorithms, QpeApproximatesIrrationalPhase) {
+  sim::StatevectorSimulator sim(17);
+  const double phase = 0.3;
+  const int precision = 5;
+  const auto result = sim.run(qpe(phase, precision), 4000);
+  // The most likely outcome should be round(phase * 2^precision).
+  const int expected = static_cast<int>(std::lround(phase * 32)) % 32;
+  EXPECT_EQ(result.counts.most_frequent(),
+            sim::format_bits(expected, precision));
+}
+
+TEST(Algorithms, TeleportationDeliversTheState) {
+  sim::StatevectorSimulator sim(41);
+  const double theta = 0.9;
+  const auto result = sim.run(teleportation(theta), 4000);
+  const double p1 = std::pow(std::sin(theta / 2), 2);
+  int ones = 0;
+  for (const auto& [bits, c] : result.counts.histogram)
+    if (bits[0] == '1') ones += c;  // clbit 2 ("out") is leftmost
+  EXPECT_NEAR(ones / 4000.0, p1, 0.03);
+}
+
+TEST(Algorithms, CuccaroAdderAddsAllInputs) {
+  const int bits = 3;
+  const QuantumCircuit adder = cuccaro_adder(bits).unitary_part();
+  sim::StatevectorSimulator sim;
+  for (int a = 0; a < 8; ++a) {
+    for (int b = 0; b < 8; b += 3) {
+      QuantumCircuit qc(2 * bits + 1);
+      for (int i = 0; i < bits; ++i) {
+        if ((a >> i) & 1) qc.x(1 + i);
+        if ((b >> i) & 1) qc.x(1 + bits + i);
+      }
+      qc.compose(adder);
+      const auto sv = sim.statevector(qc);
+      // Expected: carry 0, a unchanged, b = a + b mod 8.
+      std::uint64_t expected = 0;
+      for (int i = 0; i < bits; ++i) {
+        if ((a >> i) & 1) expected |= std::uint64_t{1} << (1 + i);
+        if ((((a + b) % 8) >> i) & 1)
+          expected |= std::uint64_t{1} << (1 + bits + i);
+      }
+      EXPECT_NEAR(std::abs(sv.amplitude(expected)), 1.0, 1e-9)
+          << a << "+" << b;
+    }
+  }
+}
+
+
+TEST(Shor, ControlledMultMod15Permutation) {
+  sim::StatevectorSimulator sim;
+  for (int a : {2, 4, 7, 8, 11, 13}) {
+    for (int x = 1; x < 15; ++x) {
+      QuantumCircuit qc(5);
+      qc.x(0);  // control asserted
+      for (int b = 0; b < 4; ++b)
+        if ((x >> b) & 1) qc.x(1 + b);
+      controlled_mult_mod15(qc, a, 0, {1, 2, 3, 4});
+      const auto sv = sim.statevector(qc);
+      const std::uint64_t expect = 1 | (std::uint64_t((a * x) % 15) << 1);
+      EXPECT_NEAR(std::abs(sv.amplitude(expect)), 1.0, 1e-9)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(Shor, ControlOffMeansIdentity) {
+  sim::StatevectorSimulator sim;
+  QuantumCircuit qc(5);
+  qc.x(2);  // work = 2, control clear
+  controlled_mult_mod15(qc, 7, 0, {1, 2, 3, 4});
+  const auto sv = sim.statevector(qc);
+  EXPECT_NEAR(std::abs(sv.amplitude(0b00100)), 1.0, 1e-9);
+}
+
+TEST(Shor, OrderFindingPeaksAtMultiplesOfInverseOrder) {
+  // a = 7 has order 4 mod 15: counting register peaks at k * 2^p / 4.
+  const int precision = 4;
+  sim::StatevectorSimulator sim(3);
+  const auto result = sim.run(shor_order_finding(7, precision), 8000);
+  const int quarter = 1 << (precision - 2);
+  double on_peaks = 0;
+  for (int k = 0; k < 4; ++k)
+    on_peaks +=
+        result.counts.probability(sim::format_bits(k * quarter, precision));
+  EXPECT_GT(on_peaks, 0.95);
+  // Every peak is roughly uniform.
+  EXPECT_NEAR(result.counts.probability(sim::format_bits(quarter, precision)),
+              0.25, 0.05);
+}
+
+TEST(Shor, OrderFindingForOrderTwoElement) {
+  // a = 4 has order 2 mod 15 (16 = 1): peaks at 0 and 2^(p-1).
+  const int precision = 3;
+  sim::StatevectorSimulator sim(5);
+  const auto result = sim.run(shor_order_finding(4, precision), 4000);
+  EXPECT_NEAR(result.counts.probability("000"), 0.5, 0.05);
+  EXPECT_NEAR(result.counts.probability("100"), 0.5, 0.05);
+}
+
+TEST(Shor, OrderFromPhaseContinuedFractions) {
+  // phase = 3/4 measured with 4 bits: value 12 -> order 4.
+  EXPECT_EQ(order_from_phase(12, 4), 4);
+  EXPECT_EQ(order_from_phase(4, 4), 4);   // 1/4
+  EXPECT_EQ(order_from_phase(8, 4), 2);   // 1/2
+  EXPECT_EQ(order_from_phase(0, 4), 1);
+  // Inexact phase: 0.30078125 ~ 77/256 -> nearest small denominator 3.
+  EXPECT_EQ(order_from_phase(77, 8, 8), 3);
+}
+
+TEST(Shor, EndToEndRecoversOrderOfSeven) {
+  sim::StatevectorSimulator sim(7);
+  const int precision = 4;
+  const auto result = sim.run(shor_order_finding(7, precision), 64);
+  // Combine candidate orders over shots by lcm; must reach exactly 4.
+  long long combined = 1;
+  for (const auto& [bits, count] : result.counts.histogram) {
+    std::uint64_t value = 0;
+    for (int b = 0; b < precision; ++b)
+      if (bits[precision - 1 - b] == '1') value |= 1ull << b;
+    const int r = order_from_phase(value, precision);
+    combined = std::lcm(combined, static_cast<long long>(r));
+  }
+  EXPECT_EQ(combined, 4);
+}
+
+TEST(Shor, ValidationErrors) {
+  QuantumCircuit qc(5);
+  EXPECT_THROW(controlled_mult_mod15(qc, 3, 0, {1, 2, 3, 4}),
+               std::invalid_argument);
+  EXPECT_THROW(controlled_mult_mod15(qc, 7, 0, {1, 2}),
+               std::invalid_argument);
+  EXPECT_THROW(shor_order_finding(7, 1), std::invalid_argument);
+}
+
+TEST(Algorithms, ValidationErrors) {
+  EXPECT_THROW(ghz(0), std::invalid_argument);
+  EXPECT_THROW(grover("1"), std::invalid_argument);
+  EXPECT_THROW(grover("10a"), std::invalid_argument);
+  EXPECT_THROW(qpe(0.5, 0), std::invalid_argument);
+  EXPECT_THROW(cuccaro_adder(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qtc::aqua

@@ -1,0 +1,119 @@
+#include "arch/backend.hpp"
+#include "arch/coupling_map.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qtc::arch {
+namespace {
+
+TEST(CouplingMap, Qx4MatchesPaperFig2) {
+  const CouplingMap qx4 = ibm_qx4();
+  EXPECT_EQ(qx4.num_qubits(), 5);
+  // Arrows of Fig. 2: Q1->Q0, Q2->Q0, Q2->Q1, Q3->Q2, Q3->Q4, Q2->Q4.
+  EXPECT_TRUE(qx4.has_edge(1, 0));
+  EXPECT_TRUE(qx4.has_edge(2, 0));
+  EXPECT_TRUE(qx4.has_edge(2, 1));
+  EXPECT_TRUE(qx4.has_edge(3, 2));
+  EXPECT_TRUE(qx4.has_edge(3, 4));
+  EXPECT_TRUE(qx4.has_edge(2, 4));
+  // Directions are firm: the reverse orientation is NOT native.
+  EXPECT_FALSE(qx4.has_edge(0, 1));
+  EXPECT_FALSE(qx4.has_edge(2, 3));
+  // But the undirected connection exists.
+  EXPECT_TRUE(qx4.connected(0, 1));
+  EXPECT_TRUE(qx4.connected(2, 3));
+  EXPECT_FALSE(qx4.connected(0, 4));
+}
+
+TEST(CouplingMap, Qx4Distances) {
+  const CouplingMap qx4 = ibm_qx4();
+  EXPECT_EQ(qx4.distance(0, 0), 0);
+  EXPECT_EQ(qx4.distance(0, 1), 1);
+  EXPECT_EQ(qx4.distance(0, 4), 2);  // via Q2
+  EXPECT_EQ(qx4.distance(0, 3), 2);  // via Q2
+}
+
+TEST(CouplingMap, Qx2HasFivequbitsAndSixEdges) {
+  const CouplingMap qx2 = ibm_qx2();
+  EXPECT_EQ(qx2.num_qubits(), 5);
+  EXPECT_EQ(qx2.edges().size(), 6u);
+  EXPECT_TRUE(qx2.is_connected());
+}
+
+TEST(CouplingMap, Qx5SixteenQubitLadder) {
+  const CouplingMap qx5 = ibm_qx5();
+  EXPECT_EQ(qx5.num_qubits(), 16);
+  EXPECT_TRUE(qx5.is_connected());
+  EXPECT_TRUE(qx5.has_edge(1, 0));
+  EXPECT_TRUE(qx5.has_edge(15, 14));
+  // Far corners of the ladder.
+  EXPECT_GE(qx5.distance(0, 8), 4);
+}
+
+TEST(CouplingMap, ShortestPathEndpointsAndAdjacency) {
+  const CouplingMap qx4 = ibm_qx4();
+  const auto path = qx4.shortest_path(0, 4);
+  ASSERT_GE(path.size(), 2u);
+  EXPECT_EQ(path.front(), 0);
+  EXPECT_EQ(path.back(), 4);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i)
+    EXPECT_TRUE(qx4.connected(path[i], path[i + 1]));
+  EXPECT_EQ(static_cast<int>(path.size()) - 1, qx4.distance(0, 4));
+}
+
+TEST(CouplingMap, LinearRingGridShapes) {
+  EXPECT_EQ(linear(5).distance(0, 4), 4);
+  EXPECT_EQ(ring(6).distance(0, 3), 3);
+  EXPECT_EQ(ring(6).distance(0, 5), 1);
+  EXPECT_EQ(grid(3, 3).distance(0, 8), 4);
+  EXPECT_EQ(fully_connected(7).distance(2, 6), 1);
+}
+
+TEST(CouplingMap, ValidationRejectsBadEdges) {
+  EXPECT_THROW(CouplingMap(2, {{0, 5}}), std::out_of_range);
+  EXPECT_THROW(CouplingMap(2, {{1, 1}}), std::invalid_argument);
+  EXPECT_THROW(CouplingMap(0, {}), std::invalid_argument);
+}
+
+TEST(CouplingMap, DisconnectedGraphDetected) {
+  const CouplingMap m(4, {{0, 1}, {2, 3}});
+  EXPECT_FALSE(m.is_connected());
+  EXPECT_EQ(m.distance(0, 2), 4);  // sentinel = num_qubits
+}
+
+TEST(CouplingMap, ToStringListsArrows) {
+  const std::string s = ibm_qx4().to_string();
+  EXPECT_NE(s.find("ibmqx4"), std::string::npos);
+  EXPECT_NE(s.find("Q3->Q2"), std::string::npos);
+}
+
+TEST(Backend, Qx4BackendBasics) {
+  const Backend backend = qx4_backend();
+  EXPECT_EQ(backend.num_qubits(), 5);
+  EXPECT_EQ(backend.name(), "ibmqx4");
+  EXPECT_TRUE(backend.is_basis_gate(OpKind::U));
+  EXPECT_TRUE(backend.is_basis_gate(OpKind::CX));
+  EXPECT_FALSE(backend.is_basis_gate(OpKind::CCX));
+  EXPECT_FALSE(backend.is_basis_gate(OpKind::SWAP));
+}
+
+TEST(Backend, CalibrationCoversAllQubitsAndEdges) {
+  const Backend backend = qx5_backend();
+  const auto& cal = backend.calibration();
+  EXPECT_EQ(cal.single_qubit_error.size(), 16u);
+  EXPECT_EQ(cal.readout_error.size(), 16u);
+  EXPECT_EQ(cal.cx_error.size(), backend.coupling_map().edges().size());
+  for (double e : cal.cx_error) {
+    EXPECT_GT(e, 0);
+    EXPECT_LT(e, 0.1);
+  }
+}
+
+TEST(Backend, CxErrorLookupByEitherDirection) {
+  const Backend backend = qx4_backend();
+  EXPECT_EQ(backend.cx_error(1, 0), backend.cx_error(0, 1));
+  EXPECT_THROW(backend.cx_error(0, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qtc::arch

@@ -1,0 +1,143 @@
+// Tests for the extended characterization workflows: T1/T2 relaxation and
+// process tomography.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/gates.hpp"
+#include "ignis/process_tomography.hpp"
+#include "ignis/relaxation.hpp"
+
+namespace qtc::ignis {
+namespace {
+
+// --- T1 / T2 -----------------------------------------------------------------
+
+TEST(Relaxation, T1RecoversInjectedTime) {
+  const double t1 = 20.0, t2 = 15.0;
+  const auto model = idle_relaxation_model(t1, t2);
+  RelaxationConfig config;
+  config.delays = {0, 2, 5, 10, 20, 40};
+  config.shots = 4000;
+  const RelaxationResult result = measure_t1(config, model);
+  EXPECT_NEAR(result.fitted_time, t1, t1 * 0.15);
+  // Signal decays monotonically from ~1.
+  EXPECT_NEAR(result.points.front().signal, 1.0, 0.02);
+  EXPECT_LT(result.points.back().signal, 0.25);
+}
+
+TEST(Relaxation, T2RamseyRecoversInjectedTime) {
+  const double t1 = 50.0, t2 = 12.0;
+  const auto model = idle_relaxation_model(t1, t2);
+  RelaxationConfig config;
+  config.delays = {0, 1, 2, 4, 8, 16};
+  config.shots = 8000;
+  const RelaxationResult result = measure_t2_ramsey(config, model);
+  EXPECT_NEAR(result.fitted_time, t2, t2 * 0.2);
+}
+
+TEST(Relaxation, PureDephasingLeavesT1Infinite) {
+  // T2-only noise must not decay the T1 signal at all.
+  noise::NoiseModel model;
+  model.add_all_qubit_error(noise::phase_damping(0.2), OpKind::I);
+  RelaxationConfig config;
+  config.delays = {0, 4, 16};
+  config.shots = 1500;
+  const RelaxationResult result = measure_t1(config, model);
+  for (const auto& p : result.points) EXPECT_NEAR(p.signal, 1.0, 0.02);
+}
+
+TEST(Relaxation, T2NeverExceedsTwiceT1InModel) {
+  EXPECT_THROW(idle_relaxation_model(10.0, 25.0), std::invalid_argument);
+}
+
+TEST(Relaxation, ConfigValidation) {
+  RelaxationConfig config;
+  config.delays = {-1};
+  EXPECT_THROW(measure_t1(config, noise::NoiseModel{}),
+               std::invalid_argument);
+  config.delays = {1};
+  config.shots = 0;
+  EXPECT_THROW(measure_t1(config, noise::NoiseModel{}),
+               std::invalid_argument);
+}
+
+// --- process tomography -----------------------------------------------------
+
+noise::KrausChannel unitary_channel(OpKind kind) {
+  return noise::KrausChannel{{op_matrix(kind)}, 1};
+}
+
+TEST(ProcessTomography, ChoiOfIdentityIsBellProjector) {
+  const Matrix j = choi_of_channel(noise::identity_channel());
+  EXPECT_NEAR(j(0, 0).real(), 1.0, 1e-12);
+  EXPECT_NEAR(j(0, 3).real(), 1.0, 1e-12);
+  EXPECT_NEAR(j(3, 0).real(), 1.0, 1e-12);
+  EXPECT_NEAR(j(3, 3).real(), 1.0, 1e-12);
+  EXPECT_NEAR(j(1, 1).real(), 0.0, 1e-12);
+  EXPECT_NEAR(j.trace().real(), 2.0, 1e-12);
+}
+
+TEST(ProcessTomography, ChoiOfDepolarizingHasShrunkOffDiagonals) {
+  const double p = 0.3;
+  const Matrix j = choi_of_channel(noise::depolarizing(p));
+  // Lambda(|0><1|) = (1 - 4p/3) |0><1|.
+  EXPECT_NEAR(j(0, 3).real(), 1 - 4 * p / 3, 1e-12);
+  EXPECT_NEAR(j.trace().real(), 2.0, 1e-12);
+}
+
+TEST(ProcessTomography, IdentityGateReconstruction) {
+  QuantumCircuit gate(1);
+  gate.id(0);
+  const auto result = process_tomography(gate, noise::NoiseModel{}, 8192, 3);
+  EXPECT_GT(result.process_fidelity(noise::identity_channel()), 0.97);
+  EXPECT_LT(result.process_fidelity(unitary_channel(OpKind::X)), 0.1);
+  EXPECT_NEAR(result.choi.trace().real(), 2.0, 0.05);
+  EXPECT_TRUE(result.choi.is_hermitian(0.05));
+}
+
+TEST(ProcessTomography, HadamardReconstruction) {
+  QuantumCircuit gate(1);
+  gate.h(0);
+  const auto result = process_tomography(gate, noise::NoiseModel{}, 8192, 7);
+  EXPECT_GT(result.process_fidelity(unitary_channel(OpKind::H)), 0.97);
+  EXPECT_LT(result.process_fidelity(noise::identity_channel()), 0.6);
+}
+
+TEST(ProcessTomography, RecoversEffectiveAmplitudeDamping) {
+  // The "gate" is an idle slot that the noise model damps.
+  const double gamma = 0.35;
+  noise::NoiseModel model;
+  model.add_all_qubit_error(noise::amplitude_damping(gamma), OpKind::I);
+  QuantumCircuit gate(1);
+  gate.id(0);
+  const auto result = process_tomography(gate, model, 16384, 11);
+  const Matrix expected =
+      choi_of_channel(noise::amplitude_damping(gamma));
+  EXPECT_LT(result.choi.max_abs_diff(expected), 0.06);
+}
+
+TEST(ProcessTomography, NoisyGateFidelityDropsWithNoise) {
+  QuantumCircuit gate(1);
+  gate.h(0);
+  noise::NoiseModel noisy;
+  noisy.add_all_qubit_error(noise::depolarizing(0.1), OpKind::H);
+  const auto clean = process_tomography(gate, noise::NoiseModel{}, 4096, 5);
+  const auto corrupted = process_tomography(gate, noisy, 4096, 5);
+  const auto h_ref = unitary_channel(OpKind::H);
+  EXPECT_LT(corrupted.process_fidelity(h_ref),
+            clean.process_fidelity(h_ref) - 0.03);
+}
+
+TEST(ProcessTomography, RejectsMultiQubitGate) {
+  QuantumCircuit gate(2);
+  gate.cx(0, 1);
+  EXPECT_THROW(process_tomography(gate, noise::NoiseModel{}),
+               std::invalid_argument);
+  EXPECT_THROW(choi_of_channel(noise::depolarizing2(0.1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qtc::ignis

@@ -1,0 +1,187 @@
+#include "core/circuit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qtc {
+namespace {
+
+/// The paper's Fig. 1 circuit (4 qubits, 8 gates).
+QuantumCircuit fig1_circuit() {
+  QuantumCircuit qc(4);
+  qc.h(2).cx(2, 3).cx(0, 1).h(1).cx(1, 2).t(0).cx(2, 0).cx(0, 1);
+  return qc;
+}
+
+TEST(Circuit, DefaultRegistersNamedQAndC) {
+  QuantumCircuit qc(3, 2);
+  ASSERT_EQ(qc.qregs().size(), 1u);
+  EXPECT_EQ(qc.qregs()[0].name, "q");
+  EXPECT_EQ(qc.qregs()[0].size, 3);
+  EXPECT_EQ(qc.cregs()[0].name, "c");
+  EXPECT_EQ(qc.num_qubits(), 3);
+  EXPECT_EQ(qc.num_clbits(), 2);
+}
+
+TEST(Circuit, MultipleRegistersGetContiguousOffsets) {
+  QuantumCircuit qc;
+  qc.add_qreg("a", 2);
+  qc.add_qreg("b", 3);
+  EXPECT_EQ(qc.num_qubits(), 5);
+  EXPECT_EQ(qc.qregs()[1].offset, 2);
+  EXPECT_EQ(qc.find_qreg("b"), 1);
+  EXPECT_EQ(qc.find_qreg("nope"), -1);
+}
+
+TEST(Circuit, DuplicateRegisterNameThrows) {
+  QuantumCircuit qc;
+  qc.add_qreg("a", 2);
+  EXPECT_THROW(qc.add_qreg("a", 1), std::invalid_argument);
+}
+
+TEST(Circuit, Fig1HasExpectedGateCounts) {
+  const QuantumCircuit qc = fig1_circuit();
+  EXPECT_EQ(qc.size(), 8u);
+  EXPECT_EQ(qc.count(OpKind::CX), 5);
+  EXPECT_EQ(qc.count(OpKind::H), 2);
+  EXPECT_EQ(qc.count(OpKind::T), 1);
+  EXPECT_EQ(qc.two_qubit_gate_count(), 5);
+  const auto counts = qc.count_ops();
+  EXPECT_EQ(counts.at("cx"), 5);
+  EXPECT_EQ(counts.at("h"), 2);
+}
+
+TEST(Circuit, DepthOfSerialAndParallelGates) {
+  QuantumCircuit qc(2);
+  qc.h(0).h(1);  // parallel
+  EXPECT_EQ(qc.depth(), 1);
+  qc.cx(0, 1);
+  EXPECT_EQ(qc.depth(), 2);
+  qc.h(0);
+  EXPECT_EQ(qc.depth(), 3);
+}
+
+TEST(Circuit, BarrierSynchronizesButAddsNoDepth) {
+  QuantumCircuit qc(2);
+  qc.h(0);
+  qc.barrier();
+  qc.h(1);
+  // Without the barrier h(1) would be level 1; the barrier pushes it after
+  // h(0) but contributes no level of its own.
+  EXPECT_EQ(qc.depth(), 2);
+}
+
+TEST(Circuit, QubitOutOfRangeThrows) {
+  QuantumCircuit qc(2);
+  EXPECT_THROW(qc.h(2), std::out_of_range);
+  EXPECT_THROW(qc.cx(0, 5), std::out_of_range);
+  EXPECT_THROW(qc.h(-1), std::out_of_range);
+}
+
+TEST(Circuit, DuplicateOperandThrows) {
+  QuantumCircuit qc(2);
+  EXPECT_THROW(qc.cx(1, 1), std::invalid_argument);
+}
+
+TEST(Circuit, MeasureRequiresClbitInRange) {
+  QuantumCircuit qc(2, 1);
+  qc.measure(0, 0);
+  EXPECT_THROW(qc.measure(1, 1), std::out_of_range);
+}
+
+TEST(Circuit, MeasureAllNeedsEnoughClbits) {
+  QuantumCircuit qc(3, 2);
+  EXPECT_THROW(qc.measure_all(), std::invalid_argument);
+  QuantumCircuit ok(3, 3);
+  ok.measure_all();
+  EXPECT_EQ(ok.count(OpKind::Measure), 3);
+}
+
+TEST(Circuit, CIfConditionsLastOp) {
+  QuantumCircuit qc(2, 2);
+  qc.measure(0, 0);
+  qc.x(1).c_if(0, 1);
+  EXPECT_TRUE(qc.ops().back().conditioned());
+  EXPECT_EQ(qc.ops().back().cond_val, 1u);
+  EXPECT_TRUE(qc.has_conditionals());
+}
+
+TEST(Circuit, CIfWithoutOpsThrows) {
+  QuantumCircuit qc(1, 1);
+  EXPECT_THROW(qc.c_if(0, 1), std::logic_error);
+}
+
+TEST(Circuit, InverseReversesAndInverts) {
+  QuantumCircuit qc(2);
+  qc.h(0).t(1).cx(0, 1);
+  const QuantumCircuit inv = qc.inverse();
+  ASSERT_EQ(inv.size(), 3u);
+  EXPECT_EQ(inv.ops()[0].kind, OpKind::CX);
+  EXPECT_EQ(inv.ops()[1].kind, OpKind::Tdg);
+  EXPECT_EQ(inv.ops()[2].kind, OpKind::H);
+}
+
+TEST(Circuit, InverseOfMeasuredCircuitThrows) {
+  QuantumCircuit qc(1, 1);
+  qc.h(0).measure(0, 0);
+  EXPECT_THROW(qc.inverse(), std::invalid_argument);
+}
+
+TEST(Circuit, RemappedRelabelsQubits) {
+  QuantumCircuit qc(2);
+  qc.cx(0, 1);
+  const QuantumCircuit moved = qc.remapped({3, 1}, 4);
+  EXPECT_EQ(moved.num_qubits(), 4);
+  EXPECT_EQ(moved.ops()[0].qubits[0], 3);
+  EXPECT_EQ(moved.ops()[0].qubits[1], 1);
+}
+
+TEST(Circuit, RemappedValidatesLayout) {
+  QuantumCircuit qc(2);
+  qc.h(0);
+  EXPECT_THROW(qc.remapped({0}, 2), std::invalid_argument);
+  EXPECT_THROW(qc.remapped({0, 5}, 2), std::out_of_range);
+}
+
+TEST(Circuit, ComposeAppendsOps) {
+  QuantumCircuit a(2, 1), b(2, 1);
+  a.h(0);
+  b.cx(0, 1);
+  b.measure(0, 0);
+  a.compose(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_TRUE(a.has_measurements());
+}
+
+TEST(Circuit, ComposeRejectsLargerCircuit) {
+  QuantumCircuit a(1), b(2);
+  b.h(1);
+  EXPECT_THROW(a.compose(b), std::invalid_argument);
+}
+
+TEST(Circuit, UnitaryPartDropsMeasureAndBarrier) {
+  QuantumCircuit qc(2, 2);
+  qc.h(0).barrier().cx(0, 1).measure_all();
+  const QuantumCircuit u = qc.unitary_part();
+  EXPECT_EQ(u.size(), 2u);
+  EXPECT_FALSE(u.has_measurements());
+}
+
+TEST(Circuit, DrawerRendersEveryQubitRow) {
+  const QuantumCircuit qc = fig1_circuit();
+  const std::string art = qc.to_string();
+  EXPECT_NE(art.find("q[0]"), std::string::npos);
+  EXPECT_NE(art.find("q[3]"), std::string::npos);
+  EXPECT_NE(art.find("H"), std::string::npos);
+  EXPECT_NE(art.find("T"), std::string::npos);
+  EXPECT_NE(art.find("*"), std::string::npos);  // CX controls
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 4);
+}
+
+TEST(Circuit, DrawerShowsMeasurementTarget) {
+  QuantumCircuit qc(1, 1);
+  qc.h(0).measure(0, 0);
+  EXPECT_NE(qc.to_string().find("M->0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qtc

@@ -1,0 +1,167 @@
+#include "ignis/codes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "noise/trajectory.hpp"
+#include "sim/simulator.hpp"
+
+namespace qtc::ignis {
+namespace {
+
+TEST(RepetitionCode, ValidatesDistance) {
+  EXPECT_THROW(RepetitionCode(2), std::invalid_argument);
+  EXPECT_THROW(RepetitionCode(1), std::invalid_argument);
+  EXPECT_NO_THROW(RepetitionCode(5));
+}
+
+TEST(RepetitionCode, EncoderProducesGhzForPlusInput) {
+  // Encoding |0> gives |000>; encoding |+> gives the GHZ state.
+  const RepetitionCode code(3);
+  QuantumCircuit qc(3);
+  qc.h(0);
+  qc.compose(code.encoder());
+  sim::StatevectorSimulator sim;
+  const auto sv = sim.statevector(qc);
+  EXPECT_NEAR(std::abs(sv.amplitude(0)), SQRT1_2, 1e-10);
+  EXPECT_NEAR(std::abs(sv.amplitude(7)), SQRT1_2, 1e-10);
+}
+
+TEST(RepetitionCode, DecoderInvertsEncoder) {
+  for (bool phase : {false, true}) {
+    const RepetitionCode code(5, phase);
+    QuantumCircuit qc(5);
+    qc.ry(0.7, 0);
+    qc.compose(code.encoder());
+    qc.compose(code.decoder());
+    sim::StatevectorSimulator sim;
+    const auto sv = sim.statevector(qc);
+    // Back to (RY(0.7)|0>) ⊗ |0000>.
+    EXPECT_NEAR(std::abs(sv.amplitude(0)), std::cos(0.35), 1e-9);
+    EXPECT_NEAR(std::abs(sv.amplitude(1)), std::sin(0.35), 1e-9);
+  }
+}
+
+TEST(RepetitionCode, MajorityDecoding) {
+  const RepetitionCode code(3);
+  EXPECT_EQ(code.decode_majority("000"), 0);
+  EXPECT_EQ(code.decode_majority("010"), 0);
+  EXPECT_EQ(code.decode_majority("110"), 1);
+  EXPECT_EQ(code.decode_majority("111"), 1);
+  EXPECT_THROW(code.decode_majority("0000"), std::invalid_argument);
+}
+
+TEST(RepetitionCode, NoNoiseMeansNoLogicalErrors) {
+  for (bool phase : {false, true}) {
+    const RepetitionCode code(3, phase);
+    EXPECT_EQ(logical_error_rate(code, 0.0, 300, 5), 0.0);
+  }
+}
+
+TEST(RepetitionCode, LogicalRateMatchesBinomialTheory) {
+  const RepetitionCode code(3);
+  for (double p : {0.05, 0.1, 0.2}) {
+    const double measured = logical_error_rate(code, p, 20000, 7);
+    const double expected = theoretical_logical_error_rate(3, p);
+    EXPECT_NEAR(measured, expected, 0.01) << "p = " << p;
+  }
+}
+
+TEST(RepetitionCode, HigherDistanceSuppressesMore) {
+  const double p = 0.1;
+  const double d3 = logical_error_rate(RepetitionCode(3), p, 20000, 11);
+  const double d5 = logical_error_rate(RepetitionCode(5), p, 20000, 11);
+  const double d7 = logical_error_rate(RepetitionCode(7), p, 20000, 11);
+  EXPECT_LT(d3, p);  // below pseudo-threshold the code helps
+  EXPECT_LT(d5, d3);
+  EXPECT_LT(d7, d5);
+}
+
+TEST(RepetitionCode, AbovePseudoThresholdCodeHurts) {
+  const double p = 0.7;
+  const double d3 = logical_error_rate(RepetitionCode(3), p, 8000, 13);
+  EXPECT_GT(d3, p);
+}
+
+TEST(RepetitionCode, PhaseFlipCodeCorrectsZErrors) {
+  const RepetitionCode code(3, true);
+  for (double p : {0.05, 0.15}) {
+    const double measured = logical_error_rate(code, p, 20000, 17);
+    EXPECT_NEAR(measured, theoretical_logical_error_rate(3, p), 0.012);
+  }
+}
+
+TEST(RepetitionCode, BitFlipCodeIgnoresItsDualError) {
+  // The bit-flip code does nothing against phase flips and vice versa, but
+  // phase flips never change Z-basis majority readout of |0>_L.
+  const RepetitionCode bit_code(3, false);
+  noise::NoiseModel z_noise;
+  z_noise.add_all_qubit_error(noise::phase_flip(0.3), OpKind::I);
+  noise::TrajectorySimulator sim(19);
+  const auto counts = sim.run(bit_code.memory_circuit(), z_noise, 2000);
+  int errors = 0;
+  for (const auto& [bits, c] : counts.histogram)
+    if (bit_code.decode_majority(bits) == 1) errors += c;
+  EXPECT_EQ(errors, 0);
+}
+
+TEST(RepetitionCode, InCircuitCorrectionFixesSingleErrors) {
+  for (bool phase : {false, true}) {
+    const RepetitionCode code(3, phase);
+    QuantumCircuit qc = code.corrected_memory_circuit();
+    // Deterministically inject one error on each data qubit in turn by
+    // replacing the id slots.
+    for (int victim = 0; victim < 3; ++victim) {
+      QuantumCircuit injected;
+      injected.add_qreg("q", 5);
+      injected.add_creg("synd", 2);
+      injected.add_creg("out", 1);
+      for (const auto& op : qc.ops()) {
+        if (op.kind == OpKind::I && op.qubits[0] == victim) {
+          Operation err;
+          err.kind = phase ? OpKind::Z : OpKind::X;
+          err.qubits = {victim};
+          injected.append(err);
+        } else {
+          injected.append(op);
+        }
+      }
+      sim::StatevectorSimulator sim(23);
+      const auto counts = sim.run(injected, 200).counts;
+      // "out" clbit (leftmost) must always read 0.
+      for (const auto& [bits, c] : counts.histogram)
+        EXPECT_EQ(bits[0], '0') << "victim " << victim << " phase " << phase;
+    }
+  }
+}
+
+TEST(RepetitionCode, InCircuitCorrectionBeatsRawMajorityUnderNoise) {
+  const RepetitionCode code(3);
+  const double p = 0.15;
+  noise::TrajectorySimulator sim(29);
+  const auto counts =
+      sim.run(code.corrected_memory_circuit(), code.error_model(p), 20000);
+  int logical_errors = 0;
+  for (const auto& [bits, c] : counts.histogram)
+    if (bits[0] == '1') logical_errors += c;
+  const double corrected_rate = logical_errors / 20000.0;
+  EXPECT_NEAR(corrected_rate, theoretical_logical_error_rate(3, p), 0.012);
+  EXPECT_LT(corrected_rate, p);
+}
+
+TEST(RepetitionCode, TheoryFormulaSanity) {
+  EXPECT_NEAR(theoretical_logical_error_rate(3, 0.0), 0.0, 1e-12);
+  EXPECT_NEAR(theoretical_logical_error_rate(3, 1.0), 1.0, 1e-12);
+  EXPECT_NEAR(theoretical_logical_error_rate(3, 0.5), 0.5, 1e-12);
+  // 3 p^2 - 2 p^3 at p = 0.1.
+  EXPECT_NEAR(theoretical_logical_error_rate(3, 0.1), 0.028, 1e-12);
+}
+
+TEST(RepetitionCode, CorrectedCircuitRequiresDistanceThree) {
+  EXPECT_THROW(RepetitionCode(5).corrected_memory_circuit(),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qtc::ignis

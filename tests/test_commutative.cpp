@@ -1,0 +1,151 @@
+#include "transpiler/commutative.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace qtc::transpiler {
+namespace {
+
+void expect_equivalent(const QuantumCircuit& a, const QuantumCircuit& b) {
+  const Matrix ua = sim::UnitarySimulator().unitary(a);
+  const Matrix ub = sim::UnitarySimulator().unitary(b);
+  EXPECT_TRUE(ua.equal_up_to_phase(ub, 1e-8));
+}
+
+TEST(Commutative, TThroughCxControlCancelsWithTdg) {
+  QuantumCircuit qc(2);
+  qc.t(0).cx(0, 1).tdg(0);
+  const QuantumCircuit opt = CommutativeCancellation().run(qc);
+  EXPECT_EQ(opt.size(), 1u);
+  EXPECT_EQ(opt.ops()[0].kind, OpKind::CX);
+  expect_equivalent(qc, opt);
+}
+
+TEST(Commutative, XThroughCxTargetCancels) {
+  QuantumCircuit qc(2);
+  qc.x(1).cx(0, 1).x(1);
+  const QuantumCircuit opt = CommutativeCancellation().run(qc);
+  EXPECT_EQ(opt.count(OpKind::X), 0);
+  expect_equivalent(qc, opt);
+}
+
+TEST(Commutative, ZDoesNotSlideThroughCxTarget) {
+  QuantumCircuit qc(2);
+  qc.t(1).cx(0, 1).tdg(1);
+  const QuantumCircuit opt = CommutativeCancellation().run(qc);
+  EXPECT_EQ(opt.size(), 3u);  // nothing cancels
+  expect_equivalent(qc, opt);
+}
+
+TEST(Commutative, XDoesNotSlideThroughCxControl) {
+  QuantumCircuit qc(2);
+  qc.x(0).cx(0, 1).x(0);
+  const QuantumCircuit opt = CommutativeCancellation().run(qc);
+  EXPECT_EQ(opt.count(OpKind::CX), 1);
+  EXPECT_EQ(opt.size(), 3u);
+  expect_equivalent(qc, opt);
+}
+
+TEST(Commutative, RotationsMergeAcrossSeveralCx) {
+  QuantumCircuit qc(2);
+  qc.rz(0.3, 0).cx(0, 1).rz(0.4, 0).cx(0, 1).rz(0.5, 0);
+  const QuantumCircuit opt = CommutativeCancellation().run(qc);
+  // The three RZ merge into one P(1.2) after the CXs.
+  EXPECT_EQ(opt.count(OpKind::CX), 2);
+  EXPECT_EQ(opt.count(OpKind::P), 1);
+  EXPECT_NEAR(opt.ops().back().params[0], 1.2, 1e-12);
+  expect_equivalent(qc, opt);
+}
+
+TEST(Commutative, ZRunsPassThroughCz) {
+  QuantumCircuit qc(2);
+  qc.s(0).t(1).cz(0, 1).sdg(0).tdg(1);
+  const QuantumCircuit opt = CommutativeCancellation().run(qc);
+  EXPECT_EQ(opt.size(), 1u);
+  EXPECT_EQ(opt.ops()[0].kind, OpKind::CZ);
+  expect_equivalent(qc, opt);
+}
+
+TEST(Commutative, HadamardBlocksRuns) {
+  QuantumCircuit qc(1);
+  qc.t(0).h(0).tdg(0);
+  const QuantumCircuit opt = CommutativeCancellation().run(qc);
+  EXPECT_EQ(opt.size(), 3u);
+  expect_equivalent(qc, opt);
+}
+
+TEST(Commutative, AxisSwitchFlushesPreviousRun) {
+  QuantumCircuit qc(1);
+  qc.t(0).sx(0).tdg(0);
+  const QuantumCircuit opt = CommutativeCancellation().run(qc);
+  EXPECT_EQ(opt.size(), 3u);  // T, RX, P (nothing cancels across axes)
+  expect_equivalent(qc, opt);
+}
+
+TEST(Commutative, FullPeriodRotationVanishes) {
+  QuantumCircuit qc(1);
+  qc.s(0).s(0).s(0).s(0);  // S^4 = I (up to nothing, exactly Z^2 = I)
+  EXPECT_EQ(CommutativeCancellation().run(qc).size(), 0u);
+  QuantumCircuit qx(1);
+  qx.sx(0).sx(0).sx(0).sx(0);  // RX(2 pi) = -I, identity up to phase
+  EXPECT_EQ(CommutativeCancellation().run(qx).size(), 0u);
+}
+
+TEST(Commutative, MeasurementsBlockMerging) {
+  QuantumCircuit qc(1, 1);
+  qc.t(0);
+  qc.measure(0, 0);
+  qc.tdg(0);
+  const QuantumCircuit opt = CommutativeCancellation().run(qc);
+  EXPECT_EQ(opt.size(), 3u);
+}
+
+TEST(Commutative, ConditionedGatesActAsBarriers) {
+  QuantumCircuit qc(2, 1);
+  qc.measure(0, 0);
+  qc.t(1);
+  qc.x(1).c_if(0, 1);
+  qc.tdg(1);
+  const QuantumCircuit opt = CommutativeCancellation().run(qc);
+  EXPECT_EQ(opt.size(), 4u);
+}
+
+TEST(Commutative, PreservesRandomCircuits) {
+  Rng rng(55);
+  for (int trial = 0; trial < 8; ++trial) {
+    QuantumCircuit qc(3);
+    for (int g = 0; g < 40; ++g) {
+      const int q = static_cast<int>(rng.index(3));
+      switch (rng.index(7)) {
+        case 0:
+          qc.t(q);
+          break;
+        case 1:
+          qc.sdg(q);
+          break;
+        case 2:
+          qc.rz(rng.uniform(-PI, PI), q);
+          break;
+        case 3:
+          qc.sx(q);
+          break;
+        case 4:
+          qc.h(q);
+          break;
+        case 5:
+          qc.cz(q, (q + 1) % 3);
+          break;
+        default:
+          qc.cx(q, (q + 1 + static_cast<int>(rng.index(2))) % 3);
+      }
+    }
+    const QuantumCircuit opt = CommutativeCancellation().run(qc);
+    EXPECT_LE(opt.size(), qc.size());
+    expect_equivalent(qc, opt);
+  }
+}
+
+}  // namespace
+}  // namespace qtc::transpiler

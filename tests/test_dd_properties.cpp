@@ -1,0 +1,130 @@
+// Algebraic property sweeps for the decision-diagram package: the
+// identities every QMDD implementation must satisfy, exercised on randomly
+// generated states and operators.
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "core/gates.hpp"
+#include "dd/package.hpp"
+
+namespace qtc::dd {
+namespace {
+
+std::vector<cplx> random_amplitudes(int n, Rng& rng) {
+  std::vector<cplx> amps(std::size_t{1} << n);
+  for (auto& a : amps) a = cplx(rng.normal(), rng.normal());
+  double norm = 0;
+  for (const auto& a : amps) norm += std::norm(a);
+  for (auto& a : amps) a /= std::sqrt(norm);
+  return amps;
+}
+
+Matrix random_1q_unitary(Rng& rng) {
+  return u3_matrix(rng.uniform(0, PI), rng.uniform(-PI, PI),
+                   rng.uniform(-PI, PI));
+}
+
+class DDProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DDProperties, AdditionCommutesAndAssociates) {
+  Rng rng(GetParam());
+  const int n = 3;
+  Package pkg(n);
+  const VEdge a = pkg.make_state(random_amplitudes(n, rng));
+  const VEdge b = pkg.make_state(random_amplitudes(n, rng));
+  const VEdge c = pkg.make_state(random_amplitudes(n, rng));
+  const auto ab = pkg.to_vector(pkg.add(a, b));
+  const auto ba = pkg.to_vector(pkg.add(b, a));
+  EXPECT_LT(max_abs_diff(ab, ba), 1e-10);
+  const auto left = pkg.to_vector(pkg.add(pkg.add(a, b), c));
+  const auto right = pkg.to_vector(pkg.add(a, pkg.add(b, c)));
+  EXPECT_LT(max_abs_diff(left, right), 1e-10);
+}
+
+TEST_P(DDProperties, MultiplicationDistributesOverAddition) {
+  Rng rng(GetParam() ^ 0xABCD);
+  const int n = 3;
+  Package pkg(n);
+  const MEdge gate =
+      pkg.make_gate(random_1q_unitary(rng), {static_cast<int>(rng.index(n))});
+  const VEdge a = pkg.make_state(random_amplitudes(n, rng));
+  const VEdge b = pkg.make_state(random_amplitudes(n, rng));
+  const auto lhs = pkg.to_vector(pkg.multiply(gate, pkg.add(a, b)));
+  const auto rhs = pkg.to_vector(
+      pkg.add(pkg.multiply(gate, a), pkg.multiply(gate, b)));
+  EXPECT_LT(max_abs_diff(lhs, rhs), 1e-10);
+}
+
+TEST_P(DDProperties, MatrixProductAssociatesWithVectorApplication) {
+  Rng rng(GetParam() ^ 0x1234);
+  const int n = 3;
+  Package pkg(n);
+  const MEdge g1 =
+      pkg.make_gate(random_1q_unitary(rng), {static_cast<int>(rng.index(n))});
+  const MEdge g2 = pkg.make_gate(op_matrix(OpKind::CX),
+                                 {0, 1 + static_cast<int>(rng.index(n - 1))});
+  const VEdge v = pkg.make_state(random_amplitudes(n, rng));
+  // (g2 g1) v == g2 (g1 v)
+  const auto lhs = pkg.to_vector(pkg.multiply(pkg.multiply(g2, g1), v));
+  const auto rhs = pkg.to_vector(pkg.multiply(g2, pkg.multiply(g1, v)));
+  EXPECT_LT(max_abs_diff(lhs, rhs), 1e-10);
+}
+
+TEST_P(DDProperties, UnitaryApplicationPreservesNorm) {
+  Rng rng(GetParam() ^ 0x77);
+  const int n = 4;
+  Package pkg(n);
+  VEdge v = pkg.make_state(random_amplitudes(n, rng));
+  for (int g = 0; g < 10; ++g) {
+    const int q = static_cast<int>(rng.index(n));
+    const MEdge gate = rng.bernoulli(0.5)
+                           ? pkg.make_gate(random_1q_unitary(rng), {q})
+                           : pkg.make_gate(op_matrix(OpKind::CX),
+                                           {q, (q + 1) % n});
+    v = pkg.multiply(gate, v);
+    EXPECT_NEAR(pkg.norm_squared(v), 1.0, 1e-9);
+  }
+}
+
+TEST_P(DDProperties, InnerProductIsConjugateSymmetric) {
+  Rng rng(GetParam() ^ 0xFE);
+  Package pkg(3);
+  const VEdge a = pkg.make_state(random_amplitudes(3, rng));
+  const VEdge b = pkg.make_state(random_amplitudes(3, rng));
+  const cplx ab = pkg.inner_product(a, b);
+  const cplx ba = pkg.inner_product(b, a);
+  EXPECT_NEAR(std::abs(ab - std::conj(ba)), 0, 1e-10);
+  EXPECT_NEAR(pkg.inner_product(a, a).imag(), 0, 1e-10);
+}
+
+TEST_P(DDProperties, SamplingMatchesAmplitudeDistribution) {
+  Rng rng(GetParam() ^ 0x5150);
+  Package pkg(3);
+  const auto amps = random_amplitudes(3, rng);
+  const VEdge v = pkg.make_state(amps);
+  std::vector<int> histogram(8, 0);
+  Rng sampler(99);
+  const int shots = 20000;
+  for (int s = 0; s < shots; ++s) ++histogram[pkg.sample(v, sampler)];
+  for (int i = 0; i < 8; ++i)
+    EXPECT_NEAR(histogram[i] / double(shots), std::norm(amps[i]), 0.02) << i;
+}
+
+TEST_P(DDProperties, GateDDsAreUnitary) {
+  Rng rng(GetParam() ^ 0xB00);
+  const int n = 3;
+  Package pkg(n);
+  const int q = static_cast<int>(rng.index(n));
+  const Matrix u = random_1q_unitary(rng);
+  const MEdge gate = pkg.make_gate(u, {q});
+  const MEdge dagger = pkg.make_gate(u.dagger(), {q});
+  const Matrix product = pkg.to_matrix(pkg.multiply(dagger, gate));
+  EXPECT_TRUE(product.approx_equal(Matrix::identity(8), 1e-10));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DDProperties,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace qtc::dd

@@ -1,0 +1,122 @@
+#include "core/drawer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/circuit.hpp"
+
+namespace qtc {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(Drawer, EmptyCircuitMessage) {
+  QuantumCircuit qc;
+  EXPECT_NE(qc.to_string().find("empty"), std::string::npos);
+}
+
+TEST(Drawer, OneRowPerQubitAndEqualWidths) {
+  QuantumCircuit qc(3);
+  qc.h(0).cx(0, 2).t(1);
+  const auto lines = lines_of(draw(qc));
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0].size(), lines[1].size());
+  EXPECT_EQ(lines[1].size(), lines[2].size());
+}
+
+TEST(Drawer, NamedRegistersAppearInLabels) {
+  QuantumCircuit qc;
+  qc.add_qreg("alpha", 2);
+  qc.add_qreg("beta", 1);
+  qc.h(2);
+  const std::string art = draw(qc);
+  EXPECT_NE(art.find("alpha[0]"), std::string::npos);
+  EXPECT_NE(art.find("alpha[1]"), std::string::npos);
+  EXPECT_NE(art.find("beta[0]"), std::string::npos);
+}
+
+TEST(Drawer, VerticalConnectorSpansIntermediateQubits) {
+  QuantumCircuit qc(3);
+  qc.cx(0, 2);
+  const auto lines = lines_of(draw(qc));
+  // Qubit 1 sits between control and target: its row shows the wire.
+  EXPECT_NE(lines[1].find('|'), std::string::npos);
+}
+
+TEST(Drawer, SwapUsesCrossMarkers) {
+  QuantumCircuit qc(2);
+  qc.swap(0, 1);
+  const std::string art = draw(qc);
+  EXPECT_EQ(std::count(art.begin(), art.end(), 'x'), 2);
+}
+
+TEST(Drawer, ToffoliShowsTwoControls) {
+  QuantumCircuit qc(3);
+  qc.ccx(0, 1, 2);
+  const std::string art = draw(qc);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '*'), 2);
+  EXPECT_NE(art.find('X'), std::string::npos);
+}
+
+TEST(Drawer, CswapShowsControlAndCrosses) {
+  QuantumCircuit qc(3);
+  qc.cswap(0, 1, 2);
+  const std::string art = draw(qc);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '*'), 1);
+  EXPECT_EQ(std::count(art.begin(), art.end(), 'x'), 2);
+}
+
+TEST(Drawer, ParametersArePrinted) {
+  QuantumCircuit qc(1);
+  qc.rz(1.5, 0);
+  EXPECT_NE(draw(qc).find("RZ(1.5)"), std::string::npos);
+}
+
+TEST(Drawer, BarrierRendersAsHash) {
+  QuantumCircuit qc(2);
+  qc.h(0).barrier().h(1);
+  const std::string art = draw(qc);
+  EXPECT_GE(std::count(art.begin(), art.end(), '#'), 2);
+}
+
+TEST(Drawer, ResetRendersKet) {
+  QuantumCircuit qc(1);
+  qc.reset(0);
+  EXPECT_NE(draw(qc).find("|0>"), std::string::npos);
+}
+
+TEST(Drawer, ConditionedGateMarked) {
+  QuantumCircuit qc(1, 1);
+  qc.measure(0, 0);
+  qc.x(0).c_if(0, 1);
+  EXPECT_NE(draw(qc).find("X?"), std::string::npos);
+}
+
+TEST(Drawer, ParallelGatesShareAColumn) {
+  QuantumCircuit serial(1);
+  serial.h(0).h(0);
+  QuantumCircuit parallel(2);
+  parallel.h(0).h(1);
+  // Parallel layout must be narrower than two serial columns.
+  const auto serial_width = lines_of(draw(serial))[0].size();
+  const auto parallel_width = lines_of(draw(parallel))[0].size();
+  EXPECT_LT(parallel_width, serial_width);
+}
+
+TEST(Drawer, ControlledRotationLabels) {
+  QuantumCircuit qc(2);
+  qc.crz(0.25, 0, 1);
+  const std::string art = draw(qc);
+  EXPECT_NE(art.find("RZ(0.25)"), std::string::npos);
+  EXPECT_NE(art.find('*'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qtc

@@ -1,0 +1,93 @@
+#include "aqua/grouping.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aqua/h2.hpp"
+#include "aqua/vqe.hpp"
+#include "sim/simulator.hpp"
+
+namespace qtc::aqua {
+namespace {
+
+TEST(Grouping, QubitwiseCommutationRules) {
+  EXPECT_TRUE(qubitwise_commute("XI", "IX"));
+  EXPECT_TRUE(qubitwise_commute("XX", "XI"));
+  EXPECT_TRUE(qubitwise_commute("ZZ", "ZI"));
+  EXPECT_FALSE(qubitwise_commute("XI", "ZI"));
+  EXPECT_FALSE(qubitwise_commute("XX", "YY"));  // commute, but not qubit-wise
+  EXPECT_THROW(qubitwise_commute("X", "XX"), std::invalid_argument);
+}
+
+TEST(Grouping, CompatibleTermsShareAGroup) {
+  const PauliOp op = PauliOp::term(2, "ZI") + PauliOp::term(2, "IZ") +
+                     PauliOp::term(2, "ZZ");
+  const auto groups = group_qubitwise_commuting(op);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].terms.size(), 3u);
+  EXPECT_EQ(groups[0].basis, "ZZ");
+}
+
+TEST(Grouping, IncompatibleTermsSplit) {
+  const PauliOp op = PauliOp::term(2, "ZZ") + PauliOp::term(2, "XX") +
+                     PauliOp::term(2, "YY");
+  const auto groups = group_qubitwise_commuting(op);
+  EXPECT_EQ(groups.size(), 3u);
+}
+
+TEST(Grouping, GroupBasisCoversAllMembers) {
+  const PauliOp op = PauliOp::term(3, "XII") + PauliOp::term(3, "IXI") +
+                     PauliOp::term(3, "IIZ") + PauliOp::term(3, "XXI");
+  for (const auto& group : group_qubitwise_commuting(op))
+    for (const auto& term : group.terms)
+      EXPECT_TRUE(qubitwise_commute(group.basis, term.paulis));
+}
+
+TEST(Grouping, H2HamiltonianNeedsFewGroups) {
+  // 15 terms collapse into a handful of measurement settings.
+  const H2Problem problem = h2_problem(0.735);
+  const auto groups = group_qubitwise_commuting(problem.hamiltonian);
+  EXPECT_LT(groups.size(), 6u);
+  EXPECT_GE(groups.size(), 2u);
+  std::size_t members = 0;
+  for (const auto& g : groups) members += g.terms.size();
+  EXPECT_EQ(members, problem.hamiltonian.num_terms());
+}
+
+TEST(Grouping, GroupedEstimateMatchesExact) {
+  const H2Problem problem = h2_problem(0.735);
+  QuantumCircuit prep(4);
+  prep.x(0).x(1).ry(0.3, 2).cx(2, 3);
+  const double exact = estimate_expectation(prep, problem.hamiltonian, 0);
+  const double grouped = estimate_expectation_grouped(
+      prep, problem.hamiltonian, 60000, {}, 7);
+  EXPECT_NEAR(grouped, exact, 0.02);
+}
+
+TEST(Grouping, GroupedAndPerTermEstimatesAgree) {
+  const PauliOp h = PauliOp::term(2, "ZZ", {0.5, 0}) +
+                    PauliOp::term(2, "ZI", {-0.3, 0}) +
+                    PauliOp::term(2, "XX", {0.8, 0}) +
+                    PauliOp::identity(2, {1.5, 0});
+  QuantumCircuit prep(2);
+  prep.h(0).cx(0, 1);
+  const double per_term = estimate_expectation(prep, h, 40000, {}, 3);
+  const double grouped = estimate_expectation_grouped(prep, h, 40000, {}, 3);
+  EXPECT_NEAR(per_term, grouped, 0.02);
+  // Bell state: <ZZ> = <XX> = 1, <ZI> = 0 => 0.5 + 0.8 + 1.5 = 2.8.
+  EXPECT_NEAR(grouped, 2.8, 0.02);
+}
+
+TEST(Grouping, Validation) {
+  QuantumCircuit prep(1);
+  EXPECT_THROW(
+      estimate_expectation_grouped(prep, PauliOp::term(2, "ZZ"), 100),
+      std::invalid_argument);
+  EXPECT_THROW(estimate_expectation_grouped(prep, PauliOp::term(1, "Z"), 0),
+               std::invalid_argument);
+  EXPECT_THROW(estimate_expectation_grouped(
+                   prep, PauliOp::term(1, "Z", {0, 1}), 100),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qtc::aqua

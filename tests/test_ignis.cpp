@@ -1,0 +1,300 @@
+#include "ignis/clifford.hpp"
+#include "ignis/mitigation.hpp"
+#include "ignis/rb.hpp"
+#include "ignis/tomography.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "noise/trajectory.hpp"
+#include "sim/simulator.hpp"
+
+namespace qtc::ignis {
+namespace {
+
+// --- Clifford group ----------------------------------------------------------
+
+TEST(Clifford, GroupHas24DistinctElements) {
+  for (int a = 0; a < kNumCliffords1Q; ++a)
+    for (int b = a + 1; b < kNumCliffords1Q; ++b)
+      EXPECT_FALSE(
+          clifford_matrix(a).equal_up_to_phase(clifford_matrix(b), 1e-9))
+          << a << " vs " << b;
+}
+
+TEST(Clifford, IndexZeroIsIdentity) {
+  EXPECT_TRUE(clifford_matrix(0).equal_up_to_phase(Matrix::identity(2)));
+  EXPECT_TRUE(clifford_ops(0, 0).empty());
+}
+
+TEST(Clifford, CompositionTableIsConsistent) {
+  for (int a = 0; a < kNumCliffords1Q; ++a)
+    for (int b = 0; b < kNumCliffords1Q; ++b) {
+      const Matrix expected = clifford_matrix(b) * clifford_matrix(a);
+      EXPECT_TRUE(clifford_matrix(clifford_compose(a, b))
+                      .equal_up_to_phase(expected, 1e-9));
+    }
+}
+
+TEST(Clifford, InverseComposesToIdentity) {
+  for (int a = 0; a < kNumCliffords1Q; ++a)
+    EXPECT_EQ(clifford_compose(a, clifford_inverse(a)), 0);
+}
+
+TEST(Clifford, OpsMatchMatrices) {
+  for (int a = 0; a < kNumCliffords1Q; ++a) {
+    QuantumCircuit qc(1);
+    for (auto& op : clifford_ops(a, 0)) qc.append(std::move(op));
+    const Matrix u = sim::UnitarySimulator().unitary(qc);
+    EXPECT_TRUE(u.equal_up_to_phase(clifford_matrix(a), 1e-9)) << a;
+  }
+}
+
+TEST(Clifford, LookupByMatrix) {
+  EXPECT_EQ(clifford_index_of(op_matrix(OpKind::H)),
+            clifford_index_of(op_matrix(OpKind::H)));
+  EXPECT_GE(clifford_index_of(op_matrix(OpKind::S)), 0);
+  EXPECT_EQ(clifford_index_of(op_matrix(OpKind::T)), -1);  // T is not Clifford
+}
+
+TEST(Clifford, BadIndexThrows) {
+  EXPECT_THROW(clifford_matrix(24), std::out_of_range);
+  EXPECT_THROW(clifford_ops(-1, 0), std::out_of_range);
+}
+
+// --- randomized benchmarking ---------------------------------------------------
+
+TEST(Rb, SequenceInvertsToIdentityNoiselessly) {
+  Rng rng(5);
+  sim::StatevectorSimulator sim;
+  for (int length : {1, 3, 8, 20}) {
+    const QuantumCircuit qc = rb_sequence(length, 1, 0, rng);
+    const auto result = sim.run(qc, 500);
+    EXPECT_EQ(result.counts.count("0"), 500) << "length " << length;
+  }
+}
+
+TEST(Rb, NoiselessRunFitsNoDecay) {
+  RbConfig config;
+  config.lengths = {1, 4, 16};
+  config.sequences_per_length = 3;
+  config.shots = 128;
+  const RbResult result = run_rb(config, noise::NoiseModel{});
+  for (const auto& p : result.points) EXPECT_NEAR(p.survival, 1.0, 1e-12);
+  EXPECT_NEAR(result.decay, 1.0, 1e-6);
+  EXPECT_NEAR(result.epc(), 0.0, 1e-6);
+}
+
+TEST(Rb, RecoversInjectedDepolarizingRate) {
+  // Depolarizing p after every 1q gate. Each Clifford averages ~2 gates
+  // (H/S decompositions of lengths 0..5), so EPC should land in the right
+  // ballpark: between p/2 and 4p.
+  const double p = 0.02;
+  noise::NoiseModel model;
+  model.add_all_qubit_error(noise::depolarizing(p), OpKind::H);
+  model.add_all_qubit_error(noise::depolarizing(p), OpKind::S);
+  RbConfig config;
+  config.lengths = {1, 2, 4, 8, 16, 32};
+  config.sequences_per_length = 12;
+  config.shots = 400;
+  const RbResult result = run_rb(config, model);
+  EXPECT_GT(result.epc(), p / 2);
+  EXPECT_LT(result.epc(), 4 * p);
+  // Survival must decay monotonically-ish: first point above last point.
+  EXPECT_GT(result.points.front().survival,
+            result.points.back().survival + 0.02);
+}
+
+TEST(Rb, FitRecoversExactExponential) {
+  RbResult r;
+  const double a = 0.5, p = 0.93;
+  for (int m : {1, 2, 4, 8, 16, 32, 64})
+    r.points.push_back({m, a * std::pow(p, m) + 0.5});
+  fit_decay(r);
+  EXPECT_NEAR(r.decay, p, 1e-9);
+  EXPECT_NEAR(r.amplitude, a, 1e-9);
+}
+
+TEST(Rb, BadLengthThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rb_sequence(0, 1, 0, rng), std::invalid_argument);
+}
+
+
+TEST(InterleavedRb, SequenceInvertsNoiselessly) {
+  Rng rng(3);
+  sim::StatevectorSimulator sim;
+  for (int length : {1, 4, 10}) {
+    const QuantumCircuit qc = interleaved_rb_sequence(length, 1, 0, 5, rng);
+    const auto result = sim.run(qc, 200);
+    EXPECT_EQ(result.counts.count("0"), 200) << "length " << length;
+  }
+}
+
+TEST(InterleavedRb, IsolatesTheNoisyGate) {
+  // Only H carries error; interleaving the Clifford that IS plain H must
+  // report a larger per-gate error than interleaving the identity.
+  const double p = 0.02;
+  noise::NoiseModel model;
+  model.add_all_qubit_error(noise::depolarizing(p), OpKind::H);
+  const int h_index = clifford_index_of(op_matrix(OpKind::H));
+  ASSERT_GE(h_index, 0);
+  RbConfig config;
+  config.lengths = {1, 2, 4, 8, 16, 32};
+  config.sequences_per_length = 12;
+  config.shots = 512;
+  const InterleavedRbResult with_h =
+      run_interleaved_rb(config, h_index, model);
+  const InterleavedRbResult with_id = run_interleaved_rb(config, 0, model);
+  EXPECT_GT(with_h.gate_error(), 0.0);
+  EXPECT_GT(with_h.gate_error(), with_id.gate_error());
+  // The H error estimate should land in the right ballpark (~p/2 .. 2p).
+  EXPECT_GT(with_h.gate_error(), p / 4);
+  EXPECT_LT(with_h.gate_error(), 3 * p);
+}
+
+TEST(InterleavedRb, IdentityInterleavingGivesNearZeroError) {
+  noise::NoiseModel model;
+  model.add_all_qubit_error(noise::depolarizing(0.01), OpKind::H);
+  RbConfig config;
+  config.lengths = {1, 4, 16, 64};
+  config.sequences_per_length = 8;
+  config.shots = 400;
+  const InterleavedRbResult r = run_interleaved_rb(config, 0, model);
+  EXPECT_LT(std::abs(r.gate_error()), 0.01);
+}
+
+// --- tomography ------------------------------------------------------------------
+
+TEST(Tomography, SettingsEnumerateAllBases) {
+  const auto settings = tomography_settings(2);
+  EXPECT_EQ(settings.size(), 9u);
+  EXPECT_NE(std::find(settings.begin(), settings.end(), "XY"), settings.end());
+}
+
+TEST(Tomography, CircuitAddsRotationsAndMeasurements) {
+  QuantumCircuit prep(2);
+  prep.h(0);
+  const QuantumCircuit qc = tomography_circuit(prep, "XZ");
+  EXPECT_EQ(qc.count(OpKind::Measure), 2);
+  // X basis on qubit 0 (rightmost char): one extra H beyond the prep H.
+  EXPECT_EQ(qc.count(OpKind::H), 2);
+}
+
+TEST(Tomography, ReconstructsBellStateNoiselessly) {
+  QuantumCircuit prep(2);
+  prep.h(0).cx(0, 1);
+  const TomographyResult result =
+      state_tomography(prep, noise::NoiseModel{}, 4096, 11);
+  sim::StatevectorSimulator sim;
+  const auto reference = sim.statevector(prep).amplitudes();
+  EXPECT_GT(result.fidelity(reference), 0.97);
+  EXPECT_NEAR(result.rho.trace().real(), 1.0, 0.02);
+  EXPECT_TRUE(result.rho.is_hermitian(1e-9));
+}
+
+TEST(Tomography, ReconstructsSingleQubitPlusState) {
+  QuantumCircuit prep(1);
+  prep.h(0);
+  const TomographyResult result =
+      state_tomography(prep, noise::NoiseModel{}, 8192, 3);
+  EXPECT_NEAR(result.rho(0, 1).real(), 0.5, 0.03);
+  EXPECT_NEAR(result.rho(0, 0).real(), 0.5, 0.03);
+}
+
+TEST(Tomography, NoiseReducesReconstructedFidelity) {
+  QuantumCircuit prep(2);
+  prep.h(0).cx(0, 1);
+  const auto noisy_model = noise::uniform_depolarizing(0.01, 0.08);
+  const TomographyResult noisy =
+      state_tomography(prep, noisy_model, 4096, 17);
+  const TomographyResult clean =
+      state_tomography(prep, noise::NoiseModel{}, 4096, 17);
+  sim::StatevectorSimulator sim;
+  const auto reference = sim.statevector(prep).amplitudes();
+  EXPECT_LT(noisy.fidelity(reference), clean.fidelity(reference) - 0.02);
+}
+
+TEST(Tomography, RejectsNonUnitaryPreparation) {
+  QuantumCircuit prep(1, 1);
+  prep.measure(0, 0);
+  EXPECT_THROW(tomography_circuit(prep, "Z"), std::invalid_argument);
+}
+
+// --- measurement mitigation ---------------------------------------------------
+
+TEST(Mitigation, CalibrationMatrixIsColumnStochastic) {
+  noise::NoiseModel model;
+  model.set_readout_error(0, {0.1, 0.05});
+  model.set_readout_error(1, {0.08, 0.12});
+  const auto mitigator = MeasurementMitigator::calibrate(2, model, 4096, 5);
+  const auto& a = mitigator.confusion();
+  for (std::size_t col = 0; col < a.size(); ++col) {
+    double sum = 0;
+    for (std::size_t row = 0; row < a.size(); ++row) sum += a[row][col];
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+  // Diagonal dominates for small error rates.
+  EXPECT_GT(a[0][0], 0.7);
+  EXPECT_GT(a[3][3], 0.7);
+}
+
+TEST(Mitigation, RestoresDeterministicCounts) {
+  noise::NoiseModel model;
+  model.set_readout_error(0, {0.15, 0.15});
+  const auto mitigator = MeasurementMitigator::calibrate(1, model, 20000, 7);
+  QuantumCircuit qc(1, 1);
+  qc.x(0).measure(0, 0);
+  noise::TrajectorySimulator sim(13);
+  const auto raw = sim.run(qc, model, 20000);
+  EXPECT_LT(raw.probability("1"), 0.9);  // visibly corrupted
+  const auto corrected = mitigator.apply(raw);
+  EXPECT_GT(corrected.probability("1"), 0.97);
+}
+
+TEST(Mitigation, ImprovesBellDistribution) {
+  noise::NoiseModel model;
+  model.set_readout_error(0, {0.1, 0.1});
+  model.set_readout_error(1, {0.12, 0.08});
+  const auto mitigator = MeasurementMitigator::calibrate(2, model, 20000, 9);
+  QuantumCircuit qc(2, 2);
+  qc.h(0).cx(0, 1).measure_all();
+  noise::TrajectorySimulator noisy_sim(21);
+  sim::StatevectorSimulator ideal_sim(22);
+  const auto raw = noisy_sim.run(qc, model, 20000);
+  const auto ideal = ideal_sim.run(qc, 20000).counts;
+  const auto corrected = mitigator.apply(raw);
+  const double tv_raw =
+      MeasurementMitigator::total_variation(raw, ideal, 2);
+  const double tv_corrected =
+      MeasurementMitigator::total_variation(corrected, ideal, 2);
+  EXPECT_LT(tv_corrected, tv_raw / 2);
+}
+
+TEST(Mitigation, IdentityConfusionIsNoOp) {
+  std::vector<std::vector<double>> eye{{1, 0}, {0, 1}};
+  const MeasurementMitigator mitigator(eye);
+  sim::Counts raw;
+  for (int i = 0; i < 60; ++i) raw.record("0");
+  for (int i = 0; i < 40; ++i) raw.record("1");
+  const auto out = mitigator.apply(raw);
+  EXPECT_EQ(out.count("0"), 60);
+  EXPECT_EQ(out.count("1"), 40);
+}
+
+TEST(Mitigation, ValidationErrors) {
+  EXPECT_THROW(MeasurementMitigator({{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      MeasurementMitigator::calibrate(0, noise::NoiseModel{}, 100, 1),
+      std::invalid_argument);
+  const MeasurementMitigator m(
+      std::vector<std::vector<double>>{{1, 0}, {0, 1}});
+  sim::Counts wrong_width;
+  wrong_width.record("00");
+  EXPECT_THROW(m.apply(wrong_width), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qtc::ignis

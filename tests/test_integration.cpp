@@ -1,0 +1,258 @@
+// Cross-module integration properties: whole-pipeline invariants that the
+// per-module suites cannot see.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "aqua/algorithms.hpp"
+#include "aqua/ansatz.hpp"
+#include "aqua/h2.hpp"
+#include "aqua/vqe.hpp"
+#include "arch/backend.hpp"
+#include "dd/simulator.hpp"
+#include "ignis/mitigation.hpp"
+#include "map/noise_aware.hpp"
+#include "noise/trajectory.hpp"
+#include "qasm/parser.hpp"
+#include "sim/stabilizer.hpp"
+#include "sim/simulator.hpp"
+#include "transpiler/direction.hpp"
+#include "transpiler/transpile.hpp"
+
+namespace qtc {
+namespace {
+
+QuantumCircuit random_universal_circuit(int n, int gates, std::uint64_t seed) {
+  Rng rng(seed);
+  QuantumCircuit qc(n);
+  for (int g = 0; g < gates; ++g) {
+    const int q = static_cast<int>(rng.index(n));
+    const int q2 = (q + 1 + static_cast<int>(rng.index(n - 1))) % n;
+    switch (rng.index(10)) {
+      case 0:
+        qc.h(q);
+        break;
+      case 1:
+        qc.t(q);
+        break;
+      case 2:
+        qc.u(rng.uniform(0, PI), rng.uniform(-PI, PI), rng.uniform(-PI, PI),
+             q);
+        break;
+      case 3:
+        qc.rz(rng.uniform(-PI, PI), q);
+        break;
+      case 4:
+        qc.sx(q);
+        break;
+      case 5:
+        qc.cz(q, q2);
+        break;
+      case 6:
+        qc.swap(q, q2);
+        break;
+      case 7:
+        qc.cp(rng.uniform(-PI, PI), q, q2);
+        break;
+      default:
+        qc.cx(q, q2);
+    }
+  }
+  return qc;
+}
+
+// --- transpile pipeline: every (mapper, level) preserves semantics -----------
+
+struct PipelineParam {
+  transpiler::MapperKind mapper;
+  int level;
+};
+
+class PipelineTest : public ::testing::TestWithParam<PipelineParam> {};
+
+TEST_P(PipelineTest, RandomCircuitsStayEquivalentOnQx4) {
+  const auto [mapper, level] = GetParam();
+  for (std::uint64_t seed : {101u, 202u, 303u}) {
+    const QuantumCircuit logical = random_universal_circuit(4, 25, seed);
+    transpiler::TranspileOptions options;
+    options.mapper = mapper;
+    options.optimization_level = level;
+    const auto result =
+        transpiler::transpile(logical, arch::qx4_backend(), options);
+    ASSERT_TRUE(
+        transpiler::satisfies_coupling(result.circuit, arch::ibm_qx4()));
+    sim::StatevectorSimulator sim;
+    const auto mapped = sim.statevector(result.circuit).amplitudes();
+    const auto expected = map::embed_state(
+        sim.statevector(logical).amplitudes(), result.final_layout, 5);
+    EXPECT_TRUE(states_equal_up_to_phase(mapped, expected, 1e-7))
+        << "seed " << seed;
+  }
+}
+
+std::string pipeline_name(const ::testing::TestParamInfo<PipelineParam>& i) {
+  std::string name;
+  switch (i.param.mapper) {
+    case transpiler::MapperKind::Naive:
+      name = "naive";
+      break;
+    case transpiler::MapperKind::Sabre:
+      name = "sabre";
+      break;
+    case transpiler::MapperKind::AStar:
+      name = "astar";
+      break;
+  }
+  return name + "_level" + std::to_string(i.param.level);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MappersAndLevels, PipelineTest,
+    ::testing::Values(PipelineParam{transpiler::MapperKind::Naive, 0},
+                      PipelineParam{transpiler::MapperKind::Naive, 2},
+                      PipelineParam{transpiler::MapperKind::Sabre, 1},
+                      PipelineParam{transpiler::MapperKind::Sabre, 2},
+                      PipelineParam{transpiler::MapperKind::AStar, 2}),
+    pipeline_name);
+
+// --- counts-level equivalence: measured circuits through the full stack ------
+
+TEST(Integration, MeasuredCircuitCountsSurviveTranspilation) {
+  // Clbit wiring makes counts layout-independent: the transpiled circuit
+  // must produce the same distribution as the logical one.
+  QuantumCircuit logical(3, 3);
+  logical.h(0).cx(0, 1).t(1).cx(1, 2).h(2);
+  logical.measure_all();
+  const auto result = transpiler::transpile(logical, arch::qx4_backend());
+  sim::StatevectorSimulator s1(5), s2(5);
+  const auto before = s1.run(logical, 8000).counts;
+  const auto after = s2.run(result.circuit, 8000).counts;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const std::string bits = sim::format_bits(i, 3);
+    EXPECT_NEAR(before.probability(bits), after.probability(bits), 0.03)
+        << bits;
+  }
+}
+
+// --- QASM round trip through transpilation -----------------------------------
+
+TEST(Integration, TranspiledCircuitSurvivesQasmRoundTrip) {
+  const QuantumCircuit logical = random_universal_circuit(4, 20, 7);
+  const auto result = transpiler::transpile(logical, arch::qx4_backend());
+  const QuantumCircuit back = qasm::parse(qasm::emit(result.circuit));
+  sim::StatevectorSimulator sim;
+  EXPECT_LT(max_abs_diff(sim.statevector(result.circuit).amplitudes(),
+                         sim.statevector(back).amplitudes()),
+            1e-9);
+}
+
+TEST(Integration, QasmRoundTripOnRandomCircuits) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    const QuantumCircuit qc = random_universal_circuit(5, 40, seed);
+    const QuantumCircuit back = qasm::parse(qasm::emit(qc));
+    sim::StatevectorSimulator sim;
+    EXPECT_LT(max_abs_diff(sim.statevector(qc).amplitudes(),
+                           sim.statevector(back).amplitudes()),
+              1e-9)
+        << "seed " << seed;
+  }
+}
+
+// --- three simulators agree ---------------------------------------------------
+
+TEST(Integration, ThreeEnginesAgreeOnCliffordCircuit) {
+  QuantumCircuit qc(4, 4);
+  qc.h(0).cx(0, 1).s(1).cz(1, 2).cx(2, 3).h(3);
+  qc.measure_all();
+  sim::StatevectorSimulator array(9);
+  sim::StabilizerSimulator tableau(9);
+  dd::DDSimulator dds(9);
+  const auto ca = array.run(qc, 8000).counts;
+  const auto ct = tableau.run(qc, 8000);
+  const auto cd = dds.run(qc, 8000).counts;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    const std::string bits = sim::format_bits(i, 4);
+    EXPECT_NEAR(ca.probability(bits), ct.probability(bits), 0.035) << bits;
+    EXPECT_NEAR(ca.probability(bits), cd.probability(bits), 0.035) << bits;
+  }
+}
+
+// --- algorithm -> compile -> noisy run -> mitigate -----------------------------
+
+TEST(Integration, MitigationImprovesCompiledBellOnNoisyBackend) {
+  const arch::Backend backend = arch::qx4_backend();
+  QuantumCircuit bell(2, 2);
+  bell.h(0).cx(0, 1).measure_all();
+  const auto compiled = transpiler::transpile(bell, backend);
+  // Readout-only noise so mitigation can fully repair it.
+  noise::NoiseModel model;
+  for (int q = 0; q < 5; ++q)
+    model.set_readout_error(q, {0.08, 0.08});
+  // All physical qubits carry the same readout error, so a 2-bit mitigator
+  // calibrated with that rate matches whatever qubits the layout picked.
+  noise::NoiseModel cal_model;
+  cal_model.set_readout_error(0, {0.08, 0.08});
+  cal_model.set_readout_error(1, {0.08, 0.08});
+  const auto mitigator =
+      ignis::MeasurementMitigator::calibrate(2, cal_model, 20000, 3);
+  noise::TrajectorySimulator noisy(13);
+  const auto raw = noisy.run(compiled.circuit, model, 20000);
+  const auto corrected = mitigator.apply(raw);
+  sim::StatevectorSimulator ideal(13);
+  const auto reference = ideal.run(bell, 20000).counts;
+  const double tv_raw =
+      ignis::MeasurementMitigator::total_variation(raw, reference, 2);
+  const double tv_fixed =
+      ignis::MeasurementMitigator::total_variation(corrected, reference, 2);
+  EXPECT_LT(tv_fixed, tv_raw / 2);
+}
+
+// --- chemistry through the compiler --------------------------------------------
+
+TEST(Integration, VqeEnergyUnchangedByTranspilation) {
+  const aqua::H2Problem problem = aqua::h2_problem(0.735);
+  const aqua::Ansatz ansatz = aqua::ry_linear(4, 1);
+  std::vector<double> params;
+  Rng rng(3);
+  for (int i = 0; i < ansatz.num_parameters; ++i)
+    params.push_back(rng.uniform(-PI, PI));
+  const QuantumCircuit prep = ansatz.build(params);
+  const double direct = aqua::estimate_expectation(prep, problem.hamiltonian);
+  // Compile the state-preparation circuit for QX5 and evaluate the same
+  // observable on the physical qubits via the final layout.
+  const auto compiled = transpiler::transpile(prep, arch::qx5_backend());
+  sim::StatevectorSimulator sim;
+  const auto physical = sim.statevector(compiled.circuit);
+  // Build the permuted Pauli observable.
+  double compiled_energy = 0;
+  for (const auto& term : problem.hamiltonian.terms()) {
+    std::string phys(16, 'I');
+    for (int l = 0; l < 4; ++l) {
+      const char c = term.paulis[4 - 1 - l];
+      phys[16 - 1 - compiled.final_layout.l2p[l]] = c;
+    }
+    compiled_energy +=
+        term.coeff.real() * physical.expectation_pauli(phys);
+  }
+  EXPECT_NEAR(compiled_energy, direct, 1e-8);
+}
+
+// --- order finding through the stabilizer-incompatible path ---------------------
+
+TEST(Integration, ShorThroughDDSimulator) {
+  // The order-finding circuit is non-Clifford; the DD engine must agree
+  // with the array engine on the counting distribution.
+  const QuantumCircuit qc = aqua::shor_order_finding(7, 3);
+  dd::DDSimulator dds(3);
+  sim::StatevectorSimulator array(3);
+  const auto cd = dds.run(qc, 6000).counts;
+  const auto ca = array.run(qc, 6000).counts;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const std::string bits = sim::format_bits(i, 3);
+    EXPECT_NEAR(cd.probability(bits), ca.probability(bits), 0.03) << bits;
+  }
+}
+
+}  // namespace
+}  // namespace qtc

@@ -1,0 +1,182 @@
+#include "map/mapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "arch/coupling_map.hpp"
+#include "core/rng.hpp"
+#include "sim/simulator.hpp"
+#include "transpiler/decompose.hpp"
+#include "transpiler/direction.hpp"
+
+namespace qtc::map {
+namespace {
+
+/// Routed circuits contain SWAPs; lower them to CX before simulating and
+/// check equivalence to the logical circuit under the final layout.
+void expect_mapped_equivalent(const QuantumCircuit& logical,
+                              const MappingResult& result,
+                              const arch::CouplingMap& coupling) {
+  EXPECT_TRUE(transpiler::satisfies_connectivity(result.circuit, coupling));
+  const QuantumCircuit lowered =
+      transpiler::DecomposeMultiQubit().run(result.circuit);
+  sim::StatevectorSimulator sim;
+  const auto mapped_sv = sim.statevector(lowered).amplitudes();
+  const auto logical_sv = sim.statevector(logical).amplitudes();
+  const auto expected =
+      embed_state(logical_sv, result.final_layout, coupling.num_qubits());
+  EXPECT_TRUE(states_equal_up_to_phase(mapped_sv, expected, 1e-8));
+}
+
+QuantumCircuit random_cx_circuit(int n, int gates, std::uint64_t seed) {
+  Rng rng(seed);
+  QuantumCircuit qc(n);
+  for (int g = 0; g < gates; ++g) {
+    if (rng.index(3) == 0) {
+      qc.h(static_cast<int>(rng.index(n)));
+    } else {
+      const int a = static_cast<int>(rng.index(n));
+      const int b = (a + 1 + static_cast<int>(rng.index(n - 1))) % n;
+      qc.cx(a, b);
+    }
+  }
+  return qc;
+}
+
+TEST(Layout, TrivialAndSwap) {
+  Layout layout = Layout::trivial(3, 5);
+  EXPECT_EQ(layout.l2p, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(layout.p2l[4], -1);
+  layout.swap_physical(0, 4);
+  EXPECT_EQ(layout.l2p[0], 4);
+  EXPECT_EQ(layout.p2l[0], -1);
+  EXPECT_EQ(layout.p2l[4], 0);
+  layout.swap_physical(1, 4);
+  EXPECT_EQ(layout.l2p[0], 1);
+  EXPECT_EQ(layout.l2p[1], 4);
+}
+
+TEST(Layout, TooManyLogicalThrows) {
+  EXPECT_THROW(Layout::trivial(6, 5), std::invalid_argument);
+}
+
+TEST(EmbedState, PlacesAmplitudesByLayout) {
+  // Logical |10> (q1=1) with layout {q0->2, q1->0} becomes physical |001>.
+  Layout layout;
+  layout.l2p = {2, 0};
+  layout.p2l = {1, -1, 0};
+  const std::vector<cplx> logical{0, 0, 1, 0};
+  const auto phys = embed_state(logical, layout, 3);
+  EXPECT_NEAR(std::abs(phys[0b001]), 1.0, 1e-12);
+}
+
+class MapperSuite : public ::testing::TestWithParam<int> {
+ protected:
+  std::unique_ptr<Mapper> make_mapper() const {
+    switch (GetParam()) {
+      case 0:
+        return std::make_unique<NaiveMapper>();
+      case 1:
+        return std::make_unique<SabreMapper>();
+      default:
+        return std::make_unique<AStarMapper>();
+    }
+  }
+};
+
+TEST_P(MapperSuite, AdjacentGatesNeedNoSwaps) {
+  QuantumCircuit qc(5);
+  qc.cx(1, 0).cx(2, 1).cx(3, 2).cx(3, 4);
+  const auto result = make_mapper()->run(qc, arch::ibm_qx4());
+  EXPECT_EQ(result.swaps_inserted, 0);
+  expect_mapped_equivalent(qc, result, arch::ibm_qx4());
+}
+
+TEST_P(MapperSuite, DistantGateGetsRouted) {
+  QuantumCircuit qc(5);
+  qc.cx(0, 4);  // distance 2 on QX4
+  const auto result = make_mapper()->run(qc, arch::ibm_qx4());
+  EXPECT_GE(result.swaps_inserted, 1);
+  expect_mapped_equivalent(qc, result, arch::ibm_qx4());
+}
+
+TEST_P(MapperSuite, Fig1CircuitOnQx4) {
+  QuantumCircuit qc(4);
+  qc.h(2).cx(2, 3).cx(0, 1).h(1).cx(1, 2).t(0).cx(2, 0).cx(0, 1);
+  const auto result = make_mapper()->run(qc, arch::ibm_qx4());
+  expect_mapped_equivalent(qc, result, arch::ibm_qx4());
+}
+
+TEST_P(MapperSuite, RandomCircuitsOnLinearDevice) {
+  for (std::uint64_t seed : {11u, 22u, 33u}) {
+    const QuantumCircuit qc = random_cx_circuit(5, 25, seed);
+    const auto result = make_mapper()->run(qc, arch::linear(5));
+    expect_mapped_equivalent(qc, result, arch::linear(5));
+  }
+}
+
+TEST_P(MapperSuite, RandomCircuitsOnQx5) {
+  const QuantumCircuit qc = random_cx_circuit(8, 30, 7);
+  const auto result = make_mapper()->run(qc, arch::ibm_qx5());
+  expect_mapped_equivalent(qc, result, arch::ibm_qx5());
+}
+
+TEST_P(MapperSuite, MeasurementsFollowTheLayout) {
+  QuantumCircuit qc(3, 3);
+  qc.cx(0, 2).cx(0, 1);
+  qc.measure(0, 0).measure(1, 1).measure(2, 2);
+  const auto result = make_mapper()->run(qc, arch::linear(3));
+  // Every measure lands on the physical qubit currently hosting its logical
+  // operand: collecting measure targets per clbit must match final layout.
+  for (const auto& op : result.circuit.ops()) {
+    if (op.kind == OpKind::Measure) {
+      EXPECT_EQ(op.qubits[0], result.final_layout.l2p[op.clbits[0]]);
+    }
+  }
+}
+
+TEST_P(MapperSuite, ThreeQubitGateRejected) {
+  QuantumCircuit qc(3);
+  qc.ccx(0, 1, 2);
+  EXPECT_THROW(make_mapper()->run(qc, arch::linear(3)),
+               std::invalid_argument);
+}
+
+TEST_P(MapperSuite, CircuitLargerThanDeviceRejected) {
+  QuantumCircuit qc(6);
+  qc.h(0);
+  EXPECT_THROW(make_mapper()->run(qc, arch::ibm_qx4()),
+               std::invalid_argument);
+}
+
+std::string mapper_name(const ::testing::TestParamInfo<int>& info) {
+  if (info.param == 0) return "naive";
+  if (info.param == 1) return "sabre";
+  return "astar";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMappers, MapperSuite, ::testing::Values(0, 1, 2),
+                         mapper_name);
+
+TEST(MapperComparison, ImprovedMappersBeatNaiveOnLongRandomCircuit) {
+  // The paper's Sec. V-B claim: smarter mapping inserts fewer gates. On a
+  // long random circuit over a line, A* and SABRE should not be worse.
+  const QuantumCircuit qc = random_cx_circuit(8, 60, 5);
+  const auto naive = NaiveMapper().run(qc, arch::linear(8));
+  const auto sabre = SabreMapper().run(qc, arch::linear(8));
+  const auto astar = AStarMapper().run(qc, arch::linear(8));
+  EXPECT_LE(sabre.swaps_inserted, naive.swaps_inserted);
+  EXPECT_LE(astar.swaps_inserted, naive.swaps_inserted);
+}
+
+TEST(MapperComparison, AStarIsOptimalForSingleGate) {
+  // One distant CX on a line of 6: optimal is distance-1 swaps = 4.
+  QuantumCircuit qc(6);
+  qc.cx(0, 5);
+  const auto astar = AStarMapper().run(qc, arch::linear(6));
+  EXPECT_EQ(astar.swaps_inserted, 4);
+}
+
+}  // namespace
+}  // namespace qtc::map

@@ -1,0 +1,166 @@
+#include "core/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+
+namespace qtc {
+namespace {
+
+TEST(Matrix, IdentityHasOnesOnDiagonal) {
+  const Matrix id = Matrix::identity(4);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      EXPECT_EQ(id(i, j), (i == j ? cplx{1, 0} : cplx{0, 0}));
+}
+
+TEST(Matrix, InitializerListRejectsRaggedRows) {
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(Matrix, MultiplyAgainstHandComputed) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{5, 6}, {7, 8}};
+  const Matrix c = a * b;
+  EXPECT_EQ(c(0, 0), cplx(19, 0));
+  EXPECT_EQ(c(0, 1), cplx(22, 0));
+  EXPECT_EQ(c(1, 0), cplx(43, 0));
+  EXPECT_EQ(c(1, 1), cplx(50, 0));
+}
+
+TEST(Matrix, MultiplyShapeMismatchThrows) {
+  const Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW(a * b, std::invalid_argument);
+}
+
+TEST(Matrix, MatVecMatchesMatMul) {
+  const Matrix a{{1, cplx(0, 1)}, {2, -1}};
+  const std::vector<cplx> v{cplx(1, 1), cplx(0, -2)};
+  const auto got = a * v;
+  EXPECT_NEAR(std::abs(got[0] - (cplx(1, 1) + cplx(0, 1) * cplx(0, -2))), 0,
+              1e-12);
+  EXPECT_NEAR(std::abs(got[1] - (cplx(2, 2) - cplx(0, -2))), 0, 1e-12);
+}
+
+TEST(Matrix, KroneckerProductShapeAndValues) {
+  const Matrix x{{0, 1}, {1, 0}};
+  const Matrix z{{1, 0}, {0, -1}};
+  const Matrix k = x.kron(z);
+  ASSERT_EQ(k.rows(), 4u);
+  ASSERT_EQ(k.cols(), 4u);
+  EXPECT_EQ(k(0, 2), cplx(1, 0));
+  EXPECT_EQ(k(1, 3), cplx(-1, 0));
+  EXPECT_EQ(k(2, 0), cplx(1, 0));
+  EXPECT_EQ(k(3, 1), cplx(-1, 0));
+  EXPECT_EQ(k(0, 0), cplx(0, 0));
+}
+
+TEST(Matrix, DaggerConjugatesAndTransposes) {
+  const Matrix m{{cplx(1, 2), cplx(3, -4)}, {cplx(0, 1), cplx(5, 0)}};
+  const Matrix d = m.dagger();
+  EXPECT_EQ(d(0, 0), cplx(1, -2));
+  EXPECT_EQ(d(0, 1), cplx(0, -1));
+  EXPECT_EQ(d(1, 0), cplx(3, 4));
+}
+
+TEST(Matrix, TraceSumsDiagonal) {
+  const Matrix m{{1, 9}, {9, cplx(2, 3)}};
+  EXPECT_EQ(m.trace(), cplx(3, 3));
+}
+
+TEST(Matrix, UnitaryDetection) {
+  const Matrix h{{SQRT1_2, SQRT1_2}, {SQRT1_2, -SQRT1_2}};
+  EXPECT_TRUE(h.is_unitary());
+  const Matrix notu{{1, 1}, {0, 1}};
+  EXPECT_FALSE(notu.is_unitary());
+}
+
+TEST(Matrix, HermitianDetection) {
+  const Matrix herm{{2, cplx(1, 1)}, {cplx(1, -1), 3}};
+  EXPECT_TRUE(herm.is_hermitian());
+  EXPECT_FALSE(Matrix({{0, 1}, {0, 0}}).is_hermitian());
+}
+
+TEST(Matrix, EqualUpToPhase) {
+  const Matrix h{{SQRT1_2, SQRT1_2}, {SQRT1_2, -SQRT1_2}};
+  const cplx phase = std::exp(cplx(0, 0.7));
+  EXPECT_TRUE(h.equal_up_to_phase(h * phase));
+  EXPECT_FALSE(h.equal_up_to_phase(Matrix{{0, 1}, {1, 0}}));
+}
+
+TEST(Matrix, SolveLinearRecoversKnownSolution) {
+  // x + 2y = 5 ; 3x - y = 1  =>  x = 1, y = 2
+  const auto x = solve_linear({{1, 2}, {3, -1}}, {5, 1});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Matrix, SolveLinearSingularThrows) {
+  EXPECT_THROW(solve_linear({{1, 2}, {2, 4}}, {1, 2}), std::runtime_error);
+}
+
+TEST(Matrix, HermitianEigenvaluesOfPauliZ) {
+  const auto ev = hermitian_eigenvalues(Matrix{{1, 0}, {0, -1}});
+  ASSERT_EQ(ev.size(), 2u);
+  EXPECT_NEAR(ev[0], -1.0, 1e-9);
+  EXPECT_NEAR(ev[1], 1.0, 1e-9);
+}
+
+TEST(Matrix, HermitianEigenvaluesOfPauliX) {
+  const auto ev = hermitian_eigenvalues(Matrix{{0, 1}, {1, 0}});
+  EXPECT_NEAR(ev[0], -1.0, 1e-9);
+  EXPECT_NEAR(ev[1], 1.0, 1e-9);
+}
+
+TEST(Matrix, HermitianEigenvaluesComplexOffDiagonal) {
+  // [[0, -i], [i, 0]] = Pauli Y, eigenvalues +-1.
+  const Matrix y{{0, cplx(0, -1)}, {cplx(0, 1), 0}};
+  const auto ev = hermitian_eigenvalues(y);
+  EXPECT_NEAR(ev[0], -1.0, 1e-9);
+  EXPECT_NEAR(ev[1], 1.0, 1e-9);
+}
+
+TEST(Matrix, HermitianEigenvaluesTraceInvariant) {
+  Rng rng(11);
+  for (int trial = 0; trial < 5; ++trial) {
+    Matrix m(4, 4);
+    for (std::size_t i = 0; i < 4; ++i) {
+      m(i, i) = rng.uniform(-2, 2);
+      for (std::size_t j = i + 1; j < 4; ++j) {
+        m(i, j) = cplx(rng.uniform(-1, 1), rng.uniform(-1, 1));
+        m(j, i) = std::conj(m(i, j));
+      }
+    }
+    const auto ev = hermitian_eigenvalues(m);
+    double sum = 0;
+    for (double e : ev) sum += e;
+    EXPECT_NEAR(sum, m.trace().real(), 1e-8);
+  }
+}
+
+TEST(Vector, InnerProductConjugatesLeft) {
+  const std::vector<cplx> a{cplx(0, 1), 0};
+  const std::vector<cplx> b{1, 0};
+  EXPECT_NEAR(std::abs(inner(a, b) - cplx(0, -1)), 0, 1e-12);
+}
+
+TEST(Vector, StatesEqualUpToPhase) {
+  std::vector<cplx> a{SQRT1_2, SQRT1_2};
+  std::vector<cplx> b = a;
+  for (auto& x : b) x *= std::exp(cplx(0, 1.3));
+  EXPECT_TRUE(states_equal_up_to_phase(a, b));
+  b[0] = -b[0];
+  EXPECT_FALSE(states_equal_up_to_phase(a, b));
+}
+
+TEST(Vector, KronAllOfTwoPaulis) {
+  const Matrix x{{0, 1}, {1, 0}};
+  const Matrix i2 = Matrix::identity(2);
+  const Matrix m = kron_all({x, i2});
+  EXPECT_TRUE(m.approx_equal(x.kron(i2)));
+}
+
+}  // namespace
+}  // namespace qtc

@@ -1,0 +1,114 @@
+#include "map/noise_aware.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "transpiler/decompose.hpp"
+#include "transpiler/direction.hpp"
+
+namespace qtc::map {
+namespace {
+
+QuantumCircuit chain_circuit(int n) {
+  QuantumCircuit qc(n);
+  for (int q = 0; q + 1 < n; ++q) qc.cx(q, q + 1);
+  return qc;
+}
+
+TEST(NoiseAware, ProducesValidInjectiveLayout) {
+  const arch::Backend backend = arch::qx5_backend();
+  const Layout layout = noise_aware_layout(chain_circuit(8), backend);
+  ASSERT_EQ(layout.l2p.size(), 8u);
+  std::set<int> used;
+  for (int p : layout.l2p) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 16);
+    EXPECT_TRUE(used.insert(p).second) << "duplicate physical qubit";
+  }
+  for (int l = 0; l < 8; ++l) EXPECT_EQ(layout.p2l[layout.l2p[l]], l);
+}
+
+TEST(NoiseAware, ChainPartnersLandAdjacent) {
+  // On a connected device a simple chain should place every interacting
+  // pair on coupled qubits (zero routing needed).
+  const arch::Backend backend = arch::qx5_backend();
+  const QuantumCircuit chain = chain_circuit(6);
+  const Layout layout = noise_aware_layout(chain, backend);
+  int adjacent = 0;
+  for (int q = 0; q + 1 < 6; ++q)
+    if (backend.coupling_map().connected(layout.l2p[q], layout.l2p[q + 1]))
+      ++adjacent;
+  EXPECT_GE(adjacent, 4);  // nearly all pairs coupled
+}
+
+TEST(NoiseAware, PrefersLowErrorEdges) {
+  // Two-qubit circuit: the chosen edge should be among the cheapest.
+  const arch::Backend backend = arch::qx5_backend();
+  QuantumCircuit pair(2);
+  pair.cx(0, 1).cx(0, 1).cx(0, 1);
+  const Layout layout = noise_aware_layout(pair, backend);
+  ASSERT_TRUE(
+      backend.coupling_map().connected(layout.l2p[0], layout.l2p[1]));
+  const double chosen = backend.cx_error(layout.l2p[0], layout.l2p[1]);
+  double best = 1.0;
+  for (auto [a, b] : backend.coupling_map().edges())
+    best = std::min(best, backend.cx_error(a, b));
+  EXPECT_NEAR(chosen, best, 1e-12);
+}
+
+TEST(NoiseAware, TooLargeCircuitThrows) {
+  const arch::Backend backend = arch::qx4_backend();
+  EXPECT_THROW(noise_aware_layout(chain_circuit(6), backend),
+               std::invalid_argument);
+}
+
+TEST(NoiseAware, ApplyLayoutRelabels) {
+  const arch::Backend backend = arch::qx4_backend();
+  QuantumCircuit qc(2);
+  qc.cx(0, 1);
+  Layout layout;
+  layout.l2p = {3, 2};
+  layout.p2l = {-1, -1, 1, 0, -1};
+  const QuantumCircuit physical = apply_layout(qc, layout, 5);
+  EXPECT_EQ(physical.num_qubits(), 5);
+  EXPECT_EQ(physical.ops()[0].qubits, (std::vector<Qubit>{3, 2}));
+}
+
+TEST(NoiseAware, EstimatedSuccessIsMonotoneInGateCount) {
+  const arch::Backend backend = arch::qx4_backend();
+  QuantumCircuit small(5, 5);
+  small.cx(1, 0);
+  small.measure(0, 0);
+  QuantumCircuit big = small;
+  big.cx(1, 0).cx(1, 0);
+  const double ps = estimated_success(small, backend);
+  const double pb = estimated_success(big, backend);
+  EXPECT_GT(ps, pb);
+  EXPECT_GT(ps, 0.9);
+  EXPECT_LT(ps, 1.0);
+}
+
+TEST(NoiseAware, BeatsTrivialLayoutOnEstimatedSuccess) {
+  // Route a chain with trivial vs noise-aware layout and compare the
+  // figure of merit (noise-aware must not be worse).
+  const arch::Backend backend = arch::qx5_backend();
+  const QuantumCircuit chain = chain_circuit(8);
+  const SabreMapper mapper;
+  const auto trivial = mapper.run(chain, backend.coupling_map());
+  const Layout smart = noise_aware_layout(chain, backend);
+  const QuantumCircuit relabeled = apply_layout(chain, smart, 16);
+  const auto smart_routed = mapper.run(relabeled, backend.coupling_map());
+  auto lower = [&](const QuantumCircuit& qc) {
+    return transpiler::FixCxDirections(backend.coupling_map())
+        .run(transpiler::DecomposeMultiQubit().run(qc));
+  };
+  const double p_trivial =
+      estimated_success(lower(trivial.circuit), backend);
+  const double p_smart =
+      estimated_success(lower(smart_routed.circuit), backend);
+  EXPECT_GE(p_smart, p_trivial - 1e-12);
+}
+
+}  // namespace
+}  // namespace qtc::map

@@ -1,0 +1,157 @@
+#include "aqua/pauli_op.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/circuit.hpp"
+#include "sim/simulator.hpp"
+
+namespace qtc::aqua {
+namespace {
+
+TEST(PauliOp, TermConstructionAndValidation) {
+  const PauliOp op = PauliOp::term(2, "XZ", {0.5, 0});
+  EXPECT_EQ(op.num_terms(), 1u);
+  EXPECT_THROW(PauliOp::term(2, "XYZ"), std::invalid_argument);
+  EXPECT_THROW(PauliOp::term(2, "XQ"), std::invalid_argument);
+}
+
+TEST(PauliOp, AdditionCombinesLikeTerms) {
+  const PauliOp a = PauliOp::term(1, "X", {1, 0});
+  const PauliOp b = PauliOp::term(1, "X", {2, 0});
+  const PauliOp sum = a + b;
+  ASSERT_EQ(sum.num_terms(), 1u);
+  EXPECT_NEAR(std::abs(sum.terms()[0].coeff - cplx(3, 0)), 0, 1e-12);
+}
+
+TEST(PauliOp, CancellingTermsVanish) {
+  const PauliOp a = PauliOp::term(1, "Z", {1, 0});
+  const PauliOp diff = a - a;
+  EXPECT_EQ(diff.num_terms(), 0u);
+}
+
+TEST(PauliOp, SingleCharProductsFollowAlgebra) {
+  EXPECT_EQ(pauli_char_product('X', 'Y'), std::make_pair(cplx(0, 1), 'Z'));
+  EXPECT_EQ(pauli_char_product('Y', 'X'), std::make_pair(cplx(0, -1), 'Z'));
+  EXPECT_EQ(pauli_char_product('Z', 'Z'), std::make_pair(cplx(1, 0), 'I'));
+  EXPECT_EQ(pauli_char_product('I', 'Y'), std::make_pair(cplx(1, 0), 'Y'));
+}
+
+TEST(PauliOp, ProductMatchesMatrixProduct) {
+  const PauliOp a = PauliOp::term(2, "XY", {1, 0});
+  const PauliOp b = PauliOp::term(2, "ZY", {1, 0});
+  const PauliOp prod = a * b;
+  EXPECT_TRUE(prod.to_matrix().approx_equal(a.to_matrix() * b.to_matrix(),
+                                            1e-12));
+}
+
+TEST(PauliOp, MultiTermProductMatchesMatrices) {
+  const PauliOp a =
+      PauliOp::term(2, "XI", {0.5, 0}) + PauliOp::term(2, "IZ", {0, 0.25});
+  const PauliOp b =
+      PauliOp::term(2, "YY", {1, 0}) + PauliOp::identity(2, {0.3, 0});
+  EXPECT_TRUE((a * b).to_matrix().approx_equal(a.to_matrix() * b.to_matrix(),
+                                               1e-12));
+}
+
+TEST(PauliOp, DaggerConjugatesCoefficients) {
+  const PauliOp op = PauliOp::term(1, "Y", {0, 1});
+  EXPECT_NEAR(std::abs(op.dagger().terms()[0].coeff - cplx(0, -1)), 0, 1e-12);
+}
+
+TEST(PauliOp, HermitianDetection) {
+  EXPECT_TRUE((PauliOp::term(1, "X", {0.5, 0}) +
+               PauliOp::term(1, "Z", {-1, 0}))
+                  .is_hermitian());
+  EXPECT_FALSE(PauliOp::term(1, "X", {0, 1}).is_hermitian());
+}
+
+TEST(PauliOp, ToMatrixOfZZ) {
+  const Matrix m = PauliOp::term(2, "ZZ").to_matrix();
+  EXPECT_EQ(m(0, 0), cplx(1, 0));
+  EXPECT_EQ(m(1, 1), cplx(-1, 0));
+  EXPECT_EQ(m(2, 2), cplx(-1, 0));
+  EXPECT_EQ(m(3, 3), cplx(1, 0));
+}
+
+TEST(PauliOp, ExpectationMatchesStatevectorMethod) {
+  QuantumCircuit qc(3);
+  qc.h(0).cx(0, 1).t(1).ry(0.7, 2).cx(1, 2);
+  sim::StatevectorSimulator sim;
+  const auto sv = sim.statevector(qc);
+  for (const std::string pauli :
+       {"ZZZ", "XXI", "IYX", "ZIX", "YYY", "III", "XZY"}) {
+    const PauliOp op = PauliOp::term(3, pauli);
+    EXPECT_NEAR(op.expectation(sv.amplitudes()),
+                sv.expectation_pauli(pauli), 1e-10)
+        << pauli;
+  }
+}
+
+TEST(PauliOp, ExpectationOfSumIsLinear) {
+  QuantumCircuit qc(2);
+  qc.h(0);
+  sim::StatevectorSimulator sim;
+  const auto sv = sim.statevector(qc).amplitudes();
+  const PauliOp op = PauliOp::term(2, "IX", {2, 0}) +
+                     PauliOp::term(2, "ZI", {-0.5, 0});
+  EXPECT_NEAR(op.expectation(sv), 2 * 1 - 0.5 * 1, 1e-10);
+}
+
+TEST(PauliOp, GroundEnergyOfSimpleHamiltonians) {
+  // H = Z has ground energy -1; H = X + Z has ground energy -sqrt(2).
+  EXPECT_NEAR(PauliOp::term(1, "Z").ground_energy(), -1.0, 1e-8);
+  const PauliOp xz = PauliOp::term(1, "X") + PauliOp::term(1, "Z");
+  EXPECT_NEAR(xz.ground_energy(), -std::sqrt(2.0), 1e-8);
+}
+
+TEST(PauliOp, SizeMismatchThrows) {
+  const PauliOp a = PauliOp::term(1, "X");
+  const PauliOp b = PauliOp::term(2, "XX");
+  EXPECT_THROW(a + b, std::invalid_argument);
+  EXPECT_THROW(a * b, std::invalid_argument);
+}
+
+TEST(JordanWigner, AnnihilatorMatrixOnOneMode) {
+  // a = |0><1|.
+  const Matrix m = jw_annihilation(0, 1).to_matrix();
+  EXPECT_NEAR(std::abs(m(0, 1) - cplx(1, 0)), 0, 1e-12);
+  EXPECT_NEAR(std::abs(m(0, 0)), 0, 1e-12);
+  EXPECT_NEAR(std::abs(m(1, 1)), 0, 1e-12);
+  EXPECT_NEAR(std::abs(m(1, 0)), 0, 1e-12);
+}
+
+TEST(JordanWigner, CanonicalAnticommutationRelations) {
+  const int n = 3;
+  for (int p = 0; p < n; ++p) {
+    for (int q = 0; q < n; ++q) {
+      const PauliOp ap = jw_annihilation(p, n);
+      const PauliOp aq_dag = jw_creation(q, n);
+      // {a_p, a+_q} = delta_pq.
+      const PauliOp anti = ap * aq_dag + aq_dag * ap;
+      const Matrix expected =
+          Matrix::identity(8) * cplx(p == q ? 1.0 : 0.0, 0);
+      EXPECT_TRUE(anti.to_matrix().approx_equal(expected, 1e-10))
+          << p << "," << q;
+      // {a_p, a_q} = 0.
+      const PauliOp aq = jw_annihilation(q, n);
+      const PauliOp anti2 = ap * aq + aq * ap;
+      EXPECT_TRUE(anti2.to_matrix().approx_equal(Matrix::zero(8, 8), 1e-10));
+    }
+  }
+}
+
+TEST(JordanWigner, NumberOperatorCountsOccupation) {
+  const int n = 2;
+  const PauliOp number =
+      jw_creation(1, n) * jw_annihilation(1, n);  // n_1 = (I - Z_1)/2
+  // |10> (mode 1 occupied, basis index 2).
+  std::vector<cplx> occupied(4, cplx{0, 0});
+  occupied[2] = 1;
+  EXPECT_NEAR(number.expectation(occupied), 1.0, 1e-12);
+  std::vector<cplx> empty(4, cplx{0, 0});
+  empty[1] = 1;  // mode 0 occupied only
+  EXPECT_NEAR(number.expectation(empty), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace qtc::aqua

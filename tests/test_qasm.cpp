@@ -1,0 +1,263 @@
+#include "qasm/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/circuit.hpp"
+
+namespace qtc {
+namespace {
+
+/// The exact OpenQASM program from the paper's Fig. 1a.
+const char* kFig1 = R"(OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+h q[2];
+cx q[2],q[3];
+cx q[0],q[1];
+h q[1];
+cx q[1],q[2];
+t q[0];
+cx q[2],q[0];
+cx q[0],q[1];
+)";
+
+TEST(Qasm, ParsesFig1Program) {
+  const QuantumCircuit qc = qasm::parse(kFig1);
+  EXPECT_EQ(qc.num_qubits(), 4);
+  ASSERT_EQ(qc.size(), 8u);
+  EXPECT_EQ(qc.ops()[0].kind, OpKind::H);
+  EXPECT_EQ(qc.ops()[0].qubits[0], 2);
+  EXPECT_EQ(qc.ops()[1].kind, OpKind::CX);
+  EXPECT_EQ(qc.ops()[1].qubits, (std::vector<Qubit>{2, 3}));
+  EXPECT_EQ(qc.ops()[5].kind, OpKind::T);
+  EXPECT_EQ(qc.count(OpKind::CX), 5);
+}
+
+TEST(Qasm, EmitParseRoundTripPreservesOps) {
+  const QuantumCircuit qc = qasm::parse(kFig1);
+  const QuantumCircuit back = qasm::parse(qasm::emit(qc));
+  ASSERT_EQ(back.size(), qc.size());
+  for (std::size_t i = 0; i < qc.size(); ++i) {
+    EXPECT_EQ(back.ops()[i].kind, qc.ops()[i].kind);
+    EXPECT_EQ(back.ops()[i].qubits, qc.ops()[i].qubits);
+  }
+}
+
+TEST(Qasm, ParsesParameterExpressions) {
+  const auto qc = qasm::parse(
+      "OPENQASM 2.0;\nqreg q[1];\nU(pi/2, -pi/4, 2*pi) q[0];\n");
+  ASSERT_EQ(qc.size(), 1u);
+  EXPECT_EQ(qc.ops()[0].kind, OpKind::U);
+  EXPECT_NEAR(qc.ops()[0].params[0], PI / 2, 1e-12);
+  EXPECT_NEAR(qc.ops()[0].params[1], -PI / 4, 1e-12);
+  EXPECT_NEAR(qc.ops()[0].params[2], 2 * PI, 1e-12);
+}
+
+TEST(Qasm, ParsesFunctionAndPowerExpressions) {
+  const auto qc = qasm::parse(
+      "OPENQASM 2.0;\nqreg q[1];\nU(sin(pi/2), 2^3, sqrt(4)) q[0];\n");
+  EXPECT_NEAR(qc.ops()[0].params[0], 1.0, 1e-12);
+  EXPECT_NEAR(qc.ops()[0].params[1], 8.0, 1e-12);
+  EXPECT_NEAR(qc.ops()[0].params[2], 2.0, 1e-12);
+}
+
+TEST(Qasm, BuiltinCXUppercase) {
+  const auto qc = qasm::parse("OPENQASM 2.0;\nqreg q[2];\nCX q[0],q[1];\n");
+  EXPECT_EQ(qc.ops()[0].kind, OpKind::CX);
+}
+
+TEST(Qasm, RegisterBroadcastSingleGate) {
+  const auto qc =
+      qasm::parse("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\nh q;\n");
+  EXPECT_EQ(qc.size(), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(qc.ops()[i].qubits[0], i);
+}
+
+TEST(Qasm, RegisterBroadcastPairwiseCx) {
+  const auto qc = qasm::parse(
+      "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg a[2];\nqreg b[2];\n"
+      "cx a,b;\n");
+  ASSERT_EQ(qc.size(), 2u);
+  EXPECT_EQ(qc.ops()[0].qubits, (std::vector<Qubit>{0, 2}));
+  EXPECT_EQ(qc.ops()[1].qubits, (std::vector<Qubit>{1, 3}));
+}
+
+TEST(Qasm, BroadcastMixedSingleAndRegister) {
+  const auto qc = qasm::parse(
+      "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg a[1];\nqreg b[3];\n"
+      "cx a[0],b;\n");
+  ASSERT_EQ(qc.size(), 3u);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(qc.ops()[i].qubits, (std::vector<Qubit>{0, 1 + i}));
+}
+
+TEST(Qasm, BroadcastSizeMismatchThrows) {
+  EXPECT_THROW(
+      qasm::parse("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg a[2];\n"
+                  "qreg b[3];\ncx a,b;\n"),
+      qasm::ParseError);
+}
+
+TEST(Qasm, MeasureBroadcastAndArrow) {
+  const auto qc = qasm::parse(
+      "OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\nmeasure q -> c;\n");
+  ASSERT_EQ(qc.size(), 2u);
+  EXPECT_EQ(qc.ops()[0].kind, OpKind::Measure);
+  EXPECT_EQ(qc.ops()[1].qubits[0], 1);
+  EXPECT_EQ(qc.ops()[1].clbits[0], 1);
+}
+
+TEST(Qasm, CustomGateMacroExpansion) {
+  const auto qc = qasm::parse(R"(OPENQASM 2.0;
+include "qelib1.inc";
+gate bell a, b { h a; cx a, b; }
+qreg q[2];
+bell q[0], q[1];
+)");
+  ASSERT_EQ(qc.size(), 2u);
+  EXPECT_EQ(qc.ops()[0].kind, OpKind::H);
+  EXPECT_EQ(qc.ops()[1].kind, OpKind::CX);
+}
+
+TEST(Qasm, CustomGateWithParamsAndNesting) {
+  const auto qc = qasm::parse(R"(OPENQASM 2.0;
+include "qelib1.inc";
+gate rot(t) a { rz(t/2) a; }
+gate double_rot(t) a, b { rot(t) a; rot(2*t) b; }
+qreg q[2];
+double_rot(pi) q[0], q[1];
+)");
+  ASSERT_EQ(qc.size(), 2u);
+  EXPECT_EQ(qc.ops()[0].kind, OpKind::RZ);
+  EXPECT_NEAR(qc.ops()[0].params[0], PI / 2, 1e-12);
+  EXPECT_NEAR(qc.ops()[1].params[0], PI, 1e-12);
+  EXPECT_EQ(qc.ops()[1].qubits[0], 1);
+}
+
+TEST(Qasm, GateBodyBarrier) {
+  const auto qc = qasm::parse(R"(OPENQASM 2.0;
+include "qelib1.inc";
+gate hb a { h a; barrier a; h a; }
+qreg q[1];
+hb q[0];
+)");
+  ASSERT_EQ(qc.size(), 3u);
+  EXPECT_EQ(qc.ops()[1].kind, OpKind::Barrier);
+}
+
+TEST(Qasm, OpaqueGateApplicationThrows) {
+  EXPECT_THROW(qasm::parse("OPENQASM 2.0;\nopaque magic a;\nqreg q[1];\n"
+                           "magic q[0];\n"),
+               qasm::ParseError);
+}
+
+TEST(Qasm, ConditionalGate) {
+  const auto qc = qasm::parse(
+      "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[1];\ncreg c[2];\n"
+      "if (c==3) x q[0];\n");
+  ASSERT_EQ(qc.size(), 1u);
+  EXPECT_TRUE(qc.ops()[0].conditioned());
+  EXPECT_EQ(qc.ops()[0].cond_val, 3u);
+}
+
+TEST(Qasm, ConditionalRoundTrips) {
+  const char* src =
+      "OPENQASM 2.0;\nqreg q[1];\ncreg c[1];\nmeasure q[0] -> c[0];\n";
+  auto qc = qasm::parse(src);
+  qc.x(0);
+  qc.c_if(0, 1);
+  const auto back = qasm::parse(qasm::emit(qc));
+  EXPECT_TRUE(back.ops().back().conditioned());
+  EXPECT_EQ(back.ops().back().cond_val, 1u);
+}
+
+TEST(Qasm, BarrierOnWholeRegister) {
+  const auto qc =
+      qasm::parse("OPENQASM 2.0;\nqreg q[3];\nbarrier q;\n");
+  ASSERT_EQ(qc.size(), 1u);
+  EXPECT_EQ(qc.ops()[0].qubits.size(), 3u);
+}
+
+TEST(Qasm, ResetStatement) {
+  const auto qc = qasm::parse("OPENQASM 2.0;\nqreg q[2];\nreset q;\n");
+  EXPECT_EQ(qc.count(OpKind::Reset), 2);
+}
+
+TEST(Qasm, CommentsAreIgnored) {
+  const auto qc = qasm::parse(
+      "// header comment\nOPENQASM 2.0;\nqreg q[1]; // trailing\n"
+      "// a line\nU(0,0,0) q[0];\n");
+  EXPECT_EQ(qc.size(), 1u);
+}
+
+TEST(Qasm, ErrorsCarrySourcePosition) {
+  try {
+    qasm::parse("OPENQASM 2.0;\nqreg q[1];\nbadgate q[0];\n");
+    FAIL() << "expected ParseError";
+  } catch (const qasm::ParseError& e) {
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_NE(std::string(e.what()).find("badgate"), std::string::npos);
+  }
+}
+
+TEST(Qasm, UnknownRegisterThrows) {
+  EXPECT_THROW(qasm::parse("OPENQASM 2.0;\nqreg q[1];\nU(0,0,0) r[0];\n"),
+               qasm::ParseError);
+}
+
+TEST(Qasm, IndexOutOfRangeThrows) {
+  EXPECT_THROW(qasm::parse("OPENQASM 2.0;\nqreg q[2];\nCX q[0],q[5];\n"),
+               qasm::ParseError);
+}
+
+TEST(Qasm, MissingSemicolonThrows) {
+  EXPECT_THROW(qasm::parse("OPENQASM 2.0;\nqreg q[1]\n"), qasm::ParseError);
+}
+
+TEST(Qasm, UnterminatedStringThrows) {
+  EXPECT_THROW(qasm::parse("OPENQASM 2.0;\ninclude \"qelib1.inc;\n"),
+               qasm::ParseError);
+}
+
+TEST(Qasm, UnknownIncludeThrows) {
+  EXPECT_THROW(qasm::parse("OPENQASM 2.0;\ninclude \"other.inc\";\n"),
+               qasm::ParseError);
+}
+
+TEST(Qasm, MissingHeaderThrows) {
+  EXPECT_THROW(qasm::parse("qreg q[1];\n"), qasm::ParseError);
+}
+
+TEST(Qasm, QelibNamesWork) {
+  const auto qc = qasm::parse(R"(OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+u1(0.1) q[0];
+u2(0.1,0.2) q[0];
+u3(0.1,0.2,0.3) q[0];
+sdg q[1];
+tdg q[1];
+ccx q[0],q[1],q[2];
+cswap q[0],q[1],q[2];
+crz(0.5) q[0],q[1];
+cu1(0.5) q[0],q[1];
+cu3(0.1,0.2,0.3) q[0],q[1];
+)");
+  EXPECT_EQ(qc.size(), 10u);
+  EXPECT_EQ(qc.ops()[0].kind, OpKind::P);
+  EXPECT_EQ(qc.ops()[2].kind, OpKind::U);
+  EXPECT_EQ(qc.ops()[5].kind, OpKind::CCX);
+  EXPECT_EQ(qc.ops()[8].kind, OpKind::CP);
+}
+
+TEST(Qasm, EmitUsesQelibSpellings) {
+  QuantumCircuit qc(2, 0);
+  qc.p(0.5, 0).u(1, 2, 3, 1).cp(0.25, 0, 1);
+  const std::string text = qasm::emit(qc);
+  EXPECT_NE(text.find("u1(0.5)"), std::string::npos);
+  EXPECT_NE(text.find("u3(1,2,3)"), std::string::npos);
+  EXPECT_NE(text.find("cu1(0.25)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qtc

@@ -1,0 +1,71 @@
+// File-based QASM loading: the shipped .qasm assets in data/ must parse,
+// execute, and round-trip. QTC_DATA_DIR is injected by CMake.
+
+#include <gtest/gtest.h>
+
+#include "qasm/parser.hpp"
+#include "sim/simulator.hpp"
+
+namespace qtc {
+namespace {
+
+std::string data_path(const std::string& name) {
+  return std::string(QTC_DATA_DIR) + "/" + name;
+}
+
+TEST(QasmFiles, MissingFileThrows) {
+  EXPECT_THROW(qasm::parse_file(data_path("nonexistent.qasm")),
+               std::runtime_error);
+}
+
+TEST(QasmFiles, Fig1Loads) {
+  const QuantumCircuit qc = qasm::parse_file(data_path("fig1.qasm"));
+  EXPECT_EQ(qc.num_qubits(), 4);
+  EXPECT_EQ(qc.size(), 8u);
+  EXPECT_EQ(qc.count(OpKind::CX), 5);
+}
+
+TEST(QasmFiles, BellRunsCorrelated) {
+  const QuantumCircuit qc = qasm::parse_file(data_path("bell.qasm"));
+  sim::StatevectorSimulator sim(7);
+  const auto result = sim.run(qc, 2000);
+  EXPECT_EQ(result.counts.count("01") + result.counts.count("10"), 0);
+  EXPECT_NEAR(result.counts.probability("11"), 0.5, 0.05);
+}
+
+TEST(QasmFiles, TeleportDeliversTheState) {
+  const QuantumCircuit qc = qasm::parse_file(data_path("teleport.qasm"));
+  EXPECT_TRUE(qc.has_conditionals());
+  sim::StatevectorSimulator sim(11);
+  const auto result = sim.run(qc, 4000);
+  const double expected_p1 = std::pow(std::sin(0.45), 2);
+  int ones = 0;
+  for (const auto& [bits, c] : result.counts.histogram)
+    if (bits[0] == '1') ones += c;  // leftmost clbit = "out"
+  EXPECT_NEAR(ones / 4000.0, expected_p1, 0.03);
+}
+
+TEST(QasmFiles, CustomGatesExpandToCuccaroAdder) {
+  // The majority/unmaj macros implement 1 + 1 = 2 on the b register, then a
+  // Bell pair entangles two of the a qubits.
+  const QuantumCircuit qc = qasm::parse_file(data_path("custom_gates.qasm"));
+  sim::StatevectorSimulator sim(13);
+  const auto result = sim.run(qc, 500);
+  EXPECT_EQ(result.counts.count("10"), 500);  // b reads 2
+}
+
+TEST(QasmFiles, AllAssetsRoundTrip) {
+  for (const char* name :
+       {"fig1.qasm", "bell.qasm", "teleport.qasm", "custom_gates.qasm"}) {
+    const QuantumCircuit qc = qasm::parse_file(data_path(name));
+    const QuantumCircuit back = qasm::parse(qasm::emit(qc));
+    ASSERT_EQ(back.size(), qc.size()) << name;
+    for (std::size_t i = 0; i < qc.size(); ++i) {
+      EXPECT_EQ(back.ops()[i].kind, qc.ops()[i].kind) << name;
+      EXPECT_EQ(back.ops()[i].qubits, qc.ops()[i].qubits) << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qtc

@@ -1,0 +1,86 @@
+#include "ignis/quantum_volume.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace qtc::ignis {
+namespace {
+
+TEST(QuantumVolume, ModelCircuitShape) {
+  Rng rng(3);
+  const QuantumCircuit qc = qv_model_circuit(4, rng);
+  EXPECT_EQ(qc.num_qubits(), 4);
+  EXPECT_FALSE(qc.has_measurements());
+  // 4 layers x 2 pairs x 3 interaction gates.
+  EXPECT_EQ(qc.count(OpKind::RXX) + qc.count(OpKind::RZZ), 4 * 2 * 3);
+}
+
+TEST(QuantumVolume, OddWidthLeavesOneQubitIdlePerLayer) {
+  Rng rng(5);
+  const QuantumCircuit qc = qv_model_circuit(3, rng);
+  EXPECT_EQ(qc.count(OpKind::RXX) + qc.count(OpKind::RZZ), 3 * 1 * 3);
+}
+
+TEST(QuantumVolume, ModelCircuitsVaryWithSeed) {
+  Rng r1(1), r2(2);
+  const QuantumCircuit a = qv_model_circuit(3, r1);
+  const QuantumCircuit b = qv_model_circuit(3, r2);
+  bool differ = a.size() != b.size();
+  for (std::size_t i = 0; !differ && i < a.size(); ++i)
+    differ = a.ops()[i].params != b.ops()[i].params ||
+             a.ops()[i].qubits != b.ops()[i].qubits;
+  EXPECT_TRUE(differ);
+}
+
+TEST(QuantumVolume, NoiselessDeviceScoresHeavy) {
+  // Ideal heavy-output probability of random circuits converges to
+  // (1 + ln 2) / 2 ~ 0.8466; noiseless runs must clear the 2/3 bar easily.
+  QvConfig config;
+  config.width = 3;
+  config.circuits = 15;
+  config.shots = 256;
+  const QvResult result = run_quantum_volume(config, noise::NoiseModel{});
+  EXPECT_TRUE(result.passed());
+  EXPECT_NEAR(result.heavy_output_probability, 0.8466, 0.08);
+  EXPECT_EQ(result.volume(), 8u);
+}
+
+TEST(QuantumVolume, HeavyDepolarizingNoiseFailsTheTest) {
+  QvConfig config;
+  config.width = 3;
+  config.circuits = 10;
+  config.shots = 256;
+  const auto noisy = noise::uniform_depolarizing(0.02, 0.15);
+  const QvResult result = run_quantum_volume(config, noisy);
+  EXPECT_FALSE(result.passed());
+  // Fully scrambled output sits at 0.5 heavy probability.
+  EXPECT_GT(result.heavy_output_probability, 0.40);
+  EXPECT_LT(result.heavy_output_probability, 2.0 / 3.0);
+}
+
+TEST(QuantumVolume, HopDecreasesWithNoiseStrength) {
+  QvConfig config;
+  config.width = 2;
+  config.circuits = 10;
+  config.shots = 256;
+  double last = 1.0;
+  for (double p : {0.0, 0.05, 0.25}) {
+    const auto model = noise::uniform_depolarizing(p / 10, p);
+    const QvResult r = run_quantum_volume(config, model);
+    EXPECT_LT(r.heavy_output_probability, last + 0.05);
+    last = r.heavy_output_probability;
+  }
+}
+
+TEST(QuantumVolume, ConfigValidation) {
+  Rng rng(1);
+  EXPECT_THROW(qv_model_circuit(1, rng), std::invalid_argument);
+  QvConfig bad;
+  bad.circuits = 0;
+  EXPECT_THROW(run_quantum_volume(bad, noise::NoiseModel{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qtc::ignis

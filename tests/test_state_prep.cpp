@@ -1,0 +1,142 @@
+#include "core/state_prep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace qtc {
+namespace {
+
+std::vector<cplx> random_state(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<cplx> amps(std::size_t{1} << n);
+  for (auto& a : amps) a = cplx(rng.normal(), rng.normal());
+  double norm = 0;
+  for (const auto& a : amps) norm += std::norm(a);
+  for (auto& a : amps) a /= std::sqrt(norm);
+  return amps;
+}
+
+void expect_prepares(const std::vector<cplx>& target) {
+  const QuantumCircuit qc = prepare_state(target);
+  sim::StatevectorSimulator sim;
+  const auto got = sim.statevector(qc).amplitudes();
+  // Normalize the target for comparison.
+  std::vector<cplx> want = target;
+  double norm = 0;
+  for (const auto& a : want) norm += std::norm(a);
+  for (auto& a : want) a /= std::sqrt(norm);
+  EXPECT_TRUE(states_equal_up_to_phase(want, got, 1e-9));
+}
+
+TEST(MultiplexedRotation, NoControlsIsPlainRotation) {
+  QuantumCircuit qc(1);
+  append_multiplexed_rotation(qc, OpKind::RY, 0, {}, {0.7});
+  ASSERT_EQ(qc.size(), 1u);
+  EXPECT_EQ(qc.ops()[0].kind, OpKind::RY);
+  EXPECT_NEAR(qc.ops()[0].params[0], 0.7, 1e-12);
+}
+
+TEST(MultiplexedRotation, SelectsAngleByControlValue) {
+  const std::vector<double> angles{0.3, 1.1, -0.4, 2.0};
+  for (int sel = 0; sel < 4; ++sel) {
+    QuantumCircuit qc(3);
+    if (sel & 1) qc.x(1);
+    if (sel & 2) qc.x(2);
+    append_multiplexed_rotation(qc, OpKind::RY, 0, {1, 2}, angles);
+    sim::StatevectorSimulator sim;
+    const auto sv = sim.statevector(qc);
+    // Target qubit ends in RY(angle)|0> = cos(a/2)|0> + sin(a/2)|1>.
+    const std::uint64_t base = static_cast<std::uint64_t>(sel) << 1;
+    EXPECT_NEAR(std::abs(sv.amplitude(base)), std::abs(std::cos(angles[sel] / 2)),
+                1e-10)
+        << sel;
+    EXPECT_NEAR(std::abs(sv.amplitude(base | 1)),
+                std::abs(std::sin(angles[sel] / 2)), 1e-10)
+        << sel;
+  }
+}
+
+TEST(MultiplexedRotation, UniformAnglesNeedNoCx) {
+  QuantumCircuit qc(3);
+  append_multiplexed_rotation(qc, OpKind::RZ, 0, {1, 2},
+                              {0.5, 0.5, 0.5, 0.5});
+  EXPECT_EQ(qc.count(OpKind::CX), 0);
+  EXPECT_EQ(qc.count(OpKind::RZ), 1);
+}
+
+TEST(MultiplexedRotation, Validation) {
+  QuantumCircuit qc(2);
+  EXPECT_THROW(append_multiplexed_rotation(qc, OpKind::RX, 0, {1}, {1, 2}),
+               std::invalid_argument);
+  EXPECT_THROW(append_multiplexed_rotation(qc, OpKind::RY, 0, {1}, {1}),
+               std::invalid_argument);
+}
+
+TEST(PrepareState, BasisStates) {
+  for (int idx : {0, 1, 5, 7}) {
+    std::vector<cplx> target(8, cplx{0, 0});
+    target[idx] = 1;
+    expect_prepares(target);
+  }
+}
+
+TEST(PrepareState, BellAndGhz) {
+  expect_prepares({SQRT1_2, 0, 0, SQRT1_2});
+  std::vector<cplx> ghz(8, cplx{0, 0});
+  ghz[0] = SQRT1_2;
+  ghz[7] = -SQRT1_2;
+  expect_prepares(ghz);
+}
+
+TEST(PrepareState, WState) {
+  const double a = 1.0 / std::sqrt(3.0);
+  expect_prepares({0, a, a, 0, a, 0, 0, 0});
+}
+
+TEST(PrepareState, ComplexPhasesSurvive) {
+  expect_prepares({cplx(0.5, 0), cplx(0, 0.5), cplx(-0.5, 0),
+                   cplx(0.35355339, 0.35355339)});
+}
+
+class RandomStatePrep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomStatePrep, RoundTripsRandomStates) {
+  const int n = GetParam();
+  for (std::uint64_t seed : {11u, 22u, 33u})
+    expect_prepares(random_state(n, seed));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, RandomStatePrep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+TEST(PrepareState, UnnormalizedInputIsNormalized) {
+  const QuantumCircuit qc = prepare_state({2, 0, 0, 2});
+  sim::StatevectorSimulator sim;
+  const auto sv = sim.statevector(qc);
+  EXPECT_NEAR(std::abs(sv.amplitude(0)), SQRT1_2, 1e-10);
+  EXPECT_NEAR(std::abs(sv.amplitude(3)), SQRT1_2, 1e-10);
+}
+
+TEST(PrepareState, SparseStatesUseFewGates) {
+  // A basis state needs no entangling gates at all.
+  std::vector<cplx> basis(16, cplx{0, 0});
+  basis[0b1010] = 1;
+  const QuantumCircuit qc = prepare_state(basis);
+  EXPECT_EQ(qc.count(OpKind::CX), 0);
+}
+
+TEST(PrepareState, Validation) {
+  EXPECT_THROW(prepare_state({1, 0, 0}), std::invalid_argument);
+  EXPECT_THROW(prepare_state({0, 0, 0, 0}), std::invalid_argument);
+  EXPECT_THROW(prepare_state({1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qtc

@@ -1,0 +1,218 @@
+#include "sim/statevector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/simulator.hpp"
+
+namespace qtc::sim {
+namespace {
+
+TEST(Statevector, StartsInAllZeros) {
+  Statevector sv(3);
+  EXPECT_EQ(sv.dim(), 8u);
+  EXPECT_EQ(sv.amplitude(0), cplx(1, 0));
+  for (std::uint64_t i = 1; i < 8; ++i) EXPECT_EQ(sv.amplitude(i), cplx(0, 0));
+}
+
+TEST(Statevector, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(Statevector(std::vector<cplx>(3)), std::invalid_argument);
+}
+
+TEST(Statevector, HadamardCreatesSuperposition) {
+  QuantumCircuit qc(1);
+  qc.h(0);
+  Statevector sv(1);
+  sv.apply_circuit(qc);
+  EXPECT_NEAR(std::abs(sv.amplitude(0) - cplx(SQRT1_2, 0)), 0, 1e-12);
+  EXPECT_NEAR(std::abs(sv.amplitude(1) - cplx(SQRT1_2, 0)), 0, 1e-12);
+}
+
+TEST(Statevector, BellStateAmplitudes) {
+  QuantumCircuit qc(2);
+  qc.h(0).cx(0, 1);
+  Statevector sv(2);
+  sv.apply_circuit(qc);
+  EXPECT_NEAR(std::abs(sv.amplitude(0)), SQRT1_2, 1e-12);
+  EXPECT_NEAR(std::abs(sv.amplitude(3)), SQRT1_2, 1e-12);
+  EXPECT_NEAR(std::abs(sv.amplitude(1)), 0, 1e-12);
+  EXPECT_NEAR(std::abs(sv.amplitude(2)), 0, 1e-12);
+}
+
+TEST(Statevector, CxLittleEndianDirection) {
+  // X on qubit 0 then CX(0 -> 1): state should be |11> = index 3.
+  QuantumCircuit qc(2);
+  qc.x(0).cx(0, 1);
+  Statevector sv(2);
+  sv.apply_circuit(qc);
+  EXPECT_NEAR(std::abs(sv.amplitude(3)), 1.0, 1e-12);
+  // X on qubit 1 then CX(0 -> 1): control clear, state stays |10> = 2.
+  QuantumCircuit qc2(2);
+  qc2.x(1).cx(0, 1);
+  Statevector sv2(2);
+  sv2.apply_circuit(qc2);
+  EXPECT_NEAR(std::abs(sv2.amplitude(2)), 1.0, 1e-12);
+}
+
+TEST(Statevector, EveryGateKindMatchesItsMatrix) {
+  // Cross-check the optimized kernels against generic dense application.
+  Rng rng(7);
+  for (int kind_idx = 0; kind_idx <= static_cast<int>(OpKind::CSWAP);
+       ++kind_idx) {
+    const auto kind = static_cast<OpKind>(kind_idx);
+    if (!op_is_unitary(kind)) continue;
+    const int k = op_num_qubits(kind);
+    std::vector<double> params;
+    for (int p = 0; p < op_num_params(kind); ++p)
+      params.push_back(rng.uniform(-PI, PI));
+    // Random 4-qubit state.
+    std::vector<cplx> amp(16);
+    for (auto& a : amp) a = cplx(rng.normal(), rng.normal());
+    Statevector direct{amp}, reference{amp};
+    direct.normalize();
+    reference.normalize();
+    std::vector<int> qubits;
+    if (k == 1)
+      qubits = {2};
+    else if (k == 2)
+      qubits = {3, 1};
+    else
+      qubits = {2, 0, 3};
+    Operation op;
+    op.kind = kind;
+    op.qubits = qubits;
+    op.params = params;
+    direct.apply(op);
+    reference.apply_matrix(op_matrix(kind, params), qubits);
+    EXPECT_LT(max_abs_diff(direct.amplitudes(), reference.amplitudes()), 1e-12)
+        << op_name(kind);
+  }
+}
+
+TEST(Statevector, ApplyMatrixOnNonAdjacentQubits) {
+  // SWAP(q0, q2) on |001> gives |100>.
+  Statevector sv(3);
+  Operation x0;
+  x0.kind = OpKind::X;
+  x0.qubits = {0};
+  sv.apply(x0);
+  sv.apply_matrix(op_matrix(OpKind::SWAP), {0, 2});
+  EXPECT_NEAR(std::abs(sv.amplitude(0b100)), 1.0, 1e-12);
+}
+
+TEST(Statevector, ProbabilityOfOne) {
+  QuantumCircuit qc(2);
+  qc.ry(2 * std::acos(std::sqrt(0.25)), 0);  // P(1) = 0.75
+  Statevector sv(2);
+  sv.apply_circuit(qc);
+  EXPECT_NEAR(sv.probability_of_one(0), 0.75, 1e-12);
+  EXPECT_NEAR(sv.probability_of_one(1), 0.0, 1e-12);
+}
+
+TEST(Statevector, MeasureCollapsesState) {
+  Rng rng(5);
+  QuantumCircuit qc(1);
+  qc.h(0);
+  Statevector sv(1);
+  sv.apply_circuit(qc);
+  const int outcome = sv.measure(0, rng);
+  EXPECT_NEAR(std::abs(sv.amplitude(outcome)), 1.0, 1e-12);
+  EXPECT_NEAR(std::abs(sv.amplitude(1 - outcome)), 0.0, 1e-12);
+}
+
+TEST(Statevector, MeasureStatisticsMatchBornRule) {
+  Rng rng(11);
+  int ones = 0;
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    Statevector sv(1);
+    QuantumCircuit qc(1);
+    qc.ry(2 * std::asin(std::sqrt(0.3)), 0);  // P(1) = 0.3
+    sv.apply_circuit(qc);
+    ones += sv.measure(0, rng);
+  }
+  EXPECT_NEAR(ones / static_cast<double>(trials), 0.3, 0.03);
+}
+
+TEST(Statevector, ResetForcesZero) {
+  Rng rng(3);
+  for (int t = 0; t < 20; ++t) {
+    Statevector sv(1);
+    QuantumCircuit qc(1);
+    qc.h(0);
+    sv.apply_circuit(qc);
+    sv.reset(0, rng);
+    EXPECT_NEAR(std::abs(sv.amplitude(0)), 1.0, 1e-12);
+  }
+}
+
+TEST(Statevector, SampleRespectsDistribution) {
+  Rng rng(17);
+  QuantumCircuit qc(2);
+  qc.h(0);
+  Statevector sv(2);
+  sv.apply_circuit(qc);
+  int zeros = 0;
+  for (int t = 0; t < 2000; ++t)
+    if (sv.sample(rng) == 0) ++zeros;
+  EXPECT_NEAR(zeros / 2000.0, 0.5, 0.05);
+}
+
+TEST(Statevector, PauliExpectations) {
+  QuantumCircuit qc(2);
+  qc.h(0);
+  Statevector sv(2);
+  sv.apply_circuit(qc);
+  // Qubit 0 in |+>: <X> = 1, <Z> = 0. Qubit 1 in |0>: <Z> = 1.
+  EXPECT_NEAR(sv.expectation_pauli("IX"), 1.0, 1e-12);
+  EXPECT_NEAR(sv.expectation_pauli("IZ"), 0.0, 1e-12);
+  EXPECT_NEAR(sv.expectation_pauli("ZI"), 1.0, 1e-12);
+  EXPECT_THROW(sv.expectation_pauli("Z"), std::invalid_argument);
+  EXPECT_THROW(sv.expectation_pauli("QQ"), std::invalid_argument);
+}
+
+TEST(Statevector, BellStateCorrelations) {
+  QuantumCircuit qc(2);
+  qc.h(0).cx(0, 1);
+  Statevector sv(2);
+  sv.apply_circuit(qc);
+  EXPECT_NEAR(sv.expectation_pauli("ZZ"), 1.0, 1e-12);
+  EXPECT_NEAR(sv.expectation_pauli("XX"), 1.0, 1e-12);
+  EXPECT_NEAR(sv.expectation_pauli("YY"), -1.0, 1e-12);
+  EXPECT_NEAR(sv.expectation_pauli("ZI"), 0.0, 1e-12);
+}
+
+TEST(Statevector, FidelityBetweenStates) {
+  Statevector a(1), b(1);
+  QuantumCircuit h(1);
+  h.h(0);
+  b.apply_circuit(h);
+  EXPECT_NEAR(a.fidelity(b), 0.5, 1e-12);
+  EXPECT_NEAR(a.fidelity(a), 1.0, 1e-12);
+}
+
+TEST(Statevector, FormatBitsIsMsbFirst) {
+  EXPECT_EQ(format_bits(0b101, 3), "101");
+  EXPECT_EQ(format_bits(1, 4), "0001");
+  EXPECT_EQ(format_bits(0, 2), "00");
+}
+
+TEST(Statevector, NormAndNormalize) {
+  Statevector sv(std::vector<cplx>{2, 0});
+  EXPECT_NEAR(sv.norm(), 2.0, 1e-12);
+  sv.normalize();
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-12);
+}
+
+TEST(Statevector, ApplyRejectsNonUnitary) {
+  Statevector sv(1);
+  Operation op;
+  op.kind = OpKind::Measure;
+  op.qubits = {0};
+  op.clbits = {0};
+  EXPECT_THROW(sv.apply(op), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qtc::sim

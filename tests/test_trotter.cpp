@@ -1,0 +1,196 @@
+#include "aqua/trotter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/simulator.hpp"
+
+namespace qtc::aqua {
+namespace {
+
+// --- eigensystem / matrix exponential utilities -----------------------------
+
+TEST(EigenSystem, DiagonalizesPauliY) {
+  const Matrix y = op_matrix(OpKind::Y);
+  const EigenSystem es = hermitian_eigensystem(y);
+  EXPECT_NEAR(es.values[0], -1, 1e-10);
+  EXPECT_NEAR(es.values[1], 1, 1e-10);
+  EXPECT_TRUE(es.vectors.is_unitary(1e-9));
+  // Reconstruct: V diag V^dag == Y.
+  Matrix diag(2, 2);
+  diag(0, 0) = es.values[0];
+  diag(1, 1) = es.values[1];
+  EXPECT_TRUE((es.vectors * diag * es.vectors.dagger()).approx_equal(y, 1e-9));
+}
+
+TEST(EigenSystem, ReconstructsRandomHermitian) {
+  Rng rng(3);
+  Matrix m(8, 8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    m(i, i) = rng.uniform(-2, 2);
+    for (std::size_t j = i + 1; j < 8; ++j) {
+      m(i, j) = cplx(rng.uniform(-1, 1), rng.uniform(-1, 1));
+      m(j, i) = std::conj(m(i, j));
+    }
+  }
+  const EigenSystem es = hermitian_eigensystem(m, 128);
+  Matrix diag(8, 8);
+  for (std::size_t i = 0; i < 8; ++i) diag(i, i) = es.values[i];
+  EXPECT_LT(
+      (es.vectors * diag * es.vectors.dagger()).max_abs_diff(m), 1e-8);
+  for (std::size_t i = 0; i + 1 < 8; ++i)
+    EXPECT_LE(es.values[i], es.values[i + 1]);
+}
+
+TEST(ExpI, ZeroScaleIsIdentity) {
+  const Matrix m = op_matrix(OpKind::X);
+  EXPECT_TRUE(hermitian_exp_i(m, 0).approx_equal(Matrix::identity(2), 1e-10));
+}
+
+TEST(ExpI, PauliZGivesPhases) {
+  const Matrix u = hermitian_exp_i(op_matrix(OpKind::Z), 0.7);
+  EXPECT_NEAR(std::abs(u(0, 0) - std::exp(cplx(0, 0.7))), 0, 1e-10);
+  EXPECT_NEAR(std::abs(u(1, 1) - std::exp(cplx(0, -0.7))), 0, 1e-10);
+  EXPECT_TRUE(u.is_unitary(1e-9));
+}
+
+TEST(ExpI, MatchesRotationGates) {
+  // exp(-i theta/2 X) == RX(theta).
+  const double theta = 1.1;
+  const Matrix u = hermitian_exp_i(op_matrix(OpKind::X), -theta / 2);
+  EXPECT_TRUE(u.approx_equal(op_matrix(OpKind::RX, {theta}), 1e-9));
+}
+
+// --- single-string evolutions --------------------------------------------------
+
+class PauliEvolutionTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PauliEvolutionTest, MatchesExactExponentialExactly) {
+  const std::string paulis = GetParam();
+  const double theta = 0.37;
+  QuantumCircuit qc(static_cast<int>(paulis.size()));
+  append_pauli_evolution(qc, paulis, theta);
+  const Matrix circuit_u = sim::UnitarySimulator().unitary(qc);
+  const Matrix exact = hermitian_exp_i(
+      PauliOp::term(static_cast<int>(paulis.size()), paulis).to_matrix(),
+      -theta);
+  // Exact including global phase: the construction uses true RZ.
+  EXPECT_LT(circuit_u.max_abs_diff(exact), 1e-9) << paulis;
+}
+
+INSTANTIATE_TEST_SUITE_P(Strings, PauliEvolutionTest,
+                         ::testing::Values("Z", "X", "Y", "ZZ", "XX", "YY",
+                                           "XY", "ZIZ", "XYZ", "IZI"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(PauliEvolution, IdentityStringAddsNothing) {
+  QuantumCircuit qc(2);
+  append_pauli_evolution(qc, "II", 0.5);
+  EXPECT_EQ(qc.size(), 0u);
+}
+
+TEST(PauliEvolution, BadInputThrows) {
+  QuantumCircuit qc(2);
+  EXPECT_THROW(append_pauli_evolution(qc, "Z", 0.1), std::invalid_argument);
+  EXPECT_THROW(append_pauli_evolution(qc, "QZ", 0.1), std::invalid_argument);
+}
+
+// --- model builders -------------------------------------------------------------
+
+TEST(Models, HeisenbergChainStructure) {
+  const PauliOp h = heisenberg_chain(3, 1.0, 0.5);
+  // 2 bonds x 3 axes + 3 fields = 9 terms.
+  EXPECT_EQ(h.num_terms(), 9u);
+  EXPECT_TRUE(h.is_hermitian());
+}
+
+TEST(Models, TfimGroundEnergyAtKnownPoints) {
+  // g = 0: classical Ising, ground energy -J (n-1); ferromagnetic states.
+  const PauliOp classical = tfim_chain(3, 1.0, 0.0);
+  EXPECT_NEAR(classical.ground_energy(), -2.0, 1e-8);
+  // J = 0: free spins in a field, ground energy -g n.
+  const PauliOp free = tfim_chain(3, 0.0, 1.0);
+  EXPECT_NEAR(free.ground_energy(), -3.0, 1e-8);
+}
+
+// --- Trotter convergence ---------------------------------------------------------
+
+double trotter_error(const PauliOp& h, double t, int steps, int order) {
+  const QuantumCircuit qc = order == 1 ? trotter_circuit(h, t, steps)
+                                       : trotter_circuit_2nd(h, t, steps);
+  const Matrix approx = sim::UnitarySimulator().unitary(qc);
+  const Matrix exact = hermitian_exp_i(h.to_matrix(), -t);
+  return approx.max_abs_diff(exact);
+}
+
+TEST(Trotter, FirstOrderErrorShrinksLinearly) {
+  const PauliOp h = heisenberg_chain(3, 1.0, 0.3);
+  const double e4 = trotter_error(h, 1.0, 4, 1);
+  const double e16 = trotter_error(h, 1.0, 16, 1);
+  EXPECT_LT(e16, e4 / 2.5);  // ~1/4 expected for O(dt) error
+  EXPECT_LT(e16, 0.15);
+}
+
+TEST(Trotter, SecondOrderBeatsFirstOrder) {
+  const PauliOp h = heisenberg_chain(3, 1.0, 0.3);
+  const double first = trotter_error(h, 1.0, 8, 1);
+  const double second = trotter_error(h, 1.0, 8, 2);
+  EXPECT_LT(second, first);
+}
+
+TEST(Trotter, CommutingHamiltonianIsExactInOneStep) {
+  // All-Z Hamiltonian: terms commute, a single Trotter step is exact.
+  PauliOp h = PauliOp::term(2, "ZI", {0.4, 0}) +
+              PauliOp::term(2, "IZ", {-0.7, 0}) +
+              PauliOp::term(2, "ZZ", {0.2, 0});
+  EXPECT_LT(trotter_error(h, 2.0, 1, 1), 1e-9);
+}
+
+TEST(Trotter, EnergyIsConservedUnderEvolution) {
+  const PauliOp h = tfim_chain(3, 1.0, 0.7);
+  sim::StatevectorSimulator sim;
+  // Start in |+00>: a state with nonzero energy spread.
+  QuantumCircuit prep(3);
+  prep.h(0);
+  const auto initial = sim.statevector(prep).amplitudes();
+  const double e0 = h.expectation(initial);
+  QuantumCircuit evolved(3);
+  evolved.h(0);
+  evolved.compose(trotter_circuit_2nd(h, 0.8, 24));
+  const auto final_state = sim.statevector(evolved).amplitudes();
+  EXPECT_NEAR(h.expectation(final_state), e0, 5e-3);
+}
+
+TEST(Trotter, MagnetizationDynamicsMatchExact) {
+  // <Z_0>(t) under TFIM, Trotter vs exact exponential.
+  const PauliOp h = tfim_chain(2, 1.0, 1.0);
+  const Matrix hm = h.to_matrix();
+  sim::StatevectorSimulator sim;
+  for (double t : {0.3, 0.9}) {
+    QuantumCircuit qc(2);
+    qc.compose(trotter_circuit_2nd(h, t, 32));
+    const auto approx_state = sim.statevector(qc).amplitudes();
+    const Matrix exact_u = hermitian_exp_i(hm, -t);
+    std::vector<cplx> zero(4, cplx{0, 0});
+    zero[0] = 1;
+    const auto exact_state = exact_u * zero;
+    const PauliOp z0 = PauliOp::term(2, "IZ");
+    EXPECT_NEAR(z0.expectation(approx_state), z0.expectation(exact_state),
+                5e-3)
+        << "t = " << t;
+  }
+}
+
+TEST(Trotter, Validation) {
+  const PauliOp h = tfim_chain(2, 1, 1);
+  EXPECT_THROW(trotter_circuit(h, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(trotter_circuit(PauliOp::term(2, "XX", {0, 1}), 1.0, 2),
+               std::invalid_argument);
+  EXPECT_THROW(heisenberg_chain(1, 1, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qtc::aqua

@@ -1,0 +1,132 @@
+#include "dd/verification.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/backend.hpp"
+#include "core/rng.hpp"
+#include "transpiler/commutative.hpp"
+#include "transpiler/optimize.hpp"
+#include "transpiler/transpile.hpp"
+
+namespace qtc::dd {
+namespace {
+
+QuantumCircuit fig1() {
+  QuantumCircuit qc(4);
+  qc.h(2).cx(2, 3).cx(0, 1).h(1).cx(1, 2).t(0).cx(2, 0).cx(0, 1);
+  return qc;
+}
+
+TEST(Verification, CircuitEqualsItself) {
+  const auto result = check_equivalence(fig1(), fig1());
+  EXPECT_TRUE(result.equivalent);
+  EXPECT_NEAR(std::abs(result.phase - cplx(1, 0)), 0, 1e-9);
+  // Miter of equivalent circuits collapses to the identity chain: n nodes.
+  EXPECT_EQ(result.miter_nodes, 4u);
+}
+
+TEST(Verification, DetectsDroppedGate) {
+  QuantumCircuit broken = fig1();
+  broken.ops().pop_back();
+  const auto result = check_equivalence(fig1(), broken);
+  EXPECT_FALSE(result.equivalent);
+}
+
+TEST(Verification, DetectsAngleTweak) {
+  QuantumCircuit a(2), b(2);
+  a.rx(0.5, 0).cx(0, 1);
+  b.rx(0.5001, 0).cx(0, 1);
+  EXPECT_FALSE(check_equivalence(a, b, 1e-9).equivalent);
+  // A loose tolerance accepts the small perturbation.
+  EXPECT_TRUE(check_equivalence(a, b, 1e-2).equivalent);
+}
+
+TEST(Verification, OptimizationPassesPreserveEquivalence) {
+  Rng rng(5);
+  QuantumCircuit qc(3);
+  for (int g = 0; g < 30; ++g) {
+    const int q = static_cast<int>(rng.index(3));
+    switch (rng.index(5)) {
+      case 0:
+        qc.h(q);
+        break;
+      case 1:
+        qc.t(q);
+        break;
+      case 2:
+        qc.rz(rng.uniform(-PI, PI), q);
+        break;
+      case 3:
+        qc.cz(q, (q + 1) % 3);
+        break;
+      default:
+        qc.cx(q, (q + 1) % 3);
+    }
+  }
+  const QuantumCircuit cancelled = transpiler::GateCancellation().run(qc);
+  EXPECT_TRUE(check_equivalence(qc, cancelled).equivalent);
+  const QuantumCircuit commuted =
+      transpiler::CommutativeCancellation().run(qc);
+  EXPECT_TRUE(check_equivalence(qc, commuted).equivalent);
+}
+
+TEST(Verification, FusionEquivalentUpToGlobalPhase) {
+  QuantumCircuit qc(1);
+  qc.rz(0.7, 0).t(0).h(0).s(0);
+  const QuantumCircuit fused = transpiler::FuseSingleQubitGates().run(qc);
+  const auto result = check_equivalence(qc, fused);
+  EXPECT_TRUE(result.equivalent);
+  // Phase is reported; it need not be 1.
+  EXPECT_NEAR(std::abs(result.phase), 1.0, 1e-9);
+}
+
+TEST(Verification, TranspiledCircuitChecksUnderLayout) {
+  // Fig. 1 on QX4 with the naive flow inserts no SWAPs, so the physical
+  // circuit is the logical one conjugated by the (trivial) layout.
+  transpiler::TranspileOptions options;
+  options.mapper = transpiler::MapperKind::Naive;
+  options.optimization_level = 1;
+  const auto compiled = transpiler::transpile(fig1(), arch::qx4_backend(),
+                                              options);
+  ASSERT_EQ(compiled.swaps_inserted, 0);
+  const auto result = check_equivalence_with_layout(
+      fig1(), compiled.circuit, compiled.final_layout.l2p);
+  EXPECT_TRUE(result.equivalent);
+}
+
+TEST(Verification, MiterStaysCompactForDeepEquivalentCircuits) {
+  // 16-qubit, 200-gate circuit against its cancelled form: the dense
+  // matrices would have 4^16 entries; the miter keeps 16 nodes.
+  Rng rng(9);
+  QuantumCircuit qc(16);
+  for (int g = 0; g < 200; ++g) {
+    const int q = static_cast<int>(rng.index(16));
+    switch (rng.index(3)) {
+      case 0:
+        qc.h(q);
+        break;
+      case 1:
+        qc.t(q);
+        break;
+      default:
+        qc.cx(q, (q + 1) % 16);
+    }
+  }
+  const auto result =
+      check_equivalence(qc, transpiler::GateCancellation().run(qc));
+  EXPECT_TRUE(result.equivalent);
+  EXPECT_EQ(result.miter_nodes, 16u);
+}
+
+TEST(Verification, RejectsNonUnitaryAndMismatchedCircuits) {
+  QuantumCircuit measured(2, 2);
+  measured.h(0).measure_all();
+  QuantumCircuit plain(2);
+  plain.h(0);
+  EXPECT_THROW(check_equivalence(measured, plain), std::invalid_argument);
+  QuantumCircuit bigger(3);
+  EXPECT_THROW(check_equivalence(plain, bigger), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qtc::dd
