@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_qec.dir/bench_e10_qec.cpp.o"
+  "CMakeFiles/bench_e10_qec.dir/bench_e10_qec.cpp.o.d"
+  "bench_e10_qec"
+  "bench_e10_qec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_qec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_portfolio.dir/bench_e11_portfolio.cpp.o"
+  "CMakeFiles/bench_e11_portfolio.dir/bench_e11_portfolio.cpp.o.d"
+  "bench_e11_portfolio"
+  "bench_e11_portfolio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_portfolio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

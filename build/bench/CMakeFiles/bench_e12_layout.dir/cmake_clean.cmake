@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_layout.dir/bench_e12_layout.cpp.o"
+  "CMakeFiles/bench_e12_layout.dir/bench_e12_layout.cpp.o.d"
+  "bench_e12_layout"
+  "bench_e12_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_qv.dir/bench_e13_qv.cpp.o"
+  "CMakeFiles/bench_e13_qv.dir/bench_e13_qv.cpp.o.d"
+  "bench_e13_qv"
+  "bench_e13_qv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_qv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

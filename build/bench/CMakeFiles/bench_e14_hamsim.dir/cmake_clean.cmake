@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_hamsim.dir/bench_e14_hamsim.cpp.o"
+  "CMakeFiles/bench_e14_hamsim.dir/bench_e14_hamsim.cpp.o.d"
+  "bench_e14_hamsim"
+  "bench_e14_hamsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_hamsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_map_suite.dir/bench_e6_map_suite.cpp.o"
+  "CMakeFiles/bench_e6_map_suite.dir/bench_e6_map_suite.cpp.o.d"
+  "bench_e6_map_suite"
+  "bench_e6_map_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_map_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

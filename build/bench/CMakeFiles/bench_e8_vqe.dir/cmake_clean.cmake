@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_vqe.dir/bench_e8_vqe.cpp.o"
+  "CMakeFiles/bench_e8_vqe.dir/bench_e8_vqe.cpp.o.d"
+  "bench_e8_vqe"
+  "bench_e8_vqe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_vqe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_ignis.dir/bench_e9_ignis.cpp.o"
+  "CMakeFiles/bench_e9_ignis.dir/bench_e9_ignis.cpp.o.d"
+  "bench_e9_ignis"
+  "bench_e9_ignis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_ignis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_qasm.dir/bench_fig1_qasm.cpp.o"
+  "CMakeFiles/bench_fig1_qasm.dir/bench_fig1_qasm.cpp.o.d"
+  "bench_fig1_qasm"
+  "bench_fig1_qasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_qasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_coupling.dir/bench_fig2_coupling.cpp.o"
+  "CMakeFiles/bench_fig2_coupling.dir/bench_fig2_coupling.cpp.o.d"
+  "bench_fig2_coupling"
+  "bench_fig2_coupling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_coupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

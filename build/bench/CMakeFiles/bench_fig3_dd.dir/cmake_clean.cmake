@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_dd.dir/bench_fig3_dd.cpp.o"
+  "CMakeFiles/bench_fig3_dd.dir/bench_fig3_dd.cpp.o.d"
+  "bench_fig3_dd"
+  "bench_fig3_dd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_dd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dd_explorer.dir/dd_explorer.cpp.o"
+  "CMakeFiles/dd_explorer.dir/dd_explorer.cpp.o.d"
+  "dd_explorer"
+  "dd_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dd_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

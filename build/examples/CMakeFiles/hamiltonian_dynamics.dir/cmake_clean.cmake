@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hamiltonian_dynamics.dir/hamiltonian_dynamics.cpp.o"
+  "CMakeFiles/hamiltonian_dynamics.dir/hamiltonian_dynamics.cpp.o.d"
+  "hamiltonian_dynamics"
+  "hamiltonian_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hamiltonian_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxcut_qaoa.dir/maxcut_qaoa.cpp.o"
+  "CMakeFiles/maxcut_qaoa.dir/maxcut_qaoa.cpp.o.d"
+  "maxcut_qaoa"
+  "maxcut_qaoa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxcut_qaoa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

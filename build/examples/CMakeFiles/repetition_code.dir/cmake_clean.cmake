@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repetition_code.dir/repetition_code.cpp.o"
+  "CMakeFiles/repetition_code.dir/repetition_code.cpp.o.d"
+  "repetition_code"
+  "repetition_code.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repetition_code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/shor_factor15.cpp" "examples/CMakeFiles/shor_factor15.dir/shor_factor15.cpp.o" "gcc" "examples/CMakeFiles/shor_factor15.dir/shor_factor15.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/qtc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/qasm/CMakeFiles/qtc_qasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/qtc_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qtc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dd/CMakeFiles/qtc_dd.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/qtc_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/transpiler/CMakeFiles/qtc_transpiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/map/CMakeFiles/qtc_map.dir/DependInfo.cmake"
+  "/root/repo/build/src/ignis/CMakeFiles/qtc_ignis.dir/DependInfo.cmake"
+  "/root/repo/build/src/aqua/CMakeFiles/qtc_aqua.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

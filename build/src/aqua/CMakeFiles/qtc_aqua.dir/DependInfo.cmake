@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aqua/algorithms.cpp" "src/aqua/CMakeFiles/qtc_aqua.dir/algorithms.cpp.o" "gcc" "src/aqua/CMakeFiles/qtc_aqua.dir/algorithms.cpp.o.d"
+  "/root/repo/src/aqua/ansatz.cpp" "src/aqua/CMakeFiles/qtc_aqua.dir/ansatz.cpp.o" "gcc" "src/aqua/CMakeFiles/qtc_aqua.dir/ansatz.cpp.o.d"
+  "/root/repo/src/aqua/grouping.cpp" "src/aqua/CMakeFiles/qtc_aqua.dir/grouping.cpp.o" "gcc" "src/aqua/CMakeFiles/qtc_aqua.dir/grouping.cpp.o.d"
+  "/root/repo/src/aqua/h2.cpp" "src/aqua/CMakeFiles/qtc_aqua.dir/h2.cpp.o" "gcc" "src/aqua/CMakeFiles/qtc_aqua.dir/h2.cpp.o.d"
+  "/root/repo/src/aqua/maxcut.cpp" "src/aqua/CMakeFiles/qtc_aqua.dir/maxcut.cpp.o" "gcc" "src/aqua/CMakeFiles/qtc_aqua.dir/maxcut.cpp.o.d"
+  "/root/repo/src/aqua/optimizer.cpp" "src/aqua/CMakeFiles/qtc_aqua.dir/optimizer.cpp.o" "gcc" "src/aqua/CMakeFiles/qtc_aqua.dir/optimizer.cpp.o.d"
+  "/root/repo/src/aqua/pauli_op.cpp" "src/aqua/CMakeFiles/qtc_aqua.dir/pauli_op.cpp.o" "gcc" "src/aqua/CMakeFiles/qtc_aqua.dir/pauli_op.cpp.o.d"
+  "/root/repo/src/aqua/trotter.cpp" "src/aqua/CMakeFiles/qtc_aqua.dir/trotter.cpp.o" "gcc" "src/aqua/CMakeFiles/qtc_aqua.dir/trotter.cpp.o.d"
+  "/root/repo/src/aqua/vqe.cpp" "src/aqua/CMakeFiles/qtc_aqua.dir/vqe.cpp.o" "gcc" "src/aqua/CMakeFiles/qtc_aqua.dir/vqe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/qtc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qtc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/qtc_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/qtc_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

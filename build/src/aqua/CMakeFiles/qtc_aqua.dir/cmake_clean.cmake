@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtc_aqua.dir/algorithms.cpp.o"
+  "CMakeFiles/qtc_aqua.dir/algorithms.cpp.o.d"
+  "CMakeFiles/qtc_aqua.dir/ansatz.cpp.o"
+  "CMakeFiles/qtc_aqua.dir/ansatz.cpp.o.d"
+  "CMakeFiles/qtc_aqua.dir/grouping.cpp.o"
+  "CMakeFiles/qtc_aqua.dir/grouping.cpp.o.d"
+  "CMakeFiles/qtc_aqua.dir/h2.cpp.o"
+  "CMakeFiles/qtc_aqua.dir/h2.cpp.o.d"
+  "CMakeFiles/qtc_aqua.dir/maxcut.cpp.o"
+  "CMakeFiles/qtc_aqua.dir/maxcut.cpp.o.d"
+  "CMakeFiles/qtc_aqua.dir/optimizer.cpp.o"
+  "CMakeFiles/qtc_aqua.dir/optimizer.cpp.o.d"
+  "CMakeFiles/qtc_aqua.dir/pauli_op.cpp.o"
+  "CMakeFiles/qtc_aqua.dir/pauli_op.cpp.o.d"
+  "CMakeFiles/qtc_aqua.dir/trotter.cpp.o"
+  "CMakeFiles/qtc_aqua.dir/trotter.cpp.o.d"
+  "CMakeFiles/qtc_aqua.dir/vqe.cpp.o"
+  "CMakeFiles/qtc_aqua.dir/vqe.cpp.o.d"
+  "libqtc_aqua.a"
+  "libqtc_aqua.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtc_aqua.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

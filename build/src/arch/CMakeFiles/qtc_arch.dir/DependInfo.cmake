@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/backend.cpp" "src/arch/CMakeFiles/qtc_arch.dir/backend.cpp.o" "gcc" "src/arch/CMakeFiles/qtc_arch.dir/backend.cpp.o.d"
+  "/root/repo/src/arch/coupling_map.cpp" "src/arch/CMakeFiles/qtc_arch.dir/coupling_map.cpp.o" "gcc" "src/arch/CMakeFiles/qtc_arch.dir/coupling_map.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/qtc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtc_arch.dir/backend.cpp.o"
+  "CMakeFiles/qtc_arch.dir/backend.cpp.o.d"
+  "CMakeFiles/qtc_arch.dir/coupling_map.cpp.o"
+  "CMakeFiles/qtc_arch.dir/coupling_map.cpp.o.d"
+  "libqtc_arch.a"
+  "libqtc_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtc_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtc_core.dir/circuit.cpp.o"
+  "CMakeFiles/qtc_core.dir/circuit.cpp.o.d"
+  "CMakeFiles/qtc_core.dir/drawer.cpp.o"
+  "CMakeFiles/qtc_core.dir/drawer.cpp.o.d"
+  "CMakeFiles/qtc_core.dir/gates.cpp.o"
+  "CMakeFiles/qtc_core.dir/gates.cpp.o.d"
+  "CMakeFiles/qtc_core.dir/matrix.cpp.o"
+  "CMakeFiles/qtc_core.dir/matrix.cpp.o.d"
+  "CMakeFiles/qtc_core.dir/state_prep.cpp.o"
+  "CMakeFiles/qtc_core.dir/state_prep.cpp.o.d"
+  "libqtc_core.a"
+  "libqtc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

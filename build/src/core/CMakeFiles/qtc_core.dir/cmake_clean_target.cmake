@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqtc_core.a"
+)

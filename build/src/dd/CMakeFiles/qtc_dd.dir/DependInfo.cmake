@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dd/package.cpp" "src/dd/CMakeFiles/qtc_dd.dir/package.cpp.o" "gcc" "src/dd/CMakeFiles/qtc_dd.dir/package.cpp.o.d"
+  "/root/repo/src/dd/simulator.cpp" "src/dd/CMakeFiles/qtc_dd.dir/simulator.cpp.o" "gcc" "src/dd/CMakeFiles/qtc_dd.dir/simulator.cpp.o.d"
+  "/root/repo/src/dd/verification.cpp" "src/dd/CMakeFiles/qtc_dd.dir/verification.cpp.o" "gcc" "src/dd/CMakeFiles/qtc_dd.dir/verification.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/qtc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qtc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

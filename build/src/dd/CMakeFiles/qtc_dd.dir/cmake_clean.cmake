@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtc_dd.dir/package.cpp.o"
+  "CMakeFiles/qtc_dd.dir/package.cpp.o.d"
+  "CMakeFiles/qtc_dd.dir/simulator.cpp.o"
+  "CMakeFiles/qtc_dd.dir/simulator.cpp.o.d"
+  "CMakeFiles/qtc_dd.dir/verification.cpp.o"
+  "CMakeFiles/qtc_dd.dir/verification.cpp.o.d"
+  "libqtc_dd.a"
+  "libqtc_dd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtc_dd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ignis/clifford.cpp" "src/ignis/CMakeFiles/qtc_ignis.dir/clifford.cpp.o" "gcc" "src/ignis/CMakeFiles/qtc_ignis.dir/clifford.cpp.o.d"
+  "/root/repo/src/ignis/codes.cpp" "src/ignis/CMakeFiles/qtc_ignis.dir/codes.cpp.o" "gcc" "src/ignis/CMakeFiles/qtc_ignis.dir/codes.cpp.o.d"
+  "/root/repo/src/ignis/mitigation.cpp" "src/ignis/CMakeFiles/qtc_ignis.dir/mitigation.cpp.o" "gcc" "src/ignis/CMakeFiles/qtc_ignis.dir/mitigation.cpp.o.d"
+  "/root/repo/src/ignis/process_tomography.cpp" "src/ignis/CMakeFiles/qtc_ignis.dir/process_tomography.cpp.o" "gcc" "src/ignis/CMakeFiles/qtc_ignis.dir/process_tomography.cpp.o.d"
+  "/root/repo/src/ignis/quantum_volume.cpp" "src/ignis/CMakeFiles/qtc_ignis.dir/quantum_volume.cpp.o" "gcc" "src/ignis/CMakeFiles/qtc_ignis.dir/quantum_volume.cpp.o.d"
+  "/root/repo/src/ignis/rb.cpp" "src/ignis/CMakeFiles/qtc_ignis.dir/rb.cpp.o" "gcc" "src/ignis/CMakeFiles/qtc_ignis.dir/rb.cpp.o.d"
+  "/root/repo/src/ignis/relaxation.cpp" "src/ignis/CMakeFiles/qtc_ignis.dir/relaxation.cpp.o" "gcc" "src/ignis/CMakeFiles/qtc_ignis.dir/relaxation.cpp.o.d"
+  "/root/repo/src/ignis/tomography.cpp" "src/ignis/CMakeFiles/qtc_ignis.dir/tomography.cpp.o" "gcc" "src/ignis/CMakeFiles/qtc_ignis.dir/tomography.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/qtc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qtc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/qtc_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/qtc_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

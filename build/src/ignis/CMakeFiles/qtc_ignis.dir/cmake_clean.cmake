@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtc_ignis.dir/clifford.cpp.o"
+  "CMakeFiles/qtc_ignis.dir/clifford.cpp.o.d"
+  "CMakeFiles/qtc_ignis.dir/codes.cpp.o"
+  "CMakeFiles/qtc_ignis.dir/codes.cpp.o.d"
+  "CMakeFiles/qtc_ignis.dir/mitigation.cpp.o"
+  "CMakeFiles/qtc_ignis.dir/mitigation.cpp.o.d"
+  "CMakeFiles/qtc_ignis.dir/process_tomography.cpp.o"
+  "CMakeFiles/qtc_ignis.dir/process_tomography.cpp.o.d"
+  "CMakeFiles/qtc_ignis.dir/quantum_volume.cpp.o"
+  "CMakeFiles/qtc_ignis.dir/quantum_volume.cpp.o.d"
+  "CMakeFiles/qtc_ignis.dir/rb.cpp.o"
+  "CMakeFiles/qtc_ignis.dir/rb.cpp.o.d"
+  "CMakeFiles/qtc_ignis.dir/relaxation.cpp.o"
+  "CMakeFiles/qtc_ignis.dir/relaxation.cpp.o.d"
+  "CMakeFiles/qtc_ignis.dir/tomography.cpp.o"
+  "CMakeFiles/qtc_ignis.dir/tomography.cpp.o.d"
+  "libqtc_ignis.a"
+  "libqtc_ignis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtc_ignis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/map/astar_mapper.cpp" "src/map/CMakeFiles/qtc_map.dir/astar_mapper.cpp.o" "gcc" "src/map/CMakeFiles/qtc_map.dir/astar_mapper.cpp.o.d"
+  "/root/repo/src/map/mapping.cpp" "src/map/CMakeFiles/qtc_map.dir/mapping.cpp.o" "gcc" "src/map/CMakeFiles/qtc_map.dir/mapping.cpp.o.d"
+  "/root/repo/src/map/naive_mapper.cpp" "src/map/CMakeFiles/qtc_map.dir/naive_mapper.cpp.o" "gcc" "src/map/CMakeFiles/qtc_map.dir/naive_mapper.cpp.o.d"
+  "/root/repo/src/map/noise_aware.cpp" "src/map/CMakeFiles/qtc_map.dir/noise_aware.cpp.o" "gcc" "src/map/CMakeFiles/qtc_map.dir/noise_aware.cpp.o.d"
+  "/root/repo/src/map/sabre_mapper.cpp" "src/map/CMakeFiles/qtc_map.dir/sabre_mapper.cpp.o" "gcc" "src/map/CMakeFiles/qtc_map.dir/sabre_mapper.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/qtc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/qtc_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtc_map.dir/astar_mapper.cpp.o"
+  "CMakeFiles/qtc_map.dir/astar_mapper.cpp.o.d"
+  "CMakeFiles/qtc_map.dir/mapping.cpp.o"
+  "CMakeFiles/qtc_map.dir/mapping.cpp.o.d"
+  "CMakeFiles/qtc_map.dir/naive_mapper.cpp.o"
+  "CMakeFiles/qtc_map.dir/naive_mapper.cpp.o.d"
+  "CMakeFiles/qtc_map.dir/noise_aware.cpp.o"
+  "CMakeFiles/qtc_map.dir/noise_aware.cpp.o.d"
+  "CMakeFiles/qtc_map.dir/sabre_mapper.cpp.o"
+  "CMakeFiles/qtc_map.dir/sabre_mapper.cpp.o.d"
+  "libqtc_map.a"
+  "libqtc_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtc_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

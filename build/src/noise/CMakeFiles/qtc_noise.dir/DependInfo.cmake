@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noise/channel.cpp" "src/noise/CMakeFiles/qtc_noise.dir/channel.cpp.o" "gcc" "src/noise/CMakeFiles/qtc_noise.dir/channel.cpp.o.d"
+  "/root/repo/src/noise/density_matrix.cpp" "src/noise/CMakeFiles/qtc_noise.dir/density_matrix.cpp.o" "gcc" "src/noise/CMakeFiles/qtc_noise.dir/density_matrix.cpp.o.d"
+  "/root/repo/src/noise/noise_model.cpp" "src/noise/CMakeFiles/qtc_noise.dir/noise_model.cpp.o" "gcc" "src/noise/CMakeFiles/qtc_noise.dir/noise_model.cpp.o.d"
+  "/root/repo/src/noise/trajectory.cpp" "src/noise/CMakeFiles/qtc_noise.dir/trajectory.cpp.o" "gcc" "src/noise/CMakeFiles/qtc_noise.dir/trajectory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/qtc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qtc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/qtc_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

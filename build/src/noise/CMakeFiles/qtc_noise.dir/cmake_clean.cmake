@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtc_noise.dir/channel.cpp.o"
+  "CMakeFiles/qtc_noise.dir/channel.cpp.o.d"
+  "CMakeFiles/qtc_noise.dir/density_matrix.cpp.o"
+  "CMakeFiles/qtc_noise.dir/density_matrix.cpp.o.d"
+  "CMakeFiles/qtc_noise.dir/noise_model.cpp.o"
+  "CMakeFiles/qtc_noise.dir/noise_model.cpp.o.d"
+  "CMakeFiles/qtc_noise.dir/trajectory.cpp.o"
+  "CMakeFiles/qtc_noise.dir/trajectory.cpp.o.d"
+  "libqtc_noise.a"
+  "libqtc_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtc_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtc_qasm.dir/lexer.cpp.o"
+  "CMakeFiles/qtc_qasm.dir/lexer.cpp.o.d"
+  "CMakeFiles/qtc_qasm.dir/parser.cpp.o"
+  "CMakeFiles/qtc_qasm.dir/parser.cpp.o.d"
+  "libqtc_qasm.a"
+  "libqtc_qasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtc_qasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

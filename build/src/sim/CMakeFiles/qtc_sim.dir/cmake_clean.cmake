@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtc_sim.dir/result.cpp.o"
+  "CMakeFiles/qtc_sim.dir/result.cpp.o.d"
+  "CMakeFiles/qtc_sim.dir/simulator.cpp.o"
+  "CMakeFiles/qtc_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/qtc_sim.dir/stabilizer.cpp.o"
+  "CMakeFiles/qtc_sim.dir/stabilizer.cpp.o.d"
+  "CMakeFiles/qtc_sim.dir/statevector.cpp.o"
+  "CMakeFiles/qtc_sim.dir/statevector.cpp.o.d"
+  "libqtc_sim.a"
+  "libqtc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transpiler/commutative.cpp" "src/transpiler/CMakeFiles/qtc_transpiler.dir/commutative.cpp.o" "gcc" "src/transpiler/CMakeFiles/qtc_transpiler.dir/commutative.cpp.o.d"
+  "/root/repo/src/transpiler/decompose.cpp" "src/transpiler/CMakeFiles/qtc_transpiler.dir/decompose.cpp.o" "gcc" "src/transpiler/CMakeFiles/qtc_transpiler.dir/decompose.cpp.o.d"
+  "/root/repo/src/transpiler/direction.cpp" "src/transpiler/CMakeFiles/qtc_transpiler.dir/direction.cpp.o" "gcc" "src/transpiler/CMakeFiles/qtc_transpiler.dir/direction.cpp.o.d"
+  "/root/repo/src/transpiler/optimize.cpp" "src/transpiler/CMakeFiles/qtc_transpiler.dir/optimize.cpp.o" "gcc" "src/transpiler/CMakeFiles/qtc_transpiler.dir/optimize.cpp.o.d"
+  "/root/repo/src/transpiler/transpile.cpp" "src/transpiler/CMakeFiles/qtc_transpiler.dir/transpile.cpp.o" "gcc" "src/transpiler/CMakeFiles/qtc_transpiler.dir/transpile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/qtc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/qtc_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/map/CMakeFiles/qtc_map.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtc_transpiler.dir/commutative.cpp.o"
+  "CMakeFiles/qtc_transpiler.dir/commutative.cpp.o.d"
+  "CMakeFiles/qtc_transpiler.dir/decompose.cpp.o"
+  "CMakeFiles/qtc_transpiler.dir/decompose.cpp.o.d"
+  "CMakeFiles/qtc_transpiler.dir/direction.cpp.o"
+  "CMakeFiles/qtc_transpiler.dir/direction.cpp.o.d"
+  "CMakeFiles/qtc_transpiler.dir/optimize.cpp.o"
+  "CMakeFiles/qtc_transpiler.dir/optimize.cpp.o.d"
+  "CMakeFiles/qtc_transpiler.dir/transpile.cpp.o"
+  "CMakeFiles/qtc_transpiler.dir/transpile.cpp.o.d"
+  "libqtc_transpiler.a"
+  "libqtc_transpiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtc_transpiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for qtc_transpiler.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aqua.dir/test_aqua.cpp.o"
+  "CMakeFiles/test_aqua.dir/test_aqua.cpp.o.d"
+  "test_aqua"
+  "test_aqua.pdb"
+  "test_aqua[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aqua.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_commutative.dir/test_commutative.cpp.o"
+  "CMakeFiles/test_commutative.dir/test_commutative.cpp.o.d"
+  "test_commutative"
+  "test_commutative.pdb"
+  "test_commutative[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_commutative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dd_properties.dir/test_dd_properties.cpp.o"
+  "CMakeFiles/test_dd_properties.dir/test_dd_properties.cpp.o.d"
+  "test_dd_properties"
+  "test_dd_properties.pdb"
+  "test_dd_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dd_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

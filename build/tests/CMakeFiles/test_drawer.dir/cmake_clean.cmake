@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_drawer.dir/test_drawer.cpp.o"
+  "CMakeFiles/test_drawer.dir/test_drawer.cpp.o.d"
+  "test_drawer"
+  "test_drawer.pdb"
+  "test_drawer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_drawer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

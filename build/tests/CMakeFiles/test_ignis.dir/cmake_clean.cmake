@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ignis.dir/test_ignis.cpp.o"
+  "CMakeFiles/test_ignis.dir/test_ignis.cpp.o.d"
+  "test_ignis"
+  "test_ignis.pdb"
+  "test_ignis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ignis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

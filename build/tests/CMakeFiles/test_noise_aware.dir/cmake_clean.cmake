@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noise_aware.dir/test_noise_aware.cpp.o"
+  "CMakeFiles/test_noise_aware.dir/test_noise_aware.cpp.o.d"
+  "test_noise_aware"
+  "test_noise_aware.pdb"
+  "test_noise_aware[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noise_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

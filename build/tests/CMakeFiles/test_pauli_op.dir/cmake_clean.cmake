@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pauli_op.dir/test_pauli_op.cpp.o"
+  "CMakeFiles/test_pauli_op.dir/test_pauli_op.cpp.o.d"
+  "test_pauli_op"
+  "test_pauli_op.pdb"
+  "test_pauli_op[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pauli_op.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

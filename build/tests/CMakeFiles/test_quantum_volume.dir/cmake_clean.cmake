@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quantum_volume.dir/test_quantum_volume.cpp.o"
+  "CMakeFiles/test_quantum_volume.dir/test_quantum_volume.cpp.o.d"
+  "test_quantum_volume"
+  "test_quantum_volume.pdb"
+  "test_quantum_volume[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quantum_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

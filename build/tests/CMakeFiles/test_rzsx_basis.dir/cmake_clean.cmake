@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rzsx_basis.dir/test_rzsx_basis.cpp.o"
+  "CMakeFiles/test_rzsx_basis.dir/test_rzsx_basis.cpp.o.d"
+  "test_rzsx_basis"
+  "test_rzsx_basis.pdb"
+  "test_rzsx_basis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rzsx_basis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
