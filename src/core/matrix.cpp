@@ -188,7 +188,7 @@ cplx inner(const std::vector<cplx>& a, const std::vector<cplx>& b) {
   return s;
 }
 
-double norm2(const std::vector<cplx>& v) {
+double vec_norm(const std::vector<cplx>& v) {
   double s = 0;
   for (const auto& x : v) s += std::norm(x);
   return std::sqrt(s);
@@ -209,7 +209,7 @@ bool states_equal_up_to_phase(const std::vector<cplx>& a,
   double best_mag = 0;
   for (std::size_t i = 0; i < a.size(); ++i)
     if (std::abs(a[i]) > best_mag) best_mag = std::abs(a[i]), best = i;
-  if (best_mag <= tol) return norm2(b) <= tol;
+  if (best_mag <= tol) return vec_norm(b) <= tol;
   if (std::abs(b[best]) <= tol) return false;
   const cplx phase = b[best] / a[best];
   if (std::abs(std::abs(phase) - 1.0) > 1e-6) return false;

@@ -72,8 +72,10 @@ Matrix kron_all(const std::vector<Matrix>& factors);
 
 /// Inner product <a|b> with conjugation on `a`.
 cplx inner(const std::vector<cplx>& a, const std::vector<cplx>& b);
-/// 2-norm of a vector.
-double norm2(const std::vector<cplx>& v);
+/// Euclidean norm of a vector: sqrt(sum |v_i|^2). (Formerly misnamed
+/// `norm2`, which suggested the *squared* norm — callers wanting that should
+/// square the result, not sqrt it again.)
+double vec_norm(const std::vector<cplx>& v);
 /// Largest |a_i - b_i|.
 double max_abs_diff(const std::vector<cplx>& a, const std::vector<cplx>& b);
 /// True if vectors agree up to a global phase.

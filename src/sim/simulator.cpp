@@ -2,7 +2,23 @@
 
 #include <stdexcept>
 
+#include "core/parallel.hpp"
+
 namespace qtc::sim {
+
+namespace {
+
+/// SplitMix64 mix of (seed, shot index): decorrelated per-shot RNG streams
+/// that depend only on the simulator seed and the shot number, never on how
+/// shots were scheduled across threads.
+std::uint64_t derive_shot_seed(std::uint64_t seed, std::uint64_t shot) {
+  std::uint64_t z = seed + (shot + 1) * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
 
 std::uint64_t creg_value(const Register& reg, const std::vector<int>& clbits) {
   std::uint64_t value = 0;
@@ -39,7 +55,9 @@ RunResult StatevectorSimulator::run(const QuantumCircuit& circuit, int shots) {
   }
 
   if (sampling_friendly(circuit)) {
-    // Simulate the unitary prefix once, then sample the measurement layer.
+    // Simulate the unitary prefix once, then sample the measurement layer
+    // from the precomputed cumulative distribution (binary search per shot
+    // instead of an O(2^n) scan).
     Statevector sv(circuit.num_qubits());
     std::vector<std::pair<int, int>> qubit_to_clbit;  // (qubit, clbit)
     for (const auto& op : circuit.ops()) {
@@ -49,8 +67,9 @@ RunResult StatevectorSimulator::run(const QuantumCircuit& circuit, int shots) {
         sv.apply(op);
     }
     result.statevector = sv.amplitudes();
+    const std::vector<double> cdf = sv.cumulative_probabilities();
     for (int s = 0; s < shots; ++s) {
-      const std::uint64_t basis = sv.sample(rng_);
+      const std::uint64_t basis = sample_cdf(cdf, rng_.uniform());
       std::uint64_t clbits = 0;
       for (auto [q, c] : qubit_to_clbit)
         if ((basis >> q) & 1) clbits |= std::uint64_t{1} << c;
@@ -59,34 +78,49 @@ RunResult StatevectorSimulator::run(const QuantumCircuit& circuit, int shots) {
     return result;
   }
 
-  // General path: re-execute the whole circuit for every shot.
-  for (int s = 0; s < shots; ++s) {
-    Statevector sv(circuit.num_qubits());
-    std::vector<int> clbits(ncl, 0);
-    for (const auto& op : circuit.ops()) {
-      if (op.conditioned()) {
-        const Register& reg = circuit.cregs()[op.cond_reg];
-        if (creg_value(reg, clbits) != op.cond_val) continue;
-      }
-      switch (op.kind) {
-        case OpKind::Measure:
-          clbits[op.clbits[0]] = sv.measure(op.qubits[0], rng_);
-          break;
-        case OpKind::Reset:
-          sv.reset(op.qubits[0], rng_);
-          break;
-        case OpKind::Barrier:
-          break;
-        default:
-          sv.apply(op);
-      }
-    }
-    std::uint64_t value = 0;
-    for (int c = 0; c < ncl; ++c)
-      if (clbits[c]) value |= std::uint64_t{1} << c;
-    result.counts.record(format_bits(value, ncl));
-    if (s + 1 == shots) result.statevector = sv.amplitudes();
-  }
+  // General path: re-execute the whole circuit for every shot. Shots are
+  // independent given their seed-derived RNG streams, so they run in
+  // parallel; outcomes are recorded in shot order afterwards, making the
+  // Counts identical for a fixed seed whatever the thread count.
+  std::vector<std::uint64_t> outcomes(shots, 0);
+  std::vector<cplx> last_state;
+  parallel::parallel_for(
+      0, static_cast<std::uint64_t>(shots),
+      [&](std::uint64_t s0, std::uint64_t s1) {
+        for (std::uint64_t s = s0; s < s1; ++s) {
+          Rng rng(derive_shot_seed(seed_, s));
+          Statevector sv(circuit.num_qubits());
+          std::vector<int> clbits(ncl, 0);
+          for (const auto& op : circuit.ops()) {
+            if (op.conditioned()) {
+              const Register& reg = circuit.cregs()[op.cond_reg];
+              if (creg_value(reg, clbits) != op.cond_val) continue;
+            }
+            switch (op.kind) {
+              case OpKind::Measure:
+                clbits[op.clbits[0]] = sv.measure(op.qubits[0], rng);
+                break;
+              case OpKind::Reset:
+                sv.reset(op.qubits[0], rng);
+                break;
+              case OpKind::Barrier:
+                break;
+              default:
+                sv.apply(op);
+            }
+          }
+          std::uint64_t value = 0;
+          for (int c = 0; c < ncl; ++c)
+            if (clbits[c]) value |= std::uint64_t{1} << c;
+          outcomes[s] = value;
+          if (s + 1 == static_cast<std::uint64_t>(shots))
+            last_state = sv.amplitudes();
+        }
+      },
+      /*serial_cutoff=*/2);
+  for (int s = 0; s < shots; ++s)
+    result.counts.record(format_bits(outcomes[s], ncl));
+  result.statevector = std::move(last_state);
   return result;
 }
 
@@ -106,25 +140,30 @@ Matrix UnitarySimulator::unitary(const QuantumCircuit& circuit) const {
   const int n = circuit.num_qubits();
   if (n > 14)
     throw std::invalid_argument("unitary: too many qubits for dense matrix");
-  const std::size_t dim = std::size_t{1} << n;
-  // Columns of U are the images of the basis states.
-  std::vector<Statevector> columns;
-  columns.reserve(dim);
-  for (std::size_t j = 0; j < dim; ++j) {
-    std::vector<cplx> e(dim, cplx{0, 0});
-    e[j] = 1;
-    columns.emplace_back(std::move(e));
-  }
   for (const auto& op : circuit.ops()) {
     if (op.kind == OpKind::Barrier) continue;
     if (!op_is_unitary(op.kind) || op.conditioned())
       throw std::invalid_argument(
           "unitary: circuit contains non-unitary or conditioned ops");
-    for (auto& col : columns) col.apply(op);
   }
+  const std::size_t dim = std::size_t{1} << n;
+  // Columns of U are the images of the basis states; each column evolves
+  // independently, so the column loop is the parallel axis (gate kernels run
+  // serially inside it).
   Matrix u(dim, dim);
-  for (std::size_t j = 0; j < dim; ++j)
-    for (std::size_t i = 0; i < dim; ++i) u(i, j) = columns[j].amplitude(i);
+  parallel::parallel_for(
+      0, dim,
+      [&](std::uint64_t j0, std::uint64_t j1) {
+        for (std::uint64_t j = j0; j < j1; ++j) {
+          std::vector<cplx> e(dim, cplx{0, 0});
+          e[j] = 1;
+          Statevector col(std::move(e));
+          for (const auto& op : circuit.ops())
+            if (op.kind != OpKind::Barrier) col.apply(op);
+          for (std::size_t i = 0; i < dim; ++i) u(i, j) = col.amplitude(i);
+        }
+      },
+      /*serial_cutoff=*/2);
   return u;
 }
 

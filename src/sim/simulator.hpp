@@ -24,11 +24,15 @@ struct RunResult {
 /// Array-based circuit executor.
 class StatevectorSimulator {
  public:
-  explicit StatevectorSimulator(std::uint64_t seed = 0xC0FFEE) : rng_(seed) {}
+  explicit StatevectorSimulator(std::uint64_t seed = 0xC0FFEE)
+      : seed_(seed), rng_(seed) {}
 
   /// Execute with sampling. Circuits whose measurements form a final layer
-  /// (no conditionals/resets) are simulated once and sampled `shots` times;
-  /// anything else is re-simulated shot by shot. Circuits without any
+  /// (no conditionals/resets) are simulated once and sampled `shots` times
+  /// from a precomputed cumulative distribution; anything else is
+  /// re-simulated shot by shot, in parallel, with a per-shot RNG stream
+  /// derived from (seed, shot index). Either way the counts for a fixed seed
+  /// are identical whatever QTC_NUM_THREADS says. Circuits without any
   /// measurement yield empty counts.
   RunResult run(const QuantumCircuit& circuit, int shots = 1024);
 
@@ -38,6 +42,7 @@ class StatevectorSimulator {
 
  private:
   bool sampling_friendly(const QuantumCircuit& circuit) const;
+  std::uint64_t seed_;  // base for the per-shot derived streams
   Rng rng_;
 };
 

@@ -1,8 +1,11 @@
 #include "sim/statevector.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <stdexcept>
+
+#include "core/parallel.hpp"
 
 namespace qtc::sim {
 
@@ -14,6 +17,15 @@ int log2_exact(std::size_t x) {
   int n = 0;
   while ((std::size_t{1} << n) < x) ++n;
   return n;
+}
+
+/// Splice a 0 bit into `g` at the position of the set bit in `mask`, shifting
+/// the higher bits up. Enumerating g over [0, 2^(n-1)) visits every basis
+/// index whose `mask` qubit reads 0 — the canonical pair-loop of array
+/// simulators, and the unit of work the parallel kernels chunk over.
+inline std::uint64_t insert_zero_bit(std::uint64_t g, std::uint64_t mask) {
+  const std::uint64_t low = mask - 1;
+  return ((g & ~low) << 1) | (g & low);
 }
 
 }  // namespace
@@ -30,30 +42,39 @@ Statevector::Statevector(std::vector<cplx> amplitudes)
   if (!is_power_of_two(amp_.size()))
     throw std::invalid_argument("statevector: size must be a power of two");
   n_ = log2_exact(amp_.size());
+  if (n_ > 30)
+    throw std::invalid_argument("statevector: unsupported qubit count");
 }
 
 void Statevector::apply(const Operation& op) {
   if (op.kind == OpKind::Barrier) return;
   if (!op_is_unitary(op.kind))
     throw std::invalid_argument("statevector: cannot apply non-unitary op");
+  const std::uint64_t half = amp_.size() >> 1;
   // Fast paths for the ubiquitous gates.
   if (op.kind == OpKind::CX) {
     const std::uint64_t cmask = std::uint64_t{1} << op.qubits[0];
     const std::uint64_t tmask = std::uint64_t{1} << op.qubits[1];
-    for (std::uint64_t i = 0; i < amp_.size(); ++i)
-      if ((i & cmask) && !(i & tmask)) std::swap(amp_[i], amp_[i | tmask]);
+    parallel::parallel_for(0, half, [&](std::uint64_t g0, std::uint64_t g1) {
+      for (std::uint64_t g = g0; g < g1; ++g) {
+        const std::uint64_t i = insert_zero_bit(g, tmask);
+        if (i & cmask) std::swap(amp_[i], amp_[i | tmask]);
+      }
+    });
     return;
   }
   if (op.qubits.size() == 1) {
     const Matrix m = op_matrix(op.kind, op.params);
     const std::uint64_t mask = std::uint64_t{1} << op.qubits[0];
     const cplx m00 = m(0, 0), m01 = m(0, 1), m10 = m(1, 0), m11 = m(1, 1);
-    for (std::uint64_t i = 0; i < amp_.size(); ++i) {
-      if (i & mask) continue;
-      const cplx a0 = amp_[i], a1 = amp_[i | mask];
-      amp_[i] = m00 * a0 + m01 * a1;
-      amp_[i | mask] = m10 * a0 + m11 * a1;
-    }
+    parallel::parallel_for(0, half, [&](std::uint64_t g0, std::uint64_t g1) {
+      for (std::uint64_t g = g0; g < g1; ++g) {
+        const std::uint64_t i = insert_zero_bit(g, mask);
+        const cplx a0 = amp_[i], a1 = amp_[i | mask];
+        amp_[i] = m00 * a0 + m01 * a1;
+        amp_[i | mask] = m10 * a0 + m11 * a1;
+      }
+    });
     return;
   }
   apply_matrix(op_matrix(op.kind, op.params), op.qubits);
@@ -77,23 +98,33 @@ void Statevector::apply_matrix(const Matrix& m, const std::vector<int>& qs) {
     for (int t = 0; t < k; ++t)
       if ((j >> t) & 1) offsets[j] |= std::uint64_t{1} << qs[t];
 
-  std::vector<cplx> in(dim), out(dim);
   const std::uint64_t groups = amp_.size() >> k;
-  for (std::uint64_t g = 0; g < groups; ++g) {
-    // Expand g by inserting a 0 bit at each (sorted) gate qubit position.
-    std::uint64_t base = g;
-    for (int t = 0; t < k; ++t) {
-      const std::uint64_t low_mask = (std::uint64_t{1} << sorted[t]) - 1;
-      base = (base & low_mask) | ((base & ~low_mask) << 1);
-    }
-    for (std::size_t j = 0; j < dim; ++j) in[j] = amp_[base | offsets[j]];
-    for (std::size_t r = 0; r < dim; ++r) {
-      cplx acc{0, 0};
-      for (std::size_t c = 0; c < dim; ++c) acc += m(r, c) * in[c];
-      out[r] = acc;
-    }
-    for (std::size_t j = 0; j < dim; ++j) amp_[base | offsets[j]] = out[j];
-  }
+  // Each group costs ~4^k scalar ops, so scale the serial cutoff down
+  // accordingly before forking.
+  const std::uint64_t cutoff =
+      std::max<std::uint64_t>(2, parallel::kSerialCutoff >> (2 * k));
+  parallel::parallel_for(
+      0, groups,
+      [&](std::uint64_t g_lo, std::uint64_t g_hi) {
+        std::vector<cplx> in(dim), out(dim);  // per-chunk scratch
+        for (std::uint64_t g = g_lo; g < g_hi; ++g) {
+          // Expand g by inserting a 0 bit at each (sorted) gate qubit
+          // position.
+          std::uint64_t base = g;
+          for (int t = 0; t < k; ++t)
+            base = insert_zero_bit(base, std::uint64_t{1} << sorted[t]);
+          for (std::size_t j = 0; j < dim; ++j)
+            in[j] = amp_[base | offsets[j]];
+          for (std::size_t r = 0; r < dim; ++r) {
+            cplx acc{0, 0};
+            for (std::size_t c = 0; c < dim; ++c) acc += m(r, c) * in[c];
+            out[r] = acc;
+          }
+          for (std::size_t j = 0; j < dim; ++j)
+            amp_[base | offsets[j]] = out[j];
+        }
+      },
+      cutoff);
 }
 
 void Statevector::apply_circuit(const QuantumCircuit& circuit) {
@@ -104,15 +135,22 @@ void Statevector::apply_circuit(const QuantumCircuit& circuit) {
 
 double Statevector::probability_of_one(int q) const {
   const std::uint64_t mask = std::uint64_t{1} << q;
-  double p = 0;
-  for (std::uint64_t i = 0; i < amp_.size(); ++i)
-    if (i & mask) p += std::norm(amp_[i]);
-  return p;
+  return parallel::parallel_reduce(
+      0, amp_.size() >> 1, [&](std::uint64_t g0, std::uint64_t g1) {
+        double s = 0;
+        for (std::uint64_t g = g0; g < g1; ++g)
+          s += std::norm(amp_[insert_zero_bit(g, mask) | mask]);
+        return s;
+      });
 }
 
 std::vector<double> Statevector::probabilities() const {
   std::vector<double> p(amp_.size());
-  for (std::size_t i = 0; i < amp_.size(); ++i) p[i] = std::norm(amp_[i]);
+  parallel::parallel_for(0, amp_.size(),
+                         [&](std::uint64_t lo, std::uint64_t hi) {
+                           for (std::uint64_t i = lo; i < hi; ++i)
+                             p[i] = std::norm(amp_[i]);
+                         });
   return p;
 }
 
@@ -122,13 +160,16 @@ int Statevector::measure(int q, Rng& rng) {
   const std::uint64_t mask = std::uint64_t{1} << q;
   const double keep = outcome ? p1 : 1 - p1;
   const double scale = keep > 0 ? 1.0 / std::sqrt(keep) : 0.0;
-  for (std::uint64_t i = 0; i < amp_.size(); ++i) {
-    const bool one = (i & mask) != 0;
-    if (one == (outcome == 1))
-      amp_[i] *= scale;
-    else
-      amp_[i] = 0;
-  }
+  parallel::parallel_for(0, amp_.size(),
+                         [&](std::uint64_t lo, std::uint64_t hi) {
+                           for (std::uint64_t i = lo; i < hi; ++i) {
+                             const bool one = (i & mask) != 0;
+                             if (one == (outcome == 1))
+                               amp_[i] *= scale;
+                             else
+                               amp_[i] = 0;
+                           }
+                         });
   return outcome;
 }
 
@@ -142,6 +183,8 @@ void Statevector::reset(int q, Rng& rng) {
 }
 
 std::uint64_t Statevector::sample(Rng& rng) const {
+  // Single-draw variant; shot loops should precompute
+  // cumulative_probabilities() once and call sample_cdf per shot instead.
   double r = rng.uniform();
   double acc = 0;
   for (std::uint64_t i = 0; i < amp_.size(); ++i) {
@@ -151,44 +194,134 @@ std::uint64_t Statevector::sample(Rng& rng) const {
   return amp_.size() - 1;
 }
 
+std::vector<double> Statevector::cumulative_probabilities() const {
+  const std::uint64_t n = amp_.size();
+  std::vector<double> cdf(n);
+  const std::uint64_t block = parallel::kReduceBlock;
+  if (n <= block) {
+    double acc = 0;
+    for (std::uint64_t i = 0; i < n; ++i) cdf[i] = (acc += std::norm(amp_[i]));
+    return cdf;
+  }
+  // Two-pass blocked prefix sum. Blocks are fixed-size, so the result is
+  // identical whatever the thread count (same determinism contract as
+  // parallel_reduce).
+  const std::uint64_t nblocks = (n + block - 1) / block;
+  std::vector<double> totals(nblocks);
+  parallel::parallel_for(
+      0, nblocks,
+      [&](std::uint64_t b0, std::uint64_t b1) {
+        for (std::uint64_t b = b0; b < b1; ++b) {
+          const std::uint64_t lo = b * block, hi = std::min(n, lo + block);
+          double acc = 0;
+          for (std::uint64_t i = lo; i < hi; ++i)
+            cdf[i] = (acc += std::norm(amp_[i]));
+          totals[b] = acc;
+        }
+      },
+      /*serial_cutoff=*/2);
+  std::vector<double> offsets(nblocks);
+  double acc = 0;
+  for (std::uint64_t b = 0; b < nblocks; ++b) {
+    offsets[b] = acc;
+    acc += totals[b];
+  }
+  parallel::parallel_for(
+      1, nblocks,
+      [&](std::uint64_t b0, std::uint64_t b1) {
+        for (std::uint64_t b = b0; b < b1; ++b) {
+          const std::uint64_t lo = b * block, hi = std::min(n, lo + block);
+          for (std::uint64_t i = lo; i < hi; ++i) cdf[i] += offsets[b];
+        }
+      },
+      /*serial_cutoff=*/2);
+  return cdf;
+}
+
+std::uint64_t sample_cdf(const std::vector<double>& cdf, double r) {
+  if (cdf.empty()) throw std::invalid_argument("sample_cdf: empty cdf");
+  // Scale into the (possibly not exactly 1.0) total mass so rounding in the
+  // prefix sum can never push a draw past the last bucket.
+  const double target = r * cdf.back();
+  const auto it = std::upper_bound(cdf.begin(), cdf.end(), target);
+  const std::uint64_t i =
+      static_cast<std::uint64_t>(std::distance(cdf.begin(), it));
+  return std::min<std::uint64_t>(i, cdf.size() - 1);
+}
+
 double Statevector::expectation_pauli(const std::string& paulis) const {
   if (static_cast<int>(paulis.size()) != n_)
     throw std::invalid_argument("expectation_pauli: wrong string length");
-  Statevector copy = *this;
+  // P|i> = i^{#Y} (-1)^{popcount(i & yz)} |i ^ x>, so the expectation is a
+  // single pass over the amplitudes instead of a copy-and-apply.
+  std::uint64_t xmask = 0, yzmask = 0;
+  int num_y = 0;
   for (int q = 0; q < n_; ++q) {
-    const char p = paulis[n_ - 1 - q];  // leftmost char = highest qubit
-    Operation op;
-    op.qubits = {q};
-    switch (p) {
+    const std::uint64_t bit = std::uint64_t{1} << q;
+    switch (paulis[n_ - 1 - q]) {  // leftmost char = highest qubit
       case 'I':
-        continue;
+        break;
       case 'X':
-        op.kind = OpKind::X;
+        xmask |= bit;
         break;
       case 'Y':
-        op.kind = OpKind::Y;
+        xmask |= bit;
+        yzmask |= bit;
+        ++num_y;
         break;
       case 'Z':
-        op.kind = OpKind::Z;
+        yzmask |= bit;
         break;
       default:
         throw std::invalid_argument("expectation_pauli: bad character");
     }
-    copy.apply(op);
   }
-  return inner(amp_, copy.amp_).real();
+  static const cplx kIPow[4] = {{1, 0}, {0, 1}, {-1, 0}, {0, -1}};
+  const cplx y_phase = kIPow[num_y & 3];
+  return parallel::parallel_reduce(
+      0, amp_.size(), [&](std::uint64_t lo, std::uint64_t hi) {
+        double s = 0;
+        for (std::uint64_t i = lo; i < hi; ++i) {
+          const double sign = (std::popcount(i & yzmask) & 1) ? -1.0 : 1.0;
+          s += (std::conj(amp_[i ^ xmask]) * amp_[i] * (y_phase * sign))
+                   .real();
+        }
+        return s;
+      });
 }
 
 double Statevector::fidelity(const Statevector& other) const {
-  return std::norm(inner(amp_, other.amp_));
+  if (amp_.size() != other.amp_.size())
+    throw std::invalid_argument("fidelity: size mismatch");
+  const cplx ip = parallel::parallel_reduce_cplx(
+      0, amp_.size(), [&](std::uint64_t lo, std::uint64_t hi) {
+        cplx s{0, 0};
+        for (std::uint64_t i = lo; i < hi; ++i)
+          s += std::conj(amp_[i]) * other.amp_[i];
+        return s;
+      });
+  return std::norm(ip);
 }
 
-double Statevector::norm() const { return norm2(amp_); }
+double Statevector::norm() const {
+  // Same semantics as vec_norm(amp_) but with the parallel blocked sum.
+  const double sum_sq = parallel::parallel_reduce(
+      0, amp_.size(), [&](std::uint64_t lo, std::uint64_t hi) {
+        double s = 0;
+        for (std::uint64_t i = lo; i < hi; ++i) s += std::norm(amp_[i]);
+        return s;
+      });
+  return std::sqrt(sum_sq);
+}
 
 void Statevector::normalize() {
   const double n = norm();
   if (n <= 0) throw std::runtime_error("normalize: zero state");
-  for (auto& a : amp_) a /= n;
+  parallel::parallel_for(0, amp_.size(),
+                         [&](std::uint64_t lo, std::uint64_t hi) {
+                           for (std::uint64_t i = lo; i < hi; ++i)
+                             amp_[i] /= n;
+                         });
 }
 
 std::string format_bits(std::uint64_t value, int width) {

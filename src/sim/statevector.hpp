@@ -47,8 +47,13 @@ class Statevector {
   int measure(int q, Rng& rng);
   /// Measure-and-discard to |0>: projective measurement then X if needed.
   void reset(int q, Rng& rng);
-  /// Sample a basis state index without collapsing.
+  /// Sample a basis state index without collapsing (one O(2^n) scan). For
+  /// repeated draws build cumulative_probabilities() once and use sample_cdf.
   std::uint64_t sample(Rng& rng) const;
+  /// Inclusive prefix sums of the basis-state probabilities (length 2^n),
+  /// for O(log 2^n) per-shot sampling via sample_cdf. Thread-count
+  /// invariant (fixed-block prefix sum).
+  std::vector<double> cumulative_probabilities() const;
 
   /// <psi| P |psi> for a Pauli string. `paulis` uses one character per qubit,
   /// leftmost = highest qubit (e.g. "ZZI" on 3 qubits: Z on q2, Z on q1).
@@ -66,5 +71,9 @@ class Statevector {
 
 /// Render a basis index as a bitstring, qubit width-1 first (Qiskit order).
 std::string format_bits(std::uint64_t value, int width);
+
+/// Binary-search a uniform draw r in [0, 1) against an inclusive-prefix-sum
+/// distribution (as built by Statevector::cumulative_probabilities).
+std::uint64_t sample_cdf(const std::vector<double>& cdf, double r);
 
 }  // namespace qtc::sim

@@ -1,0 +1,217 @@
+// Differential-testing harness across the simulator portfolio: seeded random
+// circuits are executed by the array (statevector), decision-diagram and —
+// when Clifford-only — stabilizer engines, which must agree on probabilities
+// and counts; each circuit additionally goes through the transpiler and must
+// stay equivalent on the physical qubits. Any disagreement localizes a bug
+// to one engine (or to a transpiler pass) without needing a known-good
+// reference.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "arch/backend.hpp"
+#include "dd/simulator.hpp"
+#include "map/mapping.hpp"
+#include "sim/stabilizer.hpp"
+#include "sim/simulator.hpp"
+#include "transpiler/direction.hpp"
+#include "transpiler/transpile.hpp"
+
+namespace qtc {
+namespace {
+
+/// Universal gate mix (CX/rz-heavy, matching transpiler targets) over
+/// 2..10 qubits with a trailing measure-all layer.
+QuantumCircuit random_measured_circuit(std::uint64_t seed) {
+  const int n = 2 + static_cast<int>(seed % 9);  // 2..10 qubits
+  const int gates = 15 + static_cast<int>((seed * 7) % 36);
+  Rng rng(seed * 7919 + 1);
+  QuantumCircuit qc(n, n);
+  for (int g = 0; g < gates; ++g) {
+    const int q = static_cast<int>(rng.index(n));
+    const int q2 = (q + 1 + static_cast<int>(rng.index(n - 1))) % n;
+    switch (rng.index(9)) {
+      case 0:
+        qc.h(q);
+        break;
+      case 1:
+        qc.t(q);
+        break;
+      case 2:
+        qc.rz(rng.uniform(-PI, PI), q);
+        break;
+      case 3:
+        qc.sx(q);
+        break;
+      case 4:
+        qc.u(rng.uniform(0, PI), rng.uniform(-PI, PI), rng.uniform(-PI, PI),
+             q);
+        break;
+      case 5:
+        qc.cz(q, q2);
+        break;
+      case 6:
+        qc.cp(rng.uniform(-PI, PI), q, q2);
+        break;
+      case 7:
+        qc.swap(q, q2);
+        break;
+      default:
+        qc.cx(q, q2);
+    }
+  }
+  qc.measure_all();
+  return qc;
+}
+
+/// Clifford-only mix so the stabilizer engine can join the vote.
+QuantumCircuit random_clifford_circuit(std::uint64_t seed) {
+  const int n = 2 + static_cast<int>(seed % 5);  // 2..6 qubits
+  const int gates = 12 + static_cast<int>((seed * 5) % 25);
+  Rng rng(seed * 104729 + 3);
+  QuantumCircuit qc(n, n);
+  for (int g = 0; g < gates; ++g) {
+    const int q = static_cast<int>(rng.index(n));
+    const int q2 = (q + 1 + static_cast<int>(rng.index(n - 1))) % n;
+    switch (rng.index(7)) {
+      case 0:
+        qc.h(q);
+        break;
+      case 1:
+        qc.s(q);
+        break;
+      case 2:
+        qc.x(q);
+        break;
+      case 3:
+        qc.sdg(q);
+        break;
+      case 4:
+        qc.cz(q, q2);
+        break;
+      case 5:
+        qc.swap(q, q2);
+        break;
+      default:
+        qc.cx(q, q2);
+    }
+  }
+  qc.measure_all();
+  return qc;
+}
+
+constexpr std::uint64_t kNumCircuits = 50;
+
+// --- array vs decision-diagram: exact state agreement ------------------------
+
+TEST(Differential, ArrayAndDDStatesAgreeOnRandomCircuits) {
+  for (std::uint64_t seed = 1; seed <= kNumCircuits; ++seed) {
+    const QuantumCircuit qc = random_measured_circuit(seed).unitary_part();
+    sim::StatevectorSimulator array;
+    const auto sv = array.statevector(qc).amplitudes();
+    dd::DDSimulator dds;
+    const auto dd_amps = dds.statevector(qc);
+    EXPECT_TRUE(states_equal_up_to_phase(sv, dd_amps, 1e-7))
+        << "engines disagree on seed " << seed;
+  }
+}
+
+// --- counts-level agreement on the small circuits ----------------------------
+
+TEST(Differential, ArrayAndDDCountsAgreeOnSmallCircuits) {
+  for (std::uint64_t seed = 1; seed <= kNumCircuits; ++seed) {
+    const QuantumCircuit qc = random_measured_circuit(seed);
+    if (qc.num_qubits() > 4) continue;  // keep per-bin statistics meaningful
+    const int shots = 4000;
+    sim::StatevectorSimulator array(seed);
+    dd::DDSimulator dds(seed + 1);
+    const auto ca = array.run(qc, shots).counts;
+    const auto cd = dds.run(qc, shots).counts;
+    ASSERT_EQ(ca.shots, shots);
+    ASSERT_EQ(cd.shots, shots);
+    for (std::uint64_t i = 0; i < (std::uint64_t{1} << qc.num_qubits());
+         ++i) {
+      const std::string bits = sim::format_bits(i, qc.num_qubits());
+      EXPECT_NEAR(ca.probability(bits), cd.probability(bits), 0.05)
+          << "seed " << seed << " bits " << bits;
+    }
+  }
+}
+
+// --- three-engine vote on Clifford circuits ----------------------------------
+
+TEST(Differential, ThreeEnginesAgreeOnCliffordCircuits) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const QuantumCircuit qc = random_clifford_circuit(seed);
+    ASSERT_TRUE(sim::is_clifford_circuit(qc)) << "generator broke, seed "
+                                              << seed;
+    const int shots = 4000;
+    sim::StatevectorSimulator array(seed);
+    sim::StabilizerSimulator tableau(seed + 1);
+    dd::DDSimulator dds(seed + 2);
+    const auto ca = array.run(qc, shots).counts;
+    const auto ct = tableau.run(qc, shots);
+    const auto cd = dds.run(qc, shots).counts;
+    for (std::uint64_t i = 0; i < (std::uint64_t{1} << qc.num_qubits());
+         ++i) {
+      const std::string bits = sim::format_bits(i, qc.num_qubits());
+      EXPECT_NEAR(ca.probability(bits), ct.probability(bits), 0.05)
+          << "stabilizer vs array, seed " << seed << " bits " << bits;
+      EXPECT_NEAR(ca.probability(bits), cd.probability(bits), 0.05)
+          << "dd vs array, seed " << seed << " bits " << bits;
+    }
+  }
+}
+
+// --- transpilation preserves every circuit -----------------------------------
+
+TEST(Differential, TranspiledCircuitsStayEquivalent) {
+  for (std::uint64_t seed = 1; seed <= kNumCircuits; ++seed) {
+    const QuantumCircuit logical = random_measured_circuit(seed);
+    const bool small = logical.num_qubits() <= 5;
+    const arch::Backend backend =
+        small ? arch::qx4_backend() : arch::qx5_backend();
+    const auto result = transpiler::transpile(logical, backend);
+    ASSERT_TRUE(transpiler::satisfies_coupling(result.circuit,
+                                               backend.coupling_map()))
+        << "seed " << seed;
+    sim::StatevectorSimulator sim;
+    const auto mapped = sim.statevector(result.circuit).amplitudes();
+    const auto expected =
+        map::embed_state(sim.statevector(logical).amplitudes(),
+                         result.final_layout, backend.num_qubits());
+    EXPECT_TRUE(states_equal_up_to_phase(mapped, expected, 1e-7))
+        << "transpilation broke equivalence on seed " << seed;
+  }
+}
+
+// --- transpiled circuits re-enter the differential vote ----------------------
+
+TEST(Differential, TranspiledCliffordCountsSurviveAcrossEngines) {
+  // Clifford circuits stay Clifford-representable through routing (SWAP/CX
+  // insertion), so all three engines must still agree after transpilation
+  // once counts are read through the clbit wiring. Routing can interleave
+  // SWAPs between the measurements, which forces the per-shot path — stick
+  // to the 5-qubit QX4 so that path stays cheap.
+  for (std::uint64_t seed : {1u, 2u, 3u, 5u, 6u}) {
+    const QuantumCircuit logical = random_clifford_circuit(seed);
+    ASSERT_LE(logical.num_qubits(), 5);
+    const auto result = transpiler::transpile(logical, arch::qx4_backend());
+    const int shots = 4000;
+    sim::StatevectorSimulator array(seed);
+    const auto before = array.run(logical, shots).counts;
+    sim::StatevectorSimulator array2(seed + 17);
+    const auto after = array2.run(result.circuit, shots).counts;
+    for (std::uint64_t i = 0; i < (std::uint64_t{1} << logical.num_qubits());
+         ++i) {
+      const std::string bits = sim::format_bits(i, logical.num_qubits());
+      EXPECT_NEAR(before.probability(bits), after.probability(bits), 0.05)
+          << "seed " << seed << " bits " << bits;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qtc

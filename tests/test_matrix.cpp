@@ -155,6 +155,18 @@ TEST(Vector, StatesEqualUpToPhase) {
   EXPECT_FALSE(states_equal_up_to_phase(a, b));
 }
 
+TEST(Vector, VecNormIsTheNormNotItsSquare) {
+  // Pins the semantics after the rename from the misleading `norm2`: the
+  // function returns sqrt(sum |v_i|^2), so a 3-4-5 triangle yields 5, not 25.
+  EXPECT_DOUBLE_EQ(vec_norm({cplx(3, 0), cplx(0, 4)}), 5.0);
+  EXPECT_DOUBLE_EQ(vec_norm({cplx(0, 0)}), 0.0);
+  EXPECT_DOUBLE_EQ(vec_norm({SQRT1_2, SQRT1_2}), 1.0);
+  // A normalized quantum state has vec_norm 1 (callers must not sqrt again).
+  const std::vector<cplx> state{cplx(0.5, 0), cplx(0, 0.5), cplx(0.5, 0),
+                                cplx(0, 0.5)};
+  EXPECT_NEAR(vec_norm(state), 1.0, 1e-12);
+}
+
 TEST(Vector, KronAllOfTwoPaulis) {
   const Matrix x{{0, 1}, {1, 0}};
   const Matrix i2 = Matrix::identity(2);

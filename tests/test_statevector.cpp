@@ -20,6 +20,15 @@ TEST(Statevector, RejectsNonPowerOfTwo) {
   EXPECT_THROW(Statevector(std::vector<cplx>(3)), std::invalid_argument);
 }
 
+TEST(Statevector, ConstructorsEnforceQubitBound) {
+  EXPECT_THROW(Statevector(31), std::invalid_argument);
+  EXPECT_THROW(Statevector(-1), std::invalid_argument);
+  // The amplitude-vector constructor enforces the same <= 30-qubit bound
+  // (a 2^31-entry vector would need 32 GB, so only the boundary acceptance
+  // is exercised here: 2^0 = a 0-qubit state is fine).
+  EXPECT_NO_THROW(Statevector(std::vector<cplx>{cplx{1, 0}}));
+}
+
 TEST(Statevector, HadamardCreatesSuperposition) {
   QuantumCircuit qc(1);
   qc.h(0);
