@@ -157,6 +157,22 @@ double Matrix::norm() const {
   return std::sqrt(s);
 }
 
+bool Matrix::is_diagonal(double tol) const {
+  if (rows_ != cols_) return false;
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j)
+      if (i != j && std::abs((*this)(i, j)) > tol) return false;
+  return true;
+}
+
+std::vector<cplx> Matrix::diagonal() const {
+  if (rows_ != cols_)
+    throw std::invalid_argument("diagonal: matrix must be square");
+  std::vector<cplx> d(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) d[i] = (*this)(i, i);
+  return d;
+}
+
 std::string Matrix::to_string(int precision) const {
   std::ostringstream os;
   os.precision(precision);
@@ -179,6 +195,80 @@ Matrix kron_all(const std::vector<Matrix>& factors) {
   Matrix out = factors.front();
   for (std::size_t i = 1; i < factors.size(); ++i) out = out.kron(factors[i]);
   return out;
+}
+
+std::optional<PermutationForm> as_permutation_form(const Matrix& m,
+                                                   double tol) {
+  if (m.rows() != m.cols() || m.rows() == 0) return std::nullopt;
+  const std::size_t dim = m.rows();
+  PermutationForm form;
+  form.row_of.assign(dim, 0);
+  form.phase.assign(dim, cplx{0, 0});
+  std::vector<char> row_taken(dim, 0);
+  for (std::size_t c = 0; c < dim; ++c) {
+    std::size_t nonzero = dim;  // sentinel: none found yet
+    for (std::size_t r = 0; r < dim; ++r) {
+      if (std::abs(m(r, c)) <= tol) continue;
+      if (nonzero != dim) return std::nullopt;  // second entry in the column
+      nonzero = r;
+    }
+    if (nonzero == dim || row_taken[nonzero]) return std::nullopt;
+    row_taken[nonzero] = 1;
+    form.row_of[c] = static_cast<std::uint32_t>(nonzero);
+    form.phase[c] = m(nonzero, c);
+    if (m(nonzero, c) != cplx{1, 0}) form.phase_free = false;
+  }
+  return form;
+}
+
+std::vector<int> matrix_control_bits(const Matrix& m, double tol) {
+  std::vector<int> controls;
+  if (m.rows() != m.cols() || m.rows() < 2) return controls;
+  const std::size_t dim = m.rows();
+  int k = 0;
+  while ((std::size_t{1} << k) < dim) ++k;
+  if ((std::size_t{1} << k) != dim) return controls;
+  for (int b = 0; b < k; ++b) {
+    const std::size_t bit = std::size_t{1} << b;
+    bool is_control = true;
+    for (std::size_t r = 0; r < dim && is_control; ++r)
+      for (std::size_t c = 0; c < dim; ++c) {
+        if ((r & bit) && (c & bit)) continue;  // inside the active block
+        const cplx want = (r == c) ? cplx{1, 0} : cplx{0, 0};
+        if (std::abs(m(r, c) - want) > tol) {
+          is_control = false;
+          break;
+        }
+      }
+    if (is_control) controls.push_back(b);
+  }
+  return controls;
+}
+
+Matrix matrix_controlled_residual(const Matrix& m,
+                                  const std::vector<int>& control_bits) {
+  const std::size_t dim = m.rows();
+  int k = 0;
+  while ((std::size_t{1} << k) < dim) ++k;
+  std::size_t cmask = 0;
+  for (int b : control_bits) cmask |= std::size_t{1} << b;
+  std::vector<std::size_t> target_bits;
+  for (int b = 0; b < k; ++b)
+    if (!(cmask & (std::size_t{1} << b))) target_bits.push_back(b);
+  const std::size_t tdim = std::size_t{1} << target_bits.size();
+  // Residual index t maps to the full index with all controls set and t's
+  // bits scattered over the non-control positions.
+  auto expand = [&](std::size_t t) {
+    std::size_t full = cmask;
+    for (std::size_t i = 0; i < target_bits.size(); ++i)
+      if ((t >> i) & 1) full |= std::size_t{1} << target_bits[i];
+    return full;
+  };
+  Matrix residual(tdim, tdim);
+  for (std::size_t r = 0; r < tdim; ++r)
+    for (std::size_t c = 0; c < tdim; ++c)
+      residual(r, c) = m(expand(r), expand(c));
+  return residual;
 }
 
 cplx inner(const std::vector<cplx>& a, const std::vector<cplx>& b) {

@@ -4,6 +4,8 @@
 // decision-diagram package is validated against. Row-major storage.
 
 #include <cstddef>
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -59,6 +61,11 @@ class Matrix {
   /// Frobenius norm.
   double norm() const;
 
+  /// True when every off-diagonal entry has magnitude <= tol (square only).
+  bool is_diagonal(double tol = 1e-14) const;
+  /// The main diagonal as a vector (square matrices).
+  std::vector<cplx> diagonal() const;
+
   std::string to_string(int precision = 3) const;
 
  private:
@@ -69,6 +76,39 @@ class Matrix {
 
 /// Kronecker product of a list of matrices (left factor is most significant).
 Matrix kron_all(const std::vector<Matrix>& factors);
+
+// --- structure classification (gate-fusion kernel dispatch) -----------------
+// A fused gate matrix often has special structure that admits a much cheaper
+// statevector kernel than the generic gather/multiply/scatter: diagonal
+// matrices (phase/RZ/CZ runs), generalized permutations (X/CX/SWAP runs), and
+// block-controlled unitaries. These helpers detect those shapes.
+
+/// Generalized-permutation form of a square matrix: exactly one nonzero entry
+/// per column (and per row). `row_of[c]` is the row of column c's entry and
+/// `phase[c]` its value; `phase_free` is true when every entry is exactly 1
+/// (a pure index remap, no arithmetic at all).
+struct PermutationForm {
+  std::vector<std::uint32_t> row_of;
+  std::vector<cplx> phase;
+  bool phase_free = true;
+};
+
+/// Classify `m` as a generalized permutation, treating entries with magnitude
+/// <= tol as zero. Returns nullopt when any column has zero or more than one
+/// surviving entry, or when two columns share a row.
+std::optional<PermutationForm> as_permutation_form(const Matrix& m,
+                                                   double tol = 1e-14);
+
+/// Gate-local bit positions on which the 2^k x 2^k matrix `m` acts as a plain
+/// control: bit b qualifies when m equals the identity on every row/column
+/// whose bit b is 0. Returned ascending; empty when m has no control bit.
+std::vector<int> matrix_control_bits(const Matrix& m, double tol = 1e-14);
+
+/// Restriction of `m` to the subspace where all `control_bits` read 1,
+/// expressed over the remaining gate-local bits (ascending significance).
+/// Only meaningful when control_bits came from matrix_control_bits(m).
+Matrix matrix_controlled_residual(const Matrix& m,
+                                  const std::vector<int>& control_bits);
 
 /// Inner product <a|b> with conjugation on `a`.
 cplx inner(const std::vector<cplx>& a, const std::vector<cplx>& b);

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/parallel.hpp"
+#include "sim/fusion.hpp"
 
 namespace qtc::sim {
 
@@ -54,17 +55,24 @@ RunResult StatevectorSimulator::run(const QuantumCircuit& circuit, int shots) {
     return result;
   }
 
+  // Compile the fused execution plan once; both paths below (single pass or
+  // thousands of per-shot replays) reuse it, amortizing the planning cost.
+  const FusedCircuit plan = fuse_circuit(circuit);
+
   if (sampling_friendly(circuit)) {
     // Simulate the unitary prefix once, then sample the measurement layer
     // from the precomputed cumulative distribution (binary search per shot
     // instead of an O(2^n) scan).
     Statevector sv(circuit.num_qubits());
     std::vector<std::pair<int, int>> qubit_to_clbit;  // (qubit, clbit)
-    for (const auto& op : circuit.ops()) {
-      if (op.kind == OpKind::Measure)
-        qubit_to_clbit.emplace_back(op.qubits[0], op.clbits[0]);
-      else
-        sv.apply(op);
+    for (const auto& f : plan.ops) {
+      if (f.kind != FusedOp::Kind::Op) {
+        apply_fused_op(sv, f);
+      } else if (f.op.kind == OpKind::Measure) {
+        qubit_to_clbit.emplace_back(f.op.qubits[0], f.op.clbits[0]);
+      } else {
+        sv.apply(f.op);  // passthrough unitary (fusion disabled)
+      }
     }
     result.statevector = sv.amplitudes();
     const std::vector<double> cdf = sv.cumulative_probabilities();
@@ -78,7 +86,7 @@ RunResult StatevectorSimulator::run(const QuantumCircuit& circuit, int shots) {
     return result;
   }
 
-  // General path: re-execute the whole circuit for every shot. Shots are
+  // General path: re-execute the compiled plan for every shot. Shots are
   // independent given their seed-derived RNG streams, so they run in
   // parallel; outcomes are recorded in shot order afterwards, making the
   // Counts identical for a fixed seed whatever the thread count.
@@ -91,7 +99,12 @@ RunResult StatevectorSimulator::run(const QuantumCircuit& circuit, int shots) {
           Rng rng(derive_shot_seed(seed_, s));
           Statevector sv(circuit.num_qubits());
           std::vector<int> clbits(ncl, 0);
-          for (const auto& op : circuit.ops()) {
+          for (const auto& f : plan.ops) {
+            if (f.kind != FusedOp::Kind::Op) {
+              apply_fused_op(sv, f);
+              continue;
+            }
+            const Operation& op = f.op;
             if (op.conditioned()) {
               const Register& reg = circuit.cregs()[op.cond_reg];
               if (creg_value(reg, clbits) != op.cond_val) continue;
@@ -126,12 +139,17 @@ RunResult StatevectorSimulator::run(const QuantumCircuit& circuit, int shots) {
 
 Statevector StatevectorSimulator::statevector(const QuantumCircuit& circuit) {
   Statevector sv(circuit.num_qubits());
-  for (const auto& op : circuit.ops()) {
-    if (!op_is_unitary(op.kind)) continue;
-    if (op.conditioned())
+  const FusedCircuit plan = fuse_circuit(circuit);
+  for (const auto& f : plan.ops) {
+    if (f.kind != FusedOp::Kind::Op) {
+      apply_fused_op(sv, f);
+      continue;
+    }
+    if (!op_is_unitary(f.op.kind)) continue;  // measure/reset ignored
+    if (f.op.conditioned())
       throw std::invalid_argument(
           "statevector: circuit with conditionals needs run()");
-    sv.apply(op);
+    sv.apply(f.op);
   }
   return sv;
 }
@@ -147,6 +165,9 @@ Matrix UnitarySimulator::unitary(const QuantumCircuit& circuit) const {
           "unitary: circuit contains non-unitary or conditioned ops");
   }
   const std::size_t dim = std::size_t{1} << n;
+  // One fused plan shared by all 2^n columns (only unitary kernels survive
+  // the validation above, except Kind::Op passthroughs when fusion is off).
+  const FusedCircuit plan = fuse_circuit(circuit);
   // Columns of U are the images of the basis states; each column evolves
   // independently, so the column loop is the parallel axis (gate kernels run
   // serially inside it).
@@ -158,8 +179,12 @@ Matrix UnitarySimulator::unitary(const QuantumCircuit& circuit) const {
           std::vector<cplx> e(dim, cplx{0, 0});
           e[j] = 1;
           Statevector col(std::move(e));
-          for (const auto& op : circuit.ops())
-            if (op.kind != OpKind::Barrier) col.apply(op);
+          for (const auto& f : plan.ops) {
+            if (f.kind != FusedOp::Kind::Op)
+              apply_fused_op(col, f);
+            else
+              col.apply(f.op);
+          }
           for (std::size_t i = 0; i < dim; ++i) u(i, j) = col.amplitude(i);
         }
       },

@@ -27,10 +27,12 @@ class StatevectorSimulator {
   explicit StatevectorSimulator(std::uint64_t seed = 0xC0FFEE)
       : seed_(seed), rng_(seed) {}
 
-  /// Execute with sampling. Circuits whose measurements form a final layer
-  /// (no conditionals/resets) are simulated once and sampled `shots` times
-  /// from a precomputed cumulative distribution; anything else is
-  /// re-simulated shot by shot, in parallel, with a per-shot RNG stream
+  /// Execute with sampling. The circuit is first compiled into a fused
+  /// kernel plan (see sim/fusion.hpp; QTC_FUSION / QTC_FUSION_MAX_QUBITS).
+  /// Circuits whose measurements form a final layer (no conditionals/resets)
+  /// are simulated once and sampled `shots` times from a precomputed
+  /// cumulative distribution; anything else is re-simulated shot by shot, in
+  /// parallel, replaying the compiled plan with a per-shot RNG stream
   /// derived from (seed, shot index). Either way the counts for a fixed seed
   /// are identical whatever QTC_NUM_THREADS says. Circuits without any
   /// measurement yield empty counts.
@@ -47,8 +49,10 @@ class StatevectorSimulator {
 };
 
 /// Builds the unitary matrix of a (measurement-free) circuit by applying its
-/// gates to every column of the identity. Exponential in qubits; intended
-/// for verification and the paper's Fig. 3 dense-matrix baseline.
+/// gates to every column of the identity. The circuit is compiled into one
+/// fused kernel plan shared by all columns, so fusion's sweep reduction
+/// multiplies across the 2^n column evolutions. Exponential in qubits;
+/// intended for verification and the paper's Fig. 3 dense-matrix baseline.
 class UnitarySimulator {
  public:
   Matrix unitary(const QuantumCircuit& circuit) const;

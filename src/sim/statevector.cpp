@@ -50,78 +50,242 @@ void Statevector::apply(const Operation& op) {
   if (op.kind == OpKind::Barrier) return;
   if (!op_is_unitary(op.kind))
     throw std::invalid_argument("statevector: cannot apply non-unitary op");
-  const std::uint64_t half = amp_.size() >> 1;
   // Fast paths for the ubiquitous gates.
   if (op.kind == OpKind::CX) {
-    const std::uint64_t cmask = std::uint64_t{1} << op.qubits[0];
-    const std::uint64_t tmask = std::uint64_t{1} << op.qubits[1];
-    parallel::parallel_for(0, half, [&](std::uint64_t g0, std::uint64_t g1) {
-      for (std::uint64_t g = g0; g < g1; ++g) {
-        const std::uint64_t i = insert_zero_bit(g, tmask);
-        if (i & cmask) std::swap(amp_[i], amp_[i | tmask]);
-      }
-    });
+    apply_cx(op.qubits[0], op.qubits[1]);
     return;
   }
   if (op.qubits.size() == 1) {
     const Matrix m = op_matrix(op.kind, op.params);
-    const std::uint64_t mask = std::uint64_t{1} << op.qubits[0];
-    const cplx m00 = m(0, 0), m01 = m(0, 1), m10 = m(1, 0), m11 = m(1, 1);
-    parallel::parallel_for(0, half, [&](std::uint64_t g0, std::uint64_t g1) {
-      for (std::uint64_t g = g0; g < g1; ++g) {
-        const std::uint64_t i = insert_zero_bit(g, mask);
-        const cplx a0 = amp_[i], a1 = amp_[i | mask];
-        amp_[i] = m00 * a0 + m01 * a1;
-        amp_[i | mask] = m10 * a0 + m11 * a1;
-      }
-    });
+    apply_1q(m(0, 0), m(0, 1), m(1, 0), m(1, 1), op.qubits[0]);
     return;
   }
   apply_matrix(op_matrix(op.kind, op.params), op.qubits);
 }
+
+void Statevector::apply_1q(cplx m00, cplx m01, cplx m10, cplx m11, int q) {
+  if (q < 0 || q >= n_) throw std::out_of_range("apply_1q: qubit out of range");
+  const std::uint64_t half = amp_.size() >> 1;
+  const std::uint64_t mask = std::uint64_t{1} << q;
+  parallel::parallel_for(0, half, [&](std::uint64_t g0, std::uint64_t g1) {
+    for (std::uint64_t g = g0; g < g1; ++g) {
+      const std::uint64_t i = insert_zero_bit(g, mask);
+      const cplx a0 = amp_[i], a1 = amp_[i | mask];
+      amp_[i] = m00 * a0 + m01 * a1;
+      amp_[i | mask] = m10 * a0 + m11 * a1;
+    }
+  });
+}
+
+void Statevector::apply_cx(int control, int target) {
+  if (control < 0 || control >= n_ || target < 0 || target >= n_)
+    throw std::out_of_range("apply_cx: qubit out of range");
+  const std::uint64_t half = amp_.size() >> 1;
+  const std::uint64_t cmask = std::uint64_t{1} << control;
+  const std::uint64_t tmask = std::uint64_t{1} << target;
+  parallel::parallel_for(0, half, [&](std::uint64_t g0, std::uint64_t g1) {
+    for (std::uint64_t g = g0; g < g1; ++g) {
+      const std::uint64_t i = insert_zero_bit(g, tmask);
+      if (i & cmask) std::swap(amp_[i], amp_[i | tmask]);
+    }
+  });
+}
+
+void Statevector::prepare_gather(const int* qs, int k, std::size_t dim) {
+  for (int t = 0; t < k; ++t)
+    if (qs[t] < 0 || qs[t] >= n_)
+      throw std::out_of_range("statevector kernel: qubit out of range");
+  sorted_qubits_.assign(qs, qs + k);
+  std::sort(sorted_qubits_.begin(), sorted_qubits_.end());
+  gather_offsets_.assign(dim, 0);
+  for (std::size_t j = 0; j < dim; ++j)
+    for (int t = 0; t < k; ++t)
+      if ((j >> t) & 1) gather_offsets_[j] |= std::uint64_t{1} << qs[t];
+}
+
+namespace {
+
+/// Largest gate dimension whose gather/scatter scratch lives on the stack:
+/// up to 6 gate qubits (fusion's hard cap) run with zero heap traffic in the
+/// kernel body; larger gates fall back to per-chunk vectors.
+constexpr std::size_t kStackDim = 64;
+
+}  // namespace
 
 void Statevector::apply_matrix(const Matrix& m, const std::vector<int>& qs) {
   const int k = static_cast<int>(qs.size());
   const std::size_t dim = std::size_t{1} << k;
   if (m.rows() != dim || m.cols() != dim)
     throw std::invalid_argument("apply_matrix: matrix/qubit-count mismatch");
-  for (int q : qs)
-    if (q < 0 || q >= n_)
-      throw std::out_of_range("apply_matrix: qubit out of range");
-
   // Iterate over all base indices with zeros in the gate-qubit positions and
   // apply the small matrix to the 2^k amplitudes addressed by those qubits.
-  std::vector<int> sorted = qs;
-  std::sort(sorted.begin(), sorted.end());
-  std::vector<std::uint64_t> offsets(dim, 0);
-  for (std::size_t j = 0; j < dim; ++j)
-    for (int t = 0; t < k; ++t)
-      if ((j >> t) & 1) offsets[j] |= std::uint64_t{1} << qs[t];
+  prepare_gather(qs.data(), k, dim);
 
   const std::uint64_t groups = amp_.size() >> k;
   // Each group costs ~4^k scalar ops, so scale the serial cutoff down
   // accordingly before forking.
   const std::uint64_t cutoff =
       std::max<std::uint64_t>(2, parallel::kSerialCutoff >> (2 * k));
+  // The kernel body over one group: expand g by inserting a 0 bit at each
+  // (sorted) gate qubit position, gather, multiply, scatter.
+  auto run_group = [&](std::uint64_t g, cplx* in, cplx* out) {
+    std::uint64_t base = g;
+    for (int t = 0; t < k; ++t)
+      base = insert_zero_bit(base, std::uint64_t{1} << sorted_qubits_[t]);
+    for (std::size_t j = 0; j < dim; ++j)
+      in[j] = amp_[base | gather_offsets_[j]];
+    for (std::size_t r = 0; r < dim; ++r) {
+      cplx acc{0, 0};
+      for (std::size_t c = 0; c < dim; ++c) acc += m(r, c) * in[c];
+      out[r] = acc;
+    }
+    for (std::size_t j = 0; j < dim; ++j)
+      amp_[base | gather_offsets_[j]] = out[j];
+  };
+  if (dim <= kStackDim) {
+    parallel::parallel_for(
+        0, groups,
+        [&](std::uint64_t g_lo, std::uint64_t g_hi) {
+          cplx in[kStackDim], out[kStackDim];  // no heap in the hot loop
+          for (std::uint64_t g = g_lo; g < g_hi; ++g) run_group(g, in, out);
+        },
+        cutoff);
+  } else {
+    parallel::parallel_for(
+        0, groups,
+        [&](std::uint64_t g_lo, std::uint64_t g_hi) {
+          std::vector<cplx> in(dim), out(dim);  // rare large-k fallback
+          for (std::uint64_t g = g_lo; g < g_hi; ++g)
+            run_group(g, in.data(), out.data());
+        },
+        cutoff);
+  }
+}
+
+void Statevector::apply_diagonal(const std::vector<cplx>& diag,
+                                 const std::vector<int>& qs) {
+  const int k = static_cast<int>(qs.size());
+  const std::size_t dim = std::size_t{1} << k;
+  if (diag.size() != dim)
+    throw std::invalid_argument("apply_diagonal: diag/qubit-count mismatch");
+  for (int q : qs)
+    if (q < 0 || q >= n_)
+      throw std::out_of_range("apply_diagonal: qubit out of range");
+  // One linear pass, one multiply per amplitude, no pair gather. Basis
+  // indices that differ only below the lowest gate qubit share the same
+  // gate-local index, so the diag lookup hoists over contiguous segments of
+  // that length and the inner loop is a vectorizable scale of a contiguous
+  // stretch. Chunking at segment granularity keeps the pass elementwise, so
+  // results stay bitwise invariant under the thread count.
+  const int* qp = qs.data();
+  const int qmin = *std::min_element(qs.begin(), qs.end());
+  const std::uint64_t seg = std::uint64_t{1} << qmin;
+  const std::uint64_t cutoff =
+      std::max<std::uint64_t>(1, parallel::kSerialCutoff >> qmin);
+  parallel::parallel_for(
+      0, amp_.size() >> qmin,
+      [&](std::uint64_t s_lo, std::uint64_t s_hi) {
+        for (std::uint64_t s = s_lo; s < s_hi; ++s) {
+          const std::uint64_t i0 = s << qmin;
+          std::size_t j = 0;
+          for (int t = 0; t < k; ++t) j |= ((i0 >> qp[t]) & 1) << t;
+          const cplx d = diag[j];
+          for (std::uint64_t i = i0; i < i0 + seg; ++i) amp_[i] *= d;
+        }
+      },
+      cutoff);
+}
+
+void Statevector::apply_permutation(const std::vector<std::uint32_t>& row_of,
+                                    const std::vector<cplx>& phases,
+                                    const std::vector<int>& qs) {
+  const int k = static_cast<int>(qs.size());
+  const std::size_t dim = std::size_t{1} << k;
+  if (row_of.size() != dim || (!phases.empty() && phases.size() != dim))
+    throw std::invalid_argument("apply_permutation: size mismatch");
+  if (dim > kStackDim)
+    throw std::invalid_argument("apply_permutation: more than 6 gate qubits");
+  prepare_gather(qs.data(), k, dim);
+  const std::uint64_t groups = amp_.size() >> k;
+  const std::uint64_t cutoff =
+      std::max<std::uint64_t>(2, parallel::kSerialCutoff >> k);
   parallel::parallel_for(
       0, groups,
       [&](std::uint64_t g_lo, std::uint64_t g_hi) {
-        std::vector<cplx> in(dim), out(dim);  // per-chunk scratch
+        cplx in[kStackDim];
         for (std::uint64_t g = g_lo; g < g_hi; ++g) {
-          // Expand g by inserting a 0 bit at each (sorted) gate qubit
-          // position.
           std::uint64_t base = g;
           for (int t = 0; t < k; ++t)
-            base = insert_zero_bit(base, std::uint64_t{1} << sorted[t]);
+            base = insert_zero_bit(base, std::uint64_t{1} << sorted_qubits_[t]);
           for (std::size_t j = 0; j < dim; ++j)
-            in[j] = amp_[base | offsets[j]];
-          for (std::size_t r = 0; r < dim; ++r) {
+            in[j] = amp_[base | gather_offsets_[j]];
+          if (phases.empty()) {  // pure index remap, no arithmetic
+            for (std::size_t j = 0; j < dim; ++j)
+              amp_[base | gather_offsets_[row_of[j]]] = in[j];
+          } else {
+            for (std::size_t j = 0; j < dim; ++j)
+              amp_[base | gather_offsets_[row_of[j]]] = phases[j] * in[j];
+          }
+        }
+      },
+      cutoff);
+}
+
+void Statevector::apply_controlled_matrix(const Matrix& u,
+                                          const std::vector<int>& controls,
+                                          const std::vector<int>& targets) {
+  std::vector<int> packed = controls;
+  packed.insert(packed.end(), targets.begin(), targets.end());
+  apply_controlled_matrix(u, packed, static_cast<int>(controls.size()));
+}
+
+void Statevector::apply_controlled_matrix(const Matrix& u,
+                                          const std::vector<int>& qs,
+                                          int num_controls) {
+  const int k = static_cast<int>(qs.size());
+  const int nt = k - num_controls;
+  if (num_controls < 0 || nt < 0)
+    throw std::invalid_argument("apply_controlled_matrix: bad control count");
+  const std::size_t tdim = std::size_t{1} << nt;
+  if (u.rows() != tdim || u.cols() != tdim)
+    throw std::invalid_argument(
+        "apply_controlled_matrix: matrix/target-count mismatch");
+  if (tdim > kStackDim)
+    throw std::invalid_argument(
+        "apply_controlled_matrix: more than 6 target qubits");
+  for (int q : qs)
+    if (q < 0 || q >= n_)
+      throw std::out_of_range("apply_controlled_matrix: qubit out of range");
+  // Gather offsets over the *targets*; the group expansion skips all gate
+  // qubits (controls included) and then pins every control bit to 1, so only
+  // the control-active 2^(n - #controls) slice of the state is touched.
+  expand_qubits_.assign(qs.begin(), qs.end());
+  std::sort(expand_qubits_.begin(), expand_qubits_.end());
+  std::uint64_t cmask = 0;
+  for (int t = 0; t < num_controls; ++t) cmask |= std::uint64_t{1} << qs[t];
+  prepare_gather(qs.data() + num_controls, nt, tdim);
+  const int* all = expand_qubits_.data();
+  const std::uint64_t groups = amp_.size() >> k;
+  const std::uint64_t cutoff =
+      std::max<std::uint64_t>(2, parallel::kSerialCutoff >> (2 * nt));
+  parallel::parallel_for(
+      0, groups,
+      [&](std::uint64_t g_lo, std::uint64_t g_hi) {
+        cplx in[kStackDim], out[kStackDim];
+        for (std::uint64_t g = g_lo; g < g_hi; ++g) {
+          std::uint64_t base = g;
+          for (int t = 0; t < k; ++t)
+            base = insert_zero_bit(base, std::uint64_t{1} << all[t]);
+          base |= cmask;
+          for (std::size_t j = 0; j < tdim; ++j)
+            in[j] = amp_[base | gather_offsets_[j]];
+          for (std::size_t r = 0; r < tdim; ++r) {
             cplx acc{0, 0};
-            for (std::size_t c = 0; c < dim; ++c) acc += m(r, c) * in[c];
+            for (std::size_t c = 0; c < tdim; ++c) acc += u(r, c) * in[c];
             out[r] = acc;
           }
-          for (std::size_t j = 0; j < dim; ++j)
-            amp_[base | offsets[j]] = out[j];
+          for (std::size_t j = 0; j < tdim; ++j)
+            amp_[base | gather_offsets_[j]] = out[j];
         }
       },
       cutoff);

@@ -2,8 +2,13 @@
 // Array-based quantum state: the 2^n complex amplitude vector and the gate
 // kernels that update it. This is the simulation technique the paper's
 // Sec. V-A describes as Qiskit's baseline (and whose exponential memory the
-// decision-diagram package addresses).
+// decision-diagram package addresses). Besides the generic k-qubit
+// gather/multiply/scatter kernel it offers specialized kernels for the
+// matrix shapes gate fusion produces: diagonal (one multiply per amplitude,
+// no gather), generalized permutation (index remap) and block-controlled
+// unitaries (only the control-active slice of the state is touched).
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -39,6 +44,33 @@ class Statevector {
   /// Run all unitary gates of a circuit (skips barriers; throws on measure).
   void apply_circuit(const QuantumCircuit& circuit);
 
+  // --- specialized kernels (gate-fusion dispatch targets) -------------------
+  /// 2x2 matrix [[m00, m01], [m10, m11]] applied to qubit q — the same
+  /// pair-loop the 1-qubit fast path of apply() uses.
+  void apply_1q(cplx m00, cplx m01, cplx m10, cplx m11, int q);
+  /// CX fast path: swap amplitude pairs on the control-set half.
+  void apply_cx(int control, int target);
+  /// Diagonal 2^k matrix over `qubits`: one multiply per amplitude in a
+  /// single pass, no pair gather (RZ/phase/CZ runs fuse to this shape).
+  void apply_diagonal(const std::vector<cplx>& diag,
+                      const std::vector<int>& qubits);
+  /// Generalized permutation over `qubits`: amplitude at gate-local index j
+  /// moves to row_of[j], scaled by phases[j]. Pass an empty `phases` for a
+  /// pure remap with no arithmetic (X/CX/SWAP runs). k <= 6.
+  void apply_permutation(const std::vector<std::uint32_t>& row_of,
+                         const std::vector<cplx>& phases,
+                         const std::vector<int>& qubits);
+  /// Apply `u` to `targets` on the subspace where every qubit in `controls`
+  /// reads 1; the other amplitudes are untouched (so an m-control gate only
+  /// sweeps 2^(n-m) amplitudes). u is 2^t x 2^t with t = targets.size() <= 6.
+  void apply_controlled_matrix(const Matrix& u,
+                               const std::vector<int>& controls,
+                               const std::vector<int>& targets);
+  /// Same kernel with the controls packed first in one list (the fused-plan
+  /// layout): qubits[0..num_controls) control, the rest are targets.
+  void apply_controlled_matrix(const Matrix& u, const std::vector<int>& qubits,
+                               int num_controls);
+
   /// Probability that qubit q reads 1.
   double probability_of_one(int q) const;
   /// Per-basis-state probabilities (length 2^n).
@@ -65,8 +97,19 @@ class Statevector {
   void normalize();
 
  private:
+  /// Validate gate qubits and (re)build the sorted-qubit / gather-offset
+  /// scratch for a k-qubit kernel. The buffers are members so the per-gate
+  /// hot loop allocates at most once per circuit execution (capacity is
+  /// reused across calls); they are filled on the calling thread before any
+  /// parallel region reads them.
+  void prepare_gather(const int* qubits, int k, std::size_t dim);
+
   int n_ = 0;
   std::vector<cplx> amp_;
+  // Kernel scratch reused across gate applications (see prepare_gather).
+  std::vector<int> sorted_qubits_;
+  std::vector<int> expand_qubits_;  // controls ∪ targets, sorted
+  std::vector<std::uint64_t> gather_offsets_;
 };
 
 /// Render a basis index as a bitstring, qubit width-1 first (Qiskit order).

@@ -4,7 +4,10 @@
 // and counts; each circuit additionally goes through the transpiler and must
 // stay equivalent on the physical qubits. Any disagreement localizes a bug
 // to one engine (or to a transpiler pass) without needing a known-good
-// reference.
+// reference. Every cross-check runs twice — gate fusion off and on — so the
+// fused execution pipeline faces the same differential vote as the raw
+// kernels, and a dedicated test pins fixed-seed counts to be identical in
+// both modes.
 
 #include <gtest/gtest.h>
 
@@ -14,6 +17,7 @@
 #include "arch/backend.hpp"
 #include "dd/simulator.hpp"
 #include "map/mapping.hpp"
+#include "sim/fusion.hpp"
 #include "sim/stabilizer.hpp"
 #include "sim/simulator.hpp"
 #include "transpiler/direction.hpp"
@@ -21,6 +25,19 @@
 
 namespace qtc {
 namespace {
+
+/// Runs a test body with fusion forced off, then forced on, restoring the
+/// env/default configuration afterwards. SCOPED_TRACE labels failures with
+/// the active mode.
+template <typename Body>
+void with_fusion_off_and_on(const Body& body) {
+  for (int fusion = 0; fusion <= 1; ++fusion) {
+    SCOPED_TRACE(fusion ? "fusion on" : "fusion off");
+    sim::set_fusion_enabled(fusion);
+    body();
+  }
+  sim::set_fusion_enabled(-1);
+}
 
 /// Universal gate mix (CX/rz-heavy, matching transpiler targets) over
 /// 2..10 qubits with a trailing measure-all layer.
@@ -107,84 +124,92 @@ constexpr std::uint64_t kNumCircuits = 50;
 // --- array vs decision-diagram: exact state agreement ------------------------
 
 TEST(Differential, ArrayAndDDStatesAgreeOnRandomCircuits) {
-  for (std::uint64_t seed = 1; seed <= kNumCircuits; ++seed) {
-    const QuantumCircuit qc = random_measured_circuit(seed).unitary_part();
-    sim::StatevectorSimulator array;
-    const auto sv = array.statevector(qc).amplitudes();
-    dd::DDSimulator dds;
-    const auto dd_amps = dds.statevector(qc);
-    EXPECT_TRUE(states_equal_up_to_phase(sv, dd_amps, 1e-7))
-        << "engines disagree on seed " << seed;
-  }
+  with_fusion_off_and_on([&] {
+    for (std::uint64_t seed = 1; seed <= kNumCircuits; ++seed) {
+      const QuantumCircuit qc = random_measured_circuit(seed).unitary_part();
+      sim::StatevectorSimulator array;
+      const auto sv = array.statevector(qc).amplitudes();
+      dd::DDSimulator dds;
+      const auto dd_amps = dds.statevector(qc);
+      EXPECT_TRUE(states_equal_up_to_phase(sv, dd_amps, 1e-7))
+          << "engines disagree on seed " << seed;
+    }
+  });
 }
 
 // --- counts-level agreement on the small circuits ----------------------------
 
 TEST(Differential, ArrayAndDDCountsAgreeOnSmallCircuits) {
-  for (std::uint64_t seed = 1; seed <= kNumCircuits; ++seed) {
-    const QuantumCircuit qc = random_measured_circuit(seed);
-    if (qc.num_qubits() > 4) continue;  // keep per-bin statistics meaningful
-    const int shots = 4000;
-    sim::StatevectorSimulator array(seed);
-    dd::DDSimulator dds(seed + 1);
-    const auto ca = array.run(qc, shots).counts;
-    const auto cd = dds.run(qc, shots).counts;
-    ASSERT_EQ(ca.shots, shots);
-    ASSERT_EQ(cd.shots, shots);
-    for (std::uint64_t i = 0; i < (std::uint64_t{1} << qc.num_qubits());
-         ++i) {
-      const std::string bits = sim::format_bits(i, qc.num_qubits());
-      EXPECT_NEAR(ca.probability(bits), cd.probability(bits), 0.05)
-          << "seed " << seed << " bits " << bits;
+  with_fusion_off_and_on([&] {
+    for (std::uint64_t seed = 1; seed <= kNumCircuits; ++seed) {
+      const QuantumCircuit qc = random_measured_circuit(seed);
+      if (qc.num_qubits() > 4) continue;  // keep per-bin statistics meaningful
+      const int shots = 4000;
+      sim::StatevectorSimulator array(seed);
+      dd::DDSimulator dds(seed + 1);
+      const auto ca = array.run(qc, shots).counts;
+      const auto cd = dds.run(qc, shots).counts;
+      ASSERT_EQ(ca.shots, shots);
+      ASSERT_EQ(cd.shots, shots);
+      for (std::uint64_t i = 0; i < (std::uint64_t{1} << qc.num_qubits());
+           ++i) {
+        const std::string bits = sim::format_bits(i, qc.num_qubits());
+        EXPECT_NEAR(ca.probability(bits), cd.probability(bits), 0.05)
+            << "seed " << seed << " bits " << bits;
+      }
     }
-  }
+  });
 }
 
 // --- three-engine vote on Clifford circuits ----------------------------------
 
 TEST(Differential, ThreeEnginesAgreeOnCliffordCircuits) {
-  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
-    const QuantumCircuit qc = random_clifford_circuit(seed);
-    ASSERT_TRUE(sim::is_clifford_circuit(qc)) << "generator broke, seed "
-                                              << seed;
-    const int shots = 4000;
-    sim::StatevectorSimulator array(seed);
-    sim::StabilizerSimulator tableau(seed + 1);
-    dd::DDSimulator dds(seed + 2);
-    const auto ca = array.run(qc, shots).counts;
-    const auto ct = tableau.run(qc, shots);
-    const auto cd = dds.run(qc, shots).counts;
-    for (std::uint64_t i = 0; i < (std::uint64_t{1} << qc.num_qubits());
-         ++i) {
-      const std::string bits = sim::format_bits(i, qc.num_qubits());
-      EXPECT_NEAR(ca.probability(bits), ct.probability(bits), 0.05)
-          << "stabilizer vs array, seed " << seed << " bits " << bits;
-      EXPECT_NEAR(ca.probability(bits), cd.probability(bits), 0.05)
-          << "dd vs array, seed " << seed << " bits " << bits;
+  with_fusion_off_and_on([&] {
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      const QuantumCircuit qc = random_clifford_circuit(seed);
+      ASSERT_TRUE(sim::is_clifford_circuit(qc)) << "generator broke, seed "
+                                                << seed;
+      const int shots = 4000;
+      sim::StatevectorSimulator array(seed);
+      sim::StabilizerSimulator tableau(seed + 1);
+      dd::DDSimulator dds(seed + 2);
+      const auto ca = array.run(qc, shots).counts;
+      const auto ct = tableau.run(qc, shots);
+      const auto cd = dds.run(qc, shots).counts;
+      for (std::uint64_t i = 0; i < (std::uint64_t{1} << qc.num_qubits());
+           ++i) {
+        const std::string bits = sim::format_bits(i, qc.num_qubits());
+        EXPECT_NEAR(ca.probability(bits), ct.probability(bits), 0.05)
+            << "stabilizer vs array, seed " << seed << " bits " << bits;
+        EXPECT_NEAR(ca.probability(bits), cd.probability(bits), 0.05)
+            << "dd vs array, seed " << seed << " bits " << bits;
+      }
     }
-  }
+  });
 }
 
 // --- transpilation preserves every circuit -----------------------------------
 
 TEST(Differential, TranspiledCircuitsStayEquivalent) {
-  for (std::uint64_t seed = 1; seed <= kNumCircuits; ++seed) {
-    const QuantumCircuit logical = random_measured_circuit(seed);
-    const bool small = logical.num_qubits() <= 5;
-    const arch::Backend backend =
-        small ? arch::qx4_backend() : arch::qx5_backend();
-    const auto result = transpiler::transpile(logical, backend);
-    ASSERT_TRUE(transpiler::satisfies_coupling(result.circuit,
-                                               backend.coupling_map()))
-        << "seed " << seed;
-    sim::StatevectorSimulator sim;
-    const auto mapped = sim.statevector(result.circuit).amplitudes();
-    const auto expected =
-        map::embed_state(sim.statevector(logical).amplitudes(),
-                         result.final_layout, backend.num_qubits());
-    EXPECT_TRUE(states_equal_up_to_phase(mapped, expected, 1e-7))
-        << "transpilation broke equivalence on seed " << seed;
-  }
+  with_fusion_off_and_on([&] {
+    for (std::uint64_t seed = 1; seed <= kNumCircuits; ++seed) {
+      const QuantumCircuit logical = random_measured_circuit(seed);
+      const bool small = logical.num_qubits() <= 5;
+      const arch::Backend backend =
+          small ? arch::qx4_backend() : arch::qx5_backend();
+      const auto result = transpiler::transpile(logical, backend);
+      ASSERT_TRUE(transpiler::satisfies_coupling(result.circuit,
+                                                 backend.coupling_map()))
+          << "seed " << seed;
+      sim::StatevectorSimulator sim;
+      const auto mapped = sim.statevector(result.circuit).amplitudes();
+      const auto expected =
+          map::embed_state(sim.statevector(logical).amplitudes(),
+                           result.final_layout, backend.num_qubits());
+      EXPECT_TRUE(states_equal_up_to_phase(mapped, expected, 1e-7))
+          << "transpilation broke equivalence on seed " << seed;
+    }
+  });
 }
 
 // --- transpiled circuits re-enter the differential vote ----------------------
@@ -195,22 +220,62 @@ TEST(Differential, TranspiledCliffordCountsSurviveAcrossEngines) {
   // once counts are read through the clbit wiring. Routing can interleave
   // SWAPs between the measurements, which forces the per-shot path — stick
   // to the 5-qubit QX4 so that path stays cheap.
-  for (std::uint64_t seed : {1u, 2u, 3u, 5u, 6u}) {
-    const QuantumCircuit logical = random_clifford_circuit(seed);
-    ASSERT_LE(logical.num_qubits(), 5);
-    const auto result = transpiler::transpile(logical, arch::qx4_backend());
-    const int shots = 4000;
-    sim::StatevectorSimulator array(seed);
-    const auto before = array.run(logical, shots).counts;
-    sim::StatevectorSimulator array2(seed + 17);
-    const auto after = array2.run(result.circuit, shots).counts;
-    for (std::uint64_t i = 0; i < (std::uint64_t{1} << logical.num_qubits());
-         ++i) {
-      const std::string bits = sim::format_bits(i, logical.num_qubits());
-      EXPECT_NEAR(before.probability(bits), after.probability(bits), 0.05)
-          << "seed " << seed << " bits " << bits;
+  with_fusion_off_and_on([&] {
+    for (std::uint64_t seed : {1u, 2u, 3u, 5u, 6u}) {
+      const QuantumCircuit logical = random_clifford_circuit(seed);
+      ASSERT_LE(logical.num_qubits(), 5);
+      const auto result = transpiler::transpile(logical, arch::qx4_backend());
+      const int shots = 4000;
+      sim::StatevectorSimulator array(seed);
+      const auto before = array.run(logical, shots).counts;
+      sim::StatevectorSimulator array2(seed + 17);
+      const auto after = array2.run(result.circuit, shots).counts;
+      for (std::uint64_t i = 0;
+           i < (std::uint64_t{1} << logical.num_qubits()); ++i) {
+        const std::string bits = sim::format_bits(i, logical.num_qubits());
+        EXPECT_NEAR(before.probability(bits), after.probability(bits), 0.05)
+            << "seed " << seed << " bits " << bits;
+      }
     }
+  });
+}
+
+// --- fusion on/off: fixed-seed counts must be bitwise identical --------------
+
+TEST(Differential, FusionOnOffCountsIdenticalForFixedSeed) {
+  // The fused plan reorders no operations and every kernel preserves the
+  // engine's determinism contract, so a fixed-seed run must produce the
+  // exact same histogram with fusion on and off — on the sampling-friendly
+  // path (final measurement layer) for every seeded random circuit, and on
+  // the per-shot path once a mid-circuit conditional forces re-execution.
+  for (std::uint64_t seed = 1; seed <= kNumCircuits; ++seed) {
+    const QuantumCircuit qc = random_measured_circuit(seed);
+    sim::set_fusion_enabled(0);
+    sim::StatevectorSimulator off(seed);
+    const auto counts_off = off.run(qc, 1024).counts;
+    sim::set_fusion_enabled(1);
+    sim::StatevectorSimulator on(seed);
+    const auto counts_on = on.run(qc, 1024).counts;
+    EXPECT_EQ(counts_off.histogram, counts_on.histogram)
+        << "fusion changed fixed-seed counts on seed " << seed;
   }
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    QuantumCircuit qc = random_measured_circuit(seed);
+    // Turn the final measurement layer into a mid-circuit one: condition an
+    // extra layer on the first clbit, then re-measure everything.
+    qc.x(0).c_if(0, 1);
+    qc.h(1);
+    qc.measure_all();
+    sim::set_fusion_enabled(0);
+    sim::StatevectorSimulator off(seed);
+    const auto counts_off = off.run(qc, 512).counts;
+    sim::set_fusion_enabled(1);
+    sim::StatevectorSimulator on(seed);
+    const auto counts_on = on.run(qc, 512).counts;
+    EXPECT_EQ(counts_off.histogram, counts_on.histogram)
+        << "fusion changed per-shot fixed-seed counts on seed " << seed;
+  }
+  sim::set_fusion_enabled(-1);
 }
 
 }  // namespace
