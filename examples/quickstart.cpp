@@ -77,6 +77,16 @@ cx q[0],q[1];
   std::printf(
       "Note how the noisy histogram spreads probability onto outcomes the\n"
       "ideal simulation never produces - the Aer design-space-exploration\n"
-      "story of the paper's Sec. III.\n");
+      "story of the paper's Sec. III.\n\n");
+
+  // --- Step 5: or let the backend drive the whole pipeline -----------------
+  // Backend::run bundles steps 3-4: transpile, attach the calibration noise
+  // model, sample trajectories (fixed-seed, thread-count invariant).
+  arch::Backend::RunOptions run_options;
+  run_options.shots = 4096;
+  run_options.seed = 1234;
+  const auto one_call = backend.run(measured, run_options);
+  std::printf("backend.run(measured) one-call pipeline, 4096 shots:\n%s\n",
+              one_call.to_string().c_str());
   return 0;
 }

@@ -4,11 +4,14 @@
 // data from which a noise model can be derived. Stands in for the cloud
 // device handle returned by IBMQ.get_backend(...) in the paper's Sec. IV.
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "arch/coupling_map.hpp"
+#include "core/circuit.hpp"
 #include "core/gates.hpp"
+#include "sim/result.hpp"
 
 namespace qtc::arch {
 
@@ -47,6 +50,28 @@ class Backend {
   }
 
   double cx_error(int control, int target) const;
+
+  /// Options for run(): the execute(qc, backend, shots) call of the paper's
+  /// Sec. IV, with the cloud device replaced by the noisy backend model.
+  struct RunOptions {
+    int shots = 1024;
+    std::uint64_t seed = 0xC0FFEE;
+    /// Compile (decompose, place & route, legalize CX directions) before
+    /// executing. Turn off only for circuits already in physical form.
+    bool transpile = true;
+  };
+
+  /// Noisy "hardware" execution: compile -> map -> execute -> counts. The
+  /// circuit is transpiled for this backend, a calibration-derived noise
+  /// model is attached, and the parallel Monte-Carlo trajectory engine
+  /// samples the shots (fixed-seed counts are thread-count invariant).
+  /// Defined in src/exec/execute.cpp — callers link qtc_exec; see
+  /// exec::execute for the full-result variant (compiled circuit + layout).
+  sim::Counts run(const QuantumCircuit& circuit,
+                  const RunOptions& options) const;
+  sim::Counts run(const QuantumCircuit& circuit) const {
+    return run(circuit, RunOptions{});
+  }
 
  private:
   CouplingMap coupling_;

@@ -19,6 +19,8 @@ struct Register {
   std::string name;
   int size = 0;
   int offset = 0;  // index of the register's bit 0 in the flattened space
+
+  bool operator==(const Register&) const = default;
 };
 
 /// One instruction in a circuit. For controlled kinds the control qubit(s)
@@ -34,6 +36,10 @@ struct Operation {
   std::uint64_t cond_val = 0;
 
   bool conditioned() const { return cond_reg >= 0; }
+
+  /// Structural equality (params compare as exact doubles) — the contract
+  /// behind qasm round-tripping: parse(emit(c)) == c.
+  bool operator==(const Operation&) const = default;
 };
 
 class QuantumCircuit {
@@ -174,6 +180,10 @@ class QuantumCircuit {
 
   /// ASCII circuit diagram (see drawer.hpp).
   std::string to_string() const;
+
+  /// Structural equality: same registers (names, sizes, offsets) and the
+  /// same operation sequence, compared exactly.
+  bool operator==(const QuantumCircuit&) const = default;
 
  private:
   void check_op(const Operation& op) const;

@@ -1,9 +1,12 @@
 #pragma once
 // Shared-memory parallel execution engine: a lazily started thread pool with
 // a fork-join parallel_for and a deterministic blocked reduction. This is the
-// substrate the array simulator's gate kernels and the shot-level executor
-// run on, mirroring Aer's OpenMP layering (statevector update parallelism
-// below, shot parallelism above) without an OpenMP dependency.
+// substrate the array simulator's gate kernels, the shot-level executor, the
+// Monte-Carlo trajectory sampler and the density-matrix superoperator blocks
+// all run on, mirroring Aer's OpenMP layering (statevector update
+// parallelism below, shot/trajectory parallelism above) without an OpenMP
+// dependency. Nested regions run inline, so whichever layer forks first owns
+// the pool and the layers below fall back to serial execution.
 //
 // Determinism contract: every primitive here produces bitwise-identical
 // results regardless of the configured thread count.

@@ -47,4 +47,18 @@ class Rng {
   std::normal_distribution<double> normal_{0.0, 1.0};
 };
 
+/// SplitMix64 mix of (seed, stream index): decorrelated per-stream seeds that
+/// depend only on the base seed and the index, never on how the streams are
+/// scheduled across threads. This is the substrate of every parallel
+/// stochastic loop (per-shot sampling, per-trajectory noise): stream i of a
+/// run is `Rng(derive_stream_seed(seed, i))` whatever the thread count or
+/// execution order, so fixed-seed results are bitwise reproducible.
+inline std::uint64_t derive_stream_seed(std::uint64_t seed,
+                                        std::uint64_t index) {
+  std::uint64_t z = seed + (index + 1) * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace qtc

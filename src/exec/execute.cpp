@@ -1,0 +1,55 @@
+#include "exec/execute.hpp"
+
+#include <stdexcept>
+
+#include "noise/trajectory.hpp"
+#include "transpiler/direction.hpp"
+
+namespace qtc::exec {
+
+ExecuteResult execute(const QuantumCircuit& circuit,
+                      const arch::Backend& backend,
+                      const ExecuteOptions& options) {
+  if (circuit.num_qubits() > backend.num_qubits())
+    throw std::invalid_argument("execute: circuit does not fit the backend");
+  ExecuteResult result;
+  if (options.transpile) {
+    transpiler::TranspileResult compiled =
+        transpiler::transpile(circuit, backend, options.transpile_options);
+    result.compiled = std::move(compiled.circuit);
+    result.initial_layout = std::move(compiled.initial_layout);
+    result.final_layout = std::move(compiled.final_layout);
+    result.swaps_inserted = compiled.swaps_inserted;
+  } else {
+    if (!transpiler::satisfies_coupling(circuit, backend.coupling_map()))
+      throw std::invalid_argument(
+          "execute: untranspiled circuit violates the coupling map");
+    result.compiled = circuit;
+    result.initial_layout =
+        map::Layout::trivial(circuit.num_qubits(), backend.num_qubits());
+    result.final_layout = result.initial_layout;
+  }
+  const noise::NoiseModel model = options.noise_model
+                                      ? *options.noise_model
+                                      : noise::from_backend(backend);
+  noise::TrajectorySimulator device(options.seed);
+  result.counts = device.run(result.compiled, model, options.shots);
+  return result;
+}
+
+}  // namespace qtc::exec
+
+namespace qtc::arch {
+
+// Out-of-line so qtc_arch stays below the noise/transpiler layers in the
+// dependency order; linking qtc_exec provides this symbol.
+sim::Counts Backend::run(const QuantumCircuit& circuit,
+                         const RunOptions& options) const {
+  exec::ExecuteOptions opts;
+  opts.shots = options.shots;
+  opts.seed = options.seed;
+  opts.transpile = options.transpile;
+  return exec::execute(circuit, *this, opts).counts;
+}
+
+}  // namespace qtc::arch

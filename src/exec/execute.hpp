@@ -1,0 +1,51 @@
+#pragma once
+// End-to-end noisy execution: the `execute(circ, backend, shots)` call of
+// the paper's Sec. IV. Ties the toolchain layers together — transpile to
+// the backend's coupling map and basis, derive a noise model from its
+// calibration data, and sample shots with the parallel Monte-Carlo
+// trajectory engine — so "running on hardware" is one call. This module
+// sits above arch/transpiler/noise in the dependency order; it also
+// provides the out-of-line definition of arch::Backend::run.
+
+#include <cstdint>
+
+#include "arch/backend.hpp"
+#include "core/circuit.hpp"
+#include "map/mapping.hpp"
+#include "noise/noise_model.hpp"
+#include "sim/result.hpp"
+#include "transpiler/transpile.hpp"
+
+namespace qtc::exec {
+
+struct ExecuteOptions {
+  int shots = 1024;
+  std::uint64_t seed = 0xC0FFEE;
+  /// Compile for the backend first (decompose to {U, CX}, place & route,
+  /// legalize CX directions). When false the circuit must already satisfy
+  /// the backend's coupling map.
+  bool transpile = true;
+  /// Noise model to execute under; nullptr derives one from the backend's
+  /// calibration data (noise::from_backend).
+  const noise::NoiseModel* noise_model = nullptr;
+  transpiler::TranspileOptions transpile_options{};
+};
+
+struct ExecuteResult {
+  sim::Counts counts;
+  /// The physical circuit actually executed (the input when transpile=false).
+  QuantumCircuit compiled;
+  map::Layout initial_layout;
+  map::Layout final_layout;
+  int swaps_inserted = 0;
+};
+
+/// Compile `circuit` for `backend`, attach its noise model, and execute on
+/// the parallel trajectory engine. Counts read through the circuit's
+/// classical bits, so they are directly comparable with a logical-circuit
+/// simulation. Deterministic for a fixed seed, independent of thread count.
+ExecuteResult execute(const QuantumCircuit& circuit,
+                      const arch::Backend& backend,
+                      const ExecuteOptions& options = {});
+
+}  // namespace qtc::exec

@@ -4,9 +4,19 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/parallel.hpp"
 #include "sim/statevector.hpp"
 
 namespace qtc::noise {
+
+namespace {
+
+/// Row/column blocks below this many vectors run inline: each item is a full
+/// O(dim * 2^k) statevector kernel, so forking pays off well before the
+/// generic element-count cutoff would trigger.
+constexpr std::uint64_t kVectorCutoff = 16;
+
+}  // namespace
 
 DensityMatrix::DensityMatrix(int num_qubits) : n_(num_qubits) {
   if (num_qubits < 0 || num_qubits > 12)
@@ -34,30 +44,44 @@ DensityMatrix::DensityMatrix(const std::vector<cplx>& sv) {
 void DensityMatrix::left_multiply(const Matrix& m,
                                   const std::vector<int>& qubits) {
   // M acts on the row index: apply the statevector kernel to every column.
+  // Columns are independent and write disjoint slots, so the column loop is
+  // the parallel axis (the per-column kernel runs inline inside the region);
+  // results are bitwise identical whatever the thread count.
   const std::size_t dim = rho_.rows();
-  std::vector<cplx> column(dim);
-  for (std::size_t c = 0; c < dim; ++c) {
-    for (std::size_t r = 0; r < dim; ++r) column[r] = rho_(r, c);
-    sim::Statevector col(std::move(column));
-    col.apply_matrix(m, qubits);
-    column = std::move(col.amplitudes());
-    for (std::size_t r = 0; r < dim; ++r) rho_(r, c) = column[r];
-  }
+  parallel::parallel_for(
+      0, dim,
+      [&](std::uint64_t c0, std::uint64_t c1) {
+        std::vector<cplx> column(dim);
+        for (std::uint64_t c = c0; c < c1; ++c) {
+          for (std::size_t r = 0; r < dim; ++r) column[r] = rho_(r, c);
+          sim::Statevector col(std::move(column));
+          col.apply_matrix(m, qubits);
+          column = std::move(col.amplitudes());
+          for (std::size_t r = 0; r < dim; ++r) rho_(r, c) = column[r];
+        }
+      },
+      kVectorCutoff);
 }
 
 void DensityMatrix::right_multiply_dagger(const Matrix& m,
                                           const std::vector<int>& qubits) {
-  // (rho M^dag)_{ij} = sum_k rho_{ik} conj(M_{jk}): apply conj(M) to rows.
+  // (rho M^dag)_{ij} = sum_k rho_{ik} conj(M_{jk}): apply conj(M) to rows,
+  // one independent row block per task (see left_multiply).
   const Matrix mc = m.conjugate();
   const std::size_t dim = rho_.rows();
-  std::vector<cplx> row(dim);
-  for (std::size_t r = 0; r < dim; ++r) {
-    for (std::size_t c = 0; c < dim; ++c) row[c] = rho_(r, c);
-    sim::Statevector rv(std::move(row));
-    rv.apply_matrix(mc, qubits);
-    row = std::move(rv.amplitudes());
-    for (std::size_t c = 0; c < dim; ++c) rho_(r, c) = row[c];
-  }
+  parallel::parallel_for(
+      0, dim,
+      [&](std::uint64_t r0, std::uint64_t r1) {
+        std::vector<cplx> row(dim);
+        for (std::uint64_t r = r0; r < r1; ++r) {
+          for (std::size_t c = 0; c < dim; ++c) row[c] = rho_(r, c);
+          sim::Statevector rv(std::move(row));
+          rv.apply_matrix(mc, qubits);
+          row = std::move(rv.amplitudes());
+          for (std::size_t c = 0; c < dim; ++c) rho_(r, c) = row[c];
+        }
+      },
+      kVectorCutoff);
 }
 
 void DensityMatrix::apply_unitary(const Matrix& u,
@@ -200,16 +224,35 @@ DensityMatrixSimulator::Result DensityMatrixSimulator::run(
     result.counts.shots = shots;
     return result;
   }
-  for (int s = 0; s < shots; ++s) {
-    const std::uint64_t basis = result.state.sample(rng_);
-    std::uint64_t clbits = 0;
-    for (auto [q, c] : qubit_to_clbit) {
-      const int value =
-          noise.apply_readout(q, static_cast<int>((basis >> q) & 1), rng_);
-      if (value) clbits |= std::uint64_t{1} << c;
-    }
-    result.counts.record(sim::format_bits(clbits, ncl));
+  // Shots sample the precomputed cumulative diagonal by binary search, one
+  // seed-derived RNG stream per shot, in parallel; outcomes are recorded in
+  // shot order so fixed-seed counts are thread-count invariant.
+  const std::vector<double> p = result.state.probabilities();
+  std::vector<double> cdf(p.size());
+  double acc = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    acc += std::max(0.0, p[i]);
+    cdf[i] = acc;
   }
+  std::vector<std::uint64_t> outcomes(shots, 0);
+  parallel::parallel_for(
+      0, static_cast<std::uint64_t>(shots),
+      [&](std::uint64_t s0, std::uint64_t s1) {
+        for (std::uint64_t s = s0; s < s1; ++s) {
+          Rng rng(derive_stream_seed(seed_, s));
+          const std::uint64_t basis = sim::sample_cdf(cdf, rng.uniform());
+          std::uint64_t clbits = 0;
+          for (auto [q, c] : qubit_to_clbit) {
+            const int value = noise.apply_readout(
+                q, static_cast<int>((basis >> q) & 1), rng);
+            if (value) clbits |= std::uint64_t{1} << c;
+          }
+          outcomes[s] = clbits;
+        }
+      },
+      /*serial_cutoff=*/256);
+  for (int s = 0; s < shots; ++s)
+    result.counts.record(sim::format_bits(outcomes[s], ncl));
   return result;
 }
 

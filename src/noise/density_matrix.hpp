@@ -59,10 +59,14 @@ class DensityMatrix {
 
 /// Exact noisy executor. Measurements must form a final layer; reset and
 /// classical conditioning are not supported (use TrajectorySimulator).
+/// Superoperator application parallelizes over row/column blocks on the
+/// core/parallel.hpp pool and shots sample with per-shot derived RNG
+/// streams, so fixed-seed counts are thread-count invariant and repeated
+/// run() calls on one simulator are identical.
 class DensityMatrixSimulator {
  public:
   explicit DensityMatrixSimulator(std::uint64_t seed = 0xC0FFEE)
-      : rng_(seed) {}
+      : seed_(seed) {}
 
   struct Result {
     sim::Counts counts;
@@ -76,7 +80,7 @@ class DensityMatrixSimulator {
                        const NoiseModel& noise);
 
  private:
-  Rng rng_;
+  std::uint64_t seed_;  // base for the per-shot derived streams
 };
 
 }  // namespace qtc::noise

@@ -1,8 +1,14 @@
 #include "noise/trajectory.hpp"
 
+#include <atomic>
+#include <cctype>
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
+#include "core/parallel.hpp"
 #include "sim/simulator.hpp"
 #include "sim/statevector.hpp"
 
@@ -10,64 +16,171 @@ namespace qtc::noise {
 
 namespace {
 
+/// Programmatic override (mirroring sim::set_fusion_enabled): -1 means "no
+/// override, fall back to the environment".
+std::atomic<int> g_traj_parallel_override{-1};
+
+bool env_trajectory_parallel() {
+  const char* s = std::getenv("QTC_TRAJ_PARALLEL");
+  if (!s || !*s) return true;
+  std::string v(s);
+  for (char& c : v) c = static_cast<char>(std::tolower(c));
+  return !(v == "0" || v == "off" || v == "false" || v == "no");
+}
+
 /// Stochastically apply one Kraus operator: candidate states K_k|psi> are
-/// selected with probability ||K_k psi||^2 and renormalized.
+/// selected with probability ||K_k psi||^2 and renormalized. `candidate` is
+/// caller-owned scratch so the per-gate hot loop reuses one allocation
+/// across the whole trajectory.
 void sample_kraus(sim::Statevector& sv, const KrausChannel& channel,
-                  const std::vector<int>& qubits, Rng& rng) {
+                  const std::vector<int>& qubits, Rng& rng,
+                  sim::Statevector& candidate) {
   const double r = rng.uniform();
+  const std::size_t nops = channel.ops.size();
   double acc = 0;
-  for (std::size_t k = 0; k < channel.ops.size(); ++k) {
-    sim::Statevector candidate = sv;
+  for (std::size_t k = 0; k + 1 < nops; ++k) {
+    candidate = sv;  // copy-assign reuses the scratch buffer's capacity
     candidate.apply_matrix(channel.ops[k], qubits);
     const double p = candidate.norm() * candidate.norm();
     acc += p;
-    if (r < acc || k + 1 == channel.ops.size()) {
+    if (r < acc) {
       candidate.normalize();
-      sv = std::move(candidate);
+      std::swap(sv, candidate);
       return;
     }
   }
+  // Fall through to the last operator (also the only one for a 1-op
+  // channel): apply in place, no candidate copy needed.
+  sv.apply_matrix(channel.ops[nops - 1], qubits);
+  sv.normalize();
+}
+
+/// Fuse `segment` (a stretch of unconditioned noiseless unitary gates and
+/// barriers) and splice the resulting kernels into the plan.
+void flush_segment(QuantumCircuit& segment, const sim::FusionConfig& config,
+                   TrajectoryPlan& plan) {
+  if (segment.ops().empty()) return;
+  sim::FusedCircuit fused = sim::fuse_circuit(segment, config);
+  if (!fused.ops.empty()) ++plan.fused_segments;
+  plan.state_sweeps += fused.state_sweeps;
+  for (auto& f : fused.ops)
+    plan.steps.push_back(TrajectoryPlan::Step{std::move(f), std::nullopt});
+  segment.ops().clear();
 }
 
 }  // namespace
 
+bool trajectory_parallel() {
+  const int forced = g_traj_parallel_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
+  return env_trajectory_parallel();
+}
+
+void set_trajectory_parallel(int enabled) {
+  g_traj_parallel_override.store(enabled < 0 ? -1 : (enabled != 0),
+                                 std::memory_order_relaxed);
+}
+
+TrajectoryPlan compile_trajectory_plan(const QuantumCircuit& circuit,
+                                       const NoiseModel& noise) {
+  const sim::FusionConfig config = sim::fusion_config();
+  TrajectoryPlan plan;
+  plan.num_qubits = circuit.num_qubits();
+  plan.num_clbits = circuit.num_clbits();
+  QuantumCircuit segment(circuit.num_qubits());
+  for (const Operation& op : circuit.ops()) {
+    if (op_is_unitary(op.kind)) ++plan.source_unitary_gates;
+    if (op.kind == OpKind::Barrier && !op.conditioned()) {
+      // Barriers only cut fused runs; the planner drops them.
+      segment.ops().push_back(op);
+      continue;
+    }
+    const std::optional<KrausChannel> channel =
+        op_is_unitary(op.kind) ? noise.error_for(op) : std::nullopt;
+    if (op_is_unitary(op.kind) && !op.conditioned() && !channel) {
+      segment.ops().push_back(op);  // noiseless: eligible for fusion
+      continue;
+    }
+    // Plan boundary: noisy, conditioned or non-unitary. The channel must
+    // fire after this exact gate, so it cannot merge into a fused kernel.
+    flush_segment(segment, config, plan);
+    if (channel) {
+      ++plan.noisy_gates;
+      ++plan.state_sweeps;
+    } else if (op_is_unitary(op.kind)) {
+      ++plan.state_sweeps;  // conditioned noiseless gate
+    }
+    TrajectoryPlan::Step step;
+    step.fused.kind = sim::FusedOp::Kind::Op;
+    step.fused.op = op;
+    step.channel = channel;
+    plan.steps.push_back(std::move(step));
+  }
+  flush_segment(segment, config, plan);
+  return plan;
+}
+
 sim::Counts TrajectorySimulator::run(const QuantumCircuit& circuit,
                                      const NoiseModel& noise, int shots) {
   if (shots <= 0) throw std::invalid_argument("run: shots must be positive");
-  sim::Counts counts;
-  const int ncl = circuit.num_clbits();
-  for (int s = 0; s < shots; ++s) {
-    sim::Statevector sv(circuit.num_qubits());
-    std::vector<int> clbits(ncl, 0);
-    for (const auto& op : circuit.ops()) {
-      if (op.conditioned()) {
-        const Register& reg = circuit.cregs()[op.cond_reg];
-        if (sim::creg_value(reg, clbits) != op.cond_val) continue;
-      }
-      switch (op.kind) {
-        case OpKind::Measure: {
-          const int value = sv.measure(op.qubits[0], rng_);
-          clbits[op.clbits[0]] =
-              noise.apply_readout(op.qubits[0], value, rng_);
-          break;
+  const TrajectoryPlan plan = compile_trajectory_plan(circuit, noise);
+  const int ncl = plan.num_clbits;
+
+  // Trajectories are independent given their seed-derived RNG streams, so
+  // they run in parallel; outcomes are recorded in shot order afterwards,
+  // making the Counts identical for a fixed seed whatever the thread count.
+  std::vector<std::uint64_t> outcomes(shots, 0);
+  const auto body = [&](std::uint64_t s0, std::uint64_t s1) {
+    sim::Statevector kraus_scratch(plan.num_qubits);
+    for (std::uint64_t s = s0; s < s1; ++s) {
+      Rng rng(derive_stream_seed(seed_, s));
+      sim::Statevector sv(plan.num_qubits);
+      std::vector<int> clbits(ncl, 0);
+      for (const TrajectoryPlan::Step& step : plan.steps) {
+        const sim::FusedOp& f = step.fused;
+        if (f.kind != sim::FusedOp::Kind::Op) {
+          sim::apply_fused_op(sv, f);
+          continue;
         }
-        case OpKind::Reset:
-          sv.reset(op.qubits[0], rng_);
-          break;
-        case OpKind::Barrier:
-          break;
-        default: {
-          sv.apply(op);
-          if (const auto channel = noise.error_for(op))
-            sample_kraus(sv, *channel, op.qubits, rng_);
+        const Operation& op = f.op;
+        if (op.conditioned()) {
+          const Register& reg = circuit.cregs()[op.cond_reg];
+          if (sim::creg_value(reg, clbits) != op.cond_val) continue;
+        }
+        switch (op.kind) {
+          case OpKind::Measure: {
+            const int value = sv.measure(op.qubits[0], rng);
+            clbits[op.clbits[0]] =
+                noise.apply_readout(op.qubits[0], value, rng);
+            break;
+          }
+          case OpKind::Reset:
+            sv.reset(op.qubits[0], rng);
+            break;
+          case OpKind::Barrier:
+            break;
+          default: {
+            sv.apply(op);
+            if (step.channel)
+              sample_kraus(sv, *step.channel, op.qubits, rng, kraus_scratch);
+          }
         }
       }
+      std::uint64_t value = 0;
+      for (int c = 0; c < ncl; ++c)
+        if (clbits[c]) value |= std::uint64_t{1} << c;
+      outcomes[s] = value;
     }
-    std::uint64_t value = 0;
-    for (int c = 0; c < ncl; ++c)
-      if (clbits[c]) value |= std::uint64_t{1} << c;
-    counts.record(sim::format_bits(value, ncl));
-  }
+  };
+  if (trajectory_parallel())
+    parallel::parallel_for(0, static_cast<std::uint64_t>(shots), body,
+                           /*serial_cutoff=*/2);
+  else
+    body(0, static_cast<std::uint64_t>(shots));
+
+  sim::Counts counts;
+  for (int s = 0; s < shots; ++s)
+    counts.record(sim::format_bits(outcomes[s], ncl));
   return counts;
 }
 

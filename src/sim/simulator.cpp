@@ -7,20 +7,6 @@
 
 namespace qtc::sim {
 
-namespace {
-
-/// SplitMix64 mix of (seed, shot index): decorrelated per-shot RNG streams
-/// that depend only on the simulator seed and the shot number, never on how
-/// shots were scheduled across threads.
-std::uint64_t derive_shot_seed(std::uint64_t seed, std::uint64_t shot) {
-  std::uint64_t z = seed + (shot + 1) * 0x9E3779B97F4A7C15ULL;
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  return z ^ (z >> 31);
-}
-
-}  // namespace
-
 std::uint64_t creg_value(const Register& reg, const std::vector<int>& clbits) {
   std::uint64_t value = 0;
   for (int i = 0; i < reg.size; ++i)
@@ -96,7 +82,7 @@ RunResult StatevectorSimulator::run(const QuantumCircuit& circuit, int shots) {
       0, static_cast<std::uint64_t>(shots),
       [&](std::uint64_t s0, std::uint64_t s1) {
         for (std::uint64_t s = s0; s < s1; ++s) {
-          Rng rng(derive_shot_seed(seed_, s));
+          Rng rng(derive_stream_seed(seed_, s));
           Statevector sv(circuit.num_qubits());
           std::vector<int> clbits(ncl, 0);
           for (const auto& f : plan.ops) {

@@ -17,6 +17,9 @@
 #include "arch/backend.hpp"
 #include "dd/simulator.hpp"
 #include "map/mapping.hpp"
+#include "noise/density_matrix.hpp"
+#include "noise/noise_model.hpp"
+#include "noise/trajectory.hpp"
 #include "sim/fusion.hpp"
 #include "sim/stabilizer.hpp"
 #include "sim/simulator.hpp"
@@ -237,6 +240,37 @@ TEST(Differential, TranspiledCliffordCountsSurviveAcrossEngines) {
             << "seed " << seed << " bits " << bits;
       }
     }
+  });
+}
+
+// --- noisy engines join the vote: trajectories vs exact density matrix ------
+
+TEST(Differential, TrajectoryMatchesDensityMatrixFusionOffAndOn) {
+  // The Monte-Carlo trajectory engine and the exact density-matrix engine
+  // share nothing but the channel definitions, so agreement on random noisy
+  // circuits localizes bugs to one of them. No readout error here, so the
+  // exact outcome distribution is the evolved rho's diagonal read through
+  // the identity measure-all wiring. Runs with fusion off AND on: the
+  // noise-aware trajectory plan must not let a fused kernel cross a channel.
+  const noise::NoiseModel model = noise::uniform_depolarizing(0.005, 0.02);
+  with_fusion_off_and_on([&] {
+    int tested = 0;
+    for (std::uint64_t seed = 1; seed <= kNumCircuits && tested < 8; ++seed) {
+      const QuantumCircuit qc = random_measured_circuit(seed);
+      if (qc.num_qubits() > 4) continue;  // DM cost is 4^n
+      ++tested;
+      noise::DensityMatrixSimulator dms;
+      const auto exact = dms.evolve(qc, model).probabilities();
+      noise::TrajectorySimulator traj(seed * 31 + 5);
+      const auto counts = traj.run(qc, model, 6000);
+      for (std::uint64_t i = 0; i < exact.size(); ++i) {
+        const std::string bits = sim::format_bits(i, qc.num_qubits());
+        EXPECT_NEAR(counts.probability(bits), exact[i], 0.03)
+            << "trajectory vs density matrix, seed " << seed << " bits "
+            << bits;
+      }
+    }
+    ASSERT_GE(tested, 4) << "generator stopped producing small circuits";
   });
 }
 

@@ -1,0 +1,236 @@
+// Statistical-equivalence harness for the Monte-Carlo trajectory engine:
+// the density-matrix simulator evolves the exact mixed state, its diagonal
+// (folded through the classical readout-error channel) is the ground-truth
+// outcome distribution, and the parallel trajectory counts must match it
+// under both a chi-square goodness-of-fit bound and a total-variation bound.
+// All seeds are fixed, so every assertion is deterministic; the thresholds
+// are generous enough to never flake yet far below what a wrong engine
+// (missing channel, readout applied twice, broken Kraus sampling) produces.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arch/backend.hpp"
+#include "exec/execute.hpp"
+#include "noise/channel.hpp"
+#include "noise/density_matrix.hpp"
+#include "noise/noise_model.hpp"
+#include "noise/trajectory.hpp"
+#include "sim/result.hpp"
+#include "sim/statevector.hpp"
+
+namespace qtc::noise {
+namespace {
+
+/// Exact outcome distribution over classical bitstrings: density-matrix
+/// diagonal, pushed through the measurement wiring and the per-qubit
+/// readout-error channel. Requires a measure-final circuit (no reset or
+/// conditionals), which every circuit in this file is.
+std::map<std::string, double> exact_distribution(const QuantumCircuit& qc,
+                                                 const NoiseModel& noise) {
+  DensityMatrixSimulator dms;
+  const DensityMatrix rho = dms.evolve(qc, noise);
+  const std::vector<double> probs = rho.probabilities();
+  std::vector<std::pair<int, int>> meas;  // (qubit, clbit)
+  for (const auto& op : qc.ops())
+    if (op.kind == OpKind::Measure)
+      meas.emplace_back(op.qubits[0], op.clbits[0]);
+  const int m = static_cast<int>(meas.size());
+  const int ncl = qc.num_clbits();
+  std::map<std::string, double> dist;
+  for (std::size_t b = 0; b < probs.size(); ++b) {
+    const double p = probs[b];
+    if (p <= 0) continue;
+    // Spread this basis state over every readout-flip combination.
+    for (std::uint64_t reads = 0; reads < (std::uint64_t{1} << m); ++reads) {
+      double weight = p;
+      std::uint64_t clbits = 0;
+      for (int i = 0; i < m; ++i) {
+        const auto [q, c] = meas[i];
+        const int state_bit = static_cast<int>((b >> q) & 1);
+        const int read_bit = static_cast<int>((reads >> i) & 1);
+        const ReadoutError* re = noise.readout_error(q);
+        const double p_read_one =
+            state_bit ? (re ? 1.0 - re->p0_given_1 : 1.0)
+                      : (re ? re->p1_given_0 : 0.0);
+        weight *= read_bit ? p_read_one : 1.0 - p_read_one;
+        if (read_bit) clbits |= std::uint64_t{1} << c;
+      }
+      if (weight > 0) dist[sim::format_bits(clbits, ncl)] += weight;
+    }
+  }
+  return dist;
+}
+
+struct GoodnessOfFit {
+  double chi2 = 0;
+  int df = 0;          // pooled bins - 1
+  double tv = 0;       // total-variation distance
+  double pooled = 0;   // expected mass pooled into the rare-outcome bin
+};
+
+/// Pearson chi-square against the exact distribution. Outcomes whose
+/// expected count is below 5 are pooled into one rare-outcome bin (the
+/// standard validity condition for the chi-square approximation).
+GoodnessOfFit goodness_of_fit(const sim::Counts& counts,
+                              const std::map<std::string, double>& expected) {
+  GoodnessOfFit g;
+  const double shots = counts.shots;
+  double rare_expected = 0;
+  int rare_observed = 0;
+  int bins = 0;
+  for (const auto& [bits, p] : expected) {
+    const int observed = counts.count(bits);
+    g.tv += std::abs(observed / shots - p);
+    const double e = p * shots;
+    if (e < 5.0) {
+      rare_expected += e;
+      rare_observed += observed;
+      continue;
+    }
+    g.chi2 += (observed - e) * (observed - e) / e;
+    ++bins;
+  }
+  // Counts outside the expected support belong to the rare bin too (the
+  // exact distribution assigns them ~0; a real engine bug lands here).
+  for (const auto& [bits, c] : counts.histogram)
+    if (!expected.count(bits)) {
+      rare_observed += c;
+      g.tv += static_cast<double>(c) / shots;
+    }
+  if (rare_expected > 0 || rare_observed > 0) {
+    const double e = std::max(rare_expected, 0.5);  // guard the division
+    g.chi2 += (rare_observed - e) * (rare_observed - e) / e;
+    ++bins;
+    g.pooled = rare_expected / shots;
+  }
+  g.df = bins > 1 ? bins - 1 : 1;
+  g.tv /= 2;
+  return g;
+}
+
+/// Assert the fit: chi-square below a ~5-sigma band around its mean (df)
+/// and total variation below `tv_bound`.
+void expect_statistical_match(const sim::Counts& counts,
+                              const std::map<std::string, double>& expected,
+                              double tv_bound) {
+  const GoodnessOfFit g = goodness_of_fit(counts, expected);
+  EXPECT_LT(g.chi2, g.df + 5 * std::sqrt(2.0 * g.df) + 10)
+      << "chi-square too large (df " << g.df << ", tv " << g.tv << ")";
+  EXPECT_LT(g.tv, tv_bound) << "total variation too large (chi2 " << g.chi2
+                            << ", df " << g.df << ")";
+}
+
+// --- depolarizing -------------------------------------------------------------
+
+TEST(NoiseStatistical, DepolarizedBellMatchesDensityMatrix) {
+  NoiseModel model;
+  model.add_all_qubit_error(depolarizing2(0.15), OpKind::CX);
+  model.add_all_qubit_error(depolarizing(0.03), OpKind::H);
+  QuantumCircuit qc(2, 2);
+  qc.h(0).cx(0, 1).measure_all();
+  TrajectorySimulator traj(101);
+  const auto counts = traj.run(qc, model, 20000);
+  expect_statistical_match(counts, exact_distribution(qc, model), 0.02);
+}
+
+TEST(NoiseStatistical, UniformDepolarizingRandom4qMatchesDensityMatrix) {
+  const NoiseModel model = uniform_depolarizing(0.01, 0.05, 0.02);
+  QuantumCircuit qc(4, 4);
+  qc.h(0).cx(0, 1).t(1).cx(1, 2).rz(0.7, 2).h(3).cx(2, 3).sx(0).cx(3, 0);
+  qc.measure_all();
+  TrajectorySimulator traj(202);
+  const auto counts = traj.run(qc, model, 20000);
+  expect_statistical_match(counts, exact_distribution(qc, model), 0.03);
+}
+
+// --- amplitude damping --------------------------------------------------------
+
+TEST(NoiseStatistical, AmplitudeDampedGhzMatchesDensityMatrix) {
+  NoiseModel model;
+  model.add_all_qubit_error(amplitude_damping(0.2), OpKind::H);
+  model.add_all_qubit_error(
+      tensor(amplitude_damping(0.12), amplitude_damping(0.12)), OpKind::CX);
+  QuantumCircuit qc(3, 3);
+  qc.h(0).cx(0, 1).cx(1, 2).x(2).measure_all();
+  TrajectorySimulator traj(303);
+  const auto counts = traj.run(qc, model, 20000);
+  expect_statistical_match(counts, exact_distribution(qc, model), 0.025);
+}
+
+// --- readout noise ------------------------------------------------------------
+
+TEST(NoiseStatistical, AsymmetricReadoutMatchesExactFolding) {
+  NoiseModel model;
+  model.set_readout_error(0, {0.08, 0.02});
+  model.set_readout_error(1, {0.01, 0.12});
+  model.set_readout_error(2, {0.05, 0.05});
+  QuantumCircuit qc(3, 3);
+  qc.x(0).h(1).x(2).measure_all();
+  const auto expected = exact_distribution(qc, model);
+  TrajectorySimulator traj(404);
+  expect_statistical_match(traj.run(qc, model, 20000), expected, 0.025);
+  // The density-matrix sampler applies the same readout channel when
+  // sampling, so its own counts must fit its own exact diagonal as well.
+  DensityMatrixSimulator dms(505);
+  expect_statistical_match(dms.run(qc, model, 20000).counts, expected, 0.025);
+}
+
+// --- mixed channels, 5 qubits -------------------------------------------------
+
+TEST(NoiseStatistical, MixedChannels5qMatchesDensityMatrix) {
+  NoiseModel model;
+  model.add_all_qubit_error(compose(amplitude_damping(0.05), phase_flip(0.02)),
+                            OpKind::H);
+  model.add_all_qubit_error(depolarizing2(0.04), OpKind::CX);
+  model.set_readout_error(2, {0.03, 0.03});
+  QuantumCircuit qc(5, 5);
+  qc.h(0).cx(0, 1).cx(1, 2).h(3).cx(3, 4).cx(2, 3).h(4);
+  qc.measure_all();
+  TrajectorySimulator traj(606);
+  const auto counts = traj.run(qc, model, 30000);
+  expect_statistical_match(counts, exact_distribution(qc, model), 0.035);
+}
+
+// --- end-to-end backend execution --------------------------------------------
+
+TEST(NoiseStatistical, BackendRunMatchesDensityMatrixOnCompiledCircuit) {
+  // The paper's Sec. IV loop: compile for QX4, execute on the noisy backend
+  // model. The trajectory counts of Backend::run must match the exact
+  // density-matrix distribution of the *compiled* circuit under the
+  // calibration-derived noise model.
+  const arch::Backend backend = arch::qx4_backend();
+  QuantumCircuit logical(2, 2);
+  logical.h(0).cx(0, 1).measure_all();
+  exec::ExecuteOptions options;
+  options.shots = 20000;
+  options.seed = 707;
+  const exec::ExecuteResult result = exec::execute(logical, backend, options);
+  EXPECT_EQ(result.counts.shots, options.shots);
+
+  // Guard the harness precondition: measurements form the final layer.
+  bool seen_measure = false, measure_final = true;
+  for (const auto& op : result.compiled.ops()) {
+    if (op.kind == OpKind::Measure) seen_measure = true;
+    else if (seen_measure && op.kind != OpKind::Barrier) measure_final = false;
+  }
+  ASSERT_TRUE(measure_final);
+
+  const NoiseModel model = from_backend(backend);
+  expect_statistical_match(result.counts,
+                           exact_distribution(result.compiled, model), 0.03);
+
+  // Backend::run is the thin counts-only wrapper over the same engine.
+  arch::Backend::RunOptions run_options;
+  run_options.shots = options.shots;
+  run_options.seed = options.seed;
+  const sim::Counts counts = backend.run(logical, run_options);
+  EXPECT_EQ(counts.histogram, result.counts.histogram);
+}
+
+}  // namespace
+}  // namespace qtc::noise

@@ -1,0 +1,134 @@
+// QASM round-trip property test: for ~200 seeded random circuits drawn over
+// the FULL gate vocabulary (every OpKind, all arities and parameter counts,
+// plus measure/reset/barrier/conditionals and multi-register layouts),
+// parse(emit(c)) must reproduce c exactly — same registers, same operation
+// sequence, params compared as exact doubles (emit uses %.17g, which
+// round-trips IEEE doubles). This is the structural-equality contract
+// declared on QuantumCircuit::operator==.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/circuit.hpp"
+#include "core/gates.hpp"
+#include "core/rng.hpp"
+#include "core/types.hpp"
+#include "qasm/parser.hpp"
+
+namespace qtc {
+namespace {
+
+/// Every unitary kind, enumerable because the enum is contiguous from I to
+/// CSWAP (gates.hpp declares Measure/Reset/Barrier after the unitaries).
+std::vector<OpKind> unitary_kinds() {
+  std::vector<OpKind> kinds;
+  for (int k = static_cast<int>(OpKind::I); k <= static_cast<int>(OpKind::CSWAP);
+       ++k)
+    kinds.push_back(static_cast<OpKind>(k));
+  return kinds;
+}
+
+/// Pick `count` distinct qubits out of n.
+std::vector<Qubit> distinct_qubits(Rng& rng, int n, int count) {
+  std::vector<Qubit> pool(n);
+  for (int i = 0; i < n; ++i) pool[i] = i;
+  for (int i = 0; i < count; ++i)
+    std::swap(pool[i], pool[i + rng.index(n - i)]);
+  pool.resize(count);
+  return pool;
+}
+
+/// Random circuit over the full instruction set. Roughly one op in six is a
+/// measure / reset / barrier / conditioned op so the structural instructions
+/// round-trip too, not just the gate vocabulary.
+QuantumCircuit random_full_circuit(std::uint64_t seed) {
+  static const std::vector<OpKind> kinds = unitary_kinds();
+  Rng rng(seed * 6364136223846793005ULL + 1442695040888963407ULL);
+  const int n = 3 + static_cast<int>(rng.index(4));  // 3..6 qubits
+  const int ops = 10 + static_cast<int>(rng.index(21));
+  QuantumCircuit qc(n, n);
+  for (int g = 0; g < ops; ++g) {
+    switch (rng.index(12)) {
+      case 0:
+        qc.measure(static_cast<int>(rng.index(n)),
+                   static_cast<int>(rng.index(n)));
+        break;
+      case 1:
+        qc.reset(static_cast<int>(rng.index(n)));
+        break;
+      case 2: {
+        // Barrier over a random non-empty subset (emit prints the list).
+        const int width = 1 + static_cast<int>(rng.index(n));
+        qc.barrier(distinct_qubits(rng, n, width));
+        break;
+      }
+      default: {
+        const OpKind kind = kinds[rng.index(kinds.size())];
+        std::vector<double> params(op_num_params(kind));
+        for (double& p : params) p = rng.uniform(-2 * PI, 2 * PI);
+        qc.gate(kind, distinct_qubits(rng, n, op_num_qubits(kind)),
+                std::move(params));
+      }
+    }
+    // Occasionally condition the op just appended on the classical register
+    // (not barriers: OpenQASM `if` applies to quantum operations only).
+    if (rng.index(8) == 0 && qc.ops().back().kind != OpKind::Barrier)
+      qc.c_if(0, rng.index(std::uint64_t{1} << n));
+  }
+  return qc;
+}
+
+TEST(QasmRoundtrip, ParseEmitIdentityOnRandomFullGateSetCircuits) {
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const QuantumCircuit qc = random_full_circuit(seed);
+    const std::string text = qasm::emit(qc);
+    QuantumCircuit back;
+    ASSERT_NO_THROW(back = qasm::parse(text)) << "seed " << seed << "\n"
+                                              << text;
+    EXPECT_EQ(back, qc) << "round trip changed the circuit, seed " << seed
+                        << "\n"
+                        << text;
+  }
+}
+
+TEST(QasmRoundtrip, EmitIsIdempotent) {
+  // emit(parse(emit(c))) == emit(c): the emitted spelling is a fixed point,
+  // so diffing emitted files is meaningful.
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const QuantumCircuit qc = random_full_circuit(seed * 37 + 11);
+    const std::string once = qasm::emit(qc);
+    EXPECT_EQ(qasm::emit(qasm::parse(once)), once) << "seed " << seed;
+  }
+}
+
+TEST(QasmRoundtrip, MultiRegisterCircuitRoundTrips) {
+  QuantumCircuit qc;
+  qc.add_qreg("alpha", 2);
+  qc.add_qreg("beta", 3);
+  qc.add_creg("m", 2);
+  qc.add_creg("flag", 1);
+  qc.h(0).cx(0, 2).ccx(1, 2, 3).rz(0.25, 4);
+  qc.measure(0, 0);
+  qc.measure(2, 1);
+  qc.x(4).c_if(1, 1);  // conditioned on creg "flag"
+  qc.measure(4, 2);
+  EXPECT_EQ(qasm::parse(qasm::emit(qc)), qc);
+}
+
+TEST(QasmRoundtrip, ExtremeParametersSurviveExactly) {
+  // %.17g must reproduce doubles bit for bit, including subnormal-ish and
+  // near-pi values whose decimal expansions don't terminate.
+  QuantumCircuit qc(2, 2);
+  qc.rz(PI, 0);
+  qc.rx(1e-300, 1);
+  qc.u(0.1 + 0.2, -PI / 3, 1.0 / 3.0, 0);
+  qc.cp(-0.0, 0, 1);
+  qc.measure_all();
+  const QuantumCircuit back = qasm::parse(qasm::emit(qc));
+  ASSERT_EQ(back.ops().size(), qc.ops().size());
+  EXPECT_EQ(back, qc);
+}
+
+}  // namespace
+}  // namespace qtc
