@@ -63,5 +63,35 @@ int main() {
       "%zu unique-table hits, %zu compute-cache hits\n",
       stats.vector_nodes_allocated, stats.matrix_nodes_allocated,
       stats.unique_hits, stats.compute_hits);
+
+  // The bounded-memory machinery, driven through the package API directly:
+  // pin the evolving state with a ref handle, lower the GC threshold, and
+  // watch a deep run recycle node storage instead of growing without bound.
+  dd::Package pkg(8);
+  pkg.set_gc_threshold(256);
+  dd::Package::VRef state = pkg.hold(pkg.make_zero_state());
+  std::size_t gates = 0;
+  Rng angles(11);
+  for (int rep = 0; rep < 200; ++rep) {
+    for (int q = 0; q < 8; ++q) {
+      const auto h = pkg.make_gate(op_matrix(OpKind::H), {q});
+      state = pkg.hold(pkg.multiply(h, state.edge()));
+      const auto rz =
+          pkg.make_gate(op_matrix(OpKind::RZ, {angles.uniform(-PI, PI)}), {q});
+      state = pkg.hold(pkg.multiply(rz, state.edge()));
+      const auto cx = pkg.make_gate(op_matrix(OpKind::CX), {q, (q + 1) % 8});
+      state = pkg.hold(pkg.multiply(cx, state.edge()));
+      gates += 3;
+    }
+  }
+  const auto& m = pkg.stats();
+  std::printf(
+      "\nbounded-memory run (%zu gates, GC threshold 256 via "
+      "set_gc_threshold):\n  %zu GC runs, peak %zu live nodes, %zu freed, "
+      "%zu reused, %zu cache evictions\n",
+      gates, m.gc_runs, m.peak_live_nodes, m.nodes_freed,
+      m.vector_nodes_reused + m.matrix_nodes_reused,
+      m.add_table.evictions + m.madd_table.evictions +
+          m.mulv_table.evictions + m.mulm_table.evictions);
   return 0;
 }

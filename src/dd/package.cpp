@@ -1,6 +1,10 @@
 #include "dd/package.hpp"
 
+#include <algorithm>
+#include <cctype>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <set>
 #include <sstream>
@@ -10,12 +14,24 @@ namespace qtc::dd {
 
 namespace {
 
-/// Quantization grid for hashing edge weights. Weights that agree within
-/// this tolerance land in the same unique-table bucket.
-constexpr double kQuantum = 1e-12;
+/// Live-node count above which the collector runs, unless overridden by
+/// QTC_DD_GC_THRESHOLD or set_gc_threshold.
+constexpr std::size_t kDefaultGcThreshold = 131072;
 
-std::int64_t quantize(double x) {
-  return static_cast<std::int64_t>(std::llround(x / kQuantum));
+/// Default log2 slot count of each compute table (QTC_DD_CT_BITS override).
+constexpr int kDefaultComputeTableBits = 15;
+
+/// Exact bit pattern of a weight component for unique-table/compute keys.
+/// Keys compare exactly — never by tolerance bucket — so a table hit returns
+/// precisely what recreation would produce; that exactness is what makes
+/// results bitwise independent of garbage collection (a tolerant bucket
+/// would resolve to whichever near-equal node happened to be created first,
+/// i.e. to allocation history).
+std::int64_t weight_bits(double x) {
+  std::int64_t bits;
+  static_assert(sizeof(bits) == sizeof(x));
+  std::memcpy(&bits, &x, sizeof(bits));
+  return bits;
 }
 
 std::size_t hash_mix(std::size_t seed, std::size_t value) {
@@ -24,6 +40,73 @@ std::size_t hash_mix(std::size_t seed, std::size_t value) {
 
 cplx canonical_zero_if_tiny(cplx w) {
   return std::abs(w) < 1e-13 ? cplx{0, 0} : w;
+}
+
+/// Snap a normalized child weight onto a fixed grid so weights that agree
+/// within half a grid step share one bit pattern — this is what lets
+/// numerically noisy near-equal amplitudes unify onto existing vector
+/// nodes. Unlike a first-writer-wins tolerance bucket, the snap is a pure
+/// function of the value, so which node a weight unifies with cannot depend
+/// on allocation history — tolerance merging without giving up bitwise
+/// GC-invariance of simulated statevectors.
+/// The grid step is a power of two (2^-40 ~ 9.1e-13) so every grid point is
+/// exactly representable and the snap is exact arithmetic: dyadic values the
+/// engine produces all the time (+-1, +-0.5, 0.25, ...) snap to themselves
+/// bit for bit. A decimal grid (1e-12) would return 1.0000000000000002 for
+/// snap(1.0), injecting drift into every cancellation path and defeating the
+/// merging it is supposed to enable.
+constexpr int kGridBits = 40;
+
+double snap_component(double x) {
+  if (x == 0.0) return 0.0;  // also flushes -0.0 to +0.0
+  // Normalized child weights have magnitude <= 1; add ratios can be larger.
+  // Past this magnitude the grid is finer than the double's own spacing
+  // anyway (and llround would overflow), so pass the value through.
+  if (std::abs(x) >= 1e6) return x;
+  return std::ldexp(static_cast<double>(std::llround(std::ldexp(x, kGridBits))),
+                    -kGridBits);
+}
+
+cplx snap_weight(cplx w) {
+  return {snap_component(w.real()), snap_component(w.imag())};
+}
+
+/// Tolerance cell for matrix-land unique/compute keys: first-writer buckets,
+/// as in classic QMDD packages. Matrix nodes only feed gate construction and
+/// the verification layer's matrix-matrix products; no statevector ever
+/// depends on a matrix-matrix product, so history-dependent merging is safe
+/// here — and it is what makes a miter of equivalent circuits contract back
+/// to the identity (each near-miss lookup adopts the stored node, erasing
+/// accumulated rounding drift instead of letting it compound).
+constexpr double kQuantum = 1e-12;
+
+std::int64_t quantize_cell(double x) {
+  // Past this magnitude the cell index would overflow; fall back to the bit
+  // pattern (the two ranges cannot collide: |cells| < 4e18 while bit
+  // patterns of doubles this large exceed 4.6e18 in magnitude).
+  if (std::abs(x) >= 4e6) return weight_bits(x);
+  return std::llround(x / kQuantum);
+}
+
+std::size_t env_gc_threshold() {
+  const char* s = std::getenv("QTC_DD_GC_THRESHOLD");
+  if (!s || !*s) return kDefaultGcThreshold;
+  std::string v(s);
+  for (char& c : v) c = static_cast<char>(std::tolower(c));
+  if (v == "0" || v == "off" || v == "false" || v == "no") return 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(s, &end, 10);
+  if (end == s) return kDefaultGcThreshold;
+  return static_cast<std::size_t>(parsed);
+}
+
+int env_compute_table_bits() {
+  const char* s = std::getenv("QTC_DD_CT_BITS");
+  if (!s || !*s) return kDefaultComputeTableBits;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s) return kDefaultComputeTableBits;
+  return static_cast<int>(std::clamp(v, 4L, 20L));
 }
 
 }  // namespace
@@ -58,21 +141,130 @@ std::size_t Package::BinKeyHash::operator()(const BinKey& k) const {
   return h;
 }
 
-Package::Package(int num_qubits) : n_(num_qubits) {
+Package::Package(int num_qubits, int compute_table_bits) : n_(num_qubits) {
   if (num_qubits <= 0 || num_qubits > 62)
     throw std::invalid_argument("dd::Package: unsupported qubit count");
+  gc_threshold_ = env_gc_threshold();
+  const int bits = compute_table_bits > 0
+                       ? std::clamp(compute_table_bits, 4, 20)
+                       : env_compute_table_bits();
+  add_cache_.init(bits, &stats_.add_table, &stats_);
+  madd_cache_.init(bits, &stats_.madd_table, &stats_);
+  mulv_cache_.init(bits, &stats_.mulv_table, &stats_);
+  mulm_cache_.init(bits, &stats_.mulm_table, &stats_);
 }
 
 void Package::clear() {
+  ++generation_;  // outstanding ref handles become inert
   vnodes_.clear();
   mnodes_.clear();
+  v_free_.clear();
+  m_free_.clear();
+  v_live_ = 0;
+  m_live_ = 0;
   v_unique_.clear();
   m_unique_.clear();
-  add_cache_.clear();
-  madd_cache_.clear();
-  mulv_cache_.clear();
-  mulm_cache_.clear();
+  add_cache_.invalidate();
+  madd_cache_.invalidate();
+  mulv_cache_.invalidate();
+  mulm_cache_.invalidate();
+  norm_memo_.clear();
   stats_ = {};
+}
+
+// ---------------------------------------------------------------------------
+// Garbage collection
+// ---------------------------------------------------------------------------
+
+void Package::mark_v(VNode* n) {
+  if (n == nullptr || n->marked) return;
+  n->marked = true;
+  mark_v(n->e[0].node);
+  mark_v(n->e[1].node);
+}
+
+void Package::mark_m(MNode* n) {
+  if (n == nullptr || n->marked) return;
+  n->marked = true;
+  for (const MEdge& e : n->e) mark_m(e.node);
+}
+
+Package::VKey Package::key_of(const VNode& n) const {
+  return VKey{n.var,
+              n.e[0].node,
+              n.e[1].node,
+              weight_bits(n.e[0].w.real()),
+              weight_bits(n.e[0].w.imag()),
+              weight_bits(n.e[1].w.real()),
+              weight_bits(n.e[1].w.imag())};
+}
+
+Package::MKey Package::key_of(const MNode& n) const {
+  MKey key;
+  key.var = n.var;
+  for (int i = 0; i < 4; ++i) {
+    key.n[i] = n.e[i].node;
+    key.wr[i] = quantize_cell(n.e[i].w.real());
+    key.wi[i] = quantize_cell(n.e[i].w.imag());
+  }
+  return key;
+}
+
+void Package::maybe_collect(std::initializer_list<const VEdge*> vroots,
+                            std::initializer_list<const MEdge*> mroots) {
+  if (gc_threshold_ == 0 || v_live_ + m_live_ <= gc_threshold_) return;
+  collect(vroots, mroots);
+}
+
+std::size_t Package::collect_garbage() { return collect({}, {}); }
+
+std::size_t Package::collect(std::initializer_list<const VEdge*> vroots,
+                             std::initializer_list<const MEdge*> mroots) {
+  ++stats_.gc_runs;
+  // Mark phase: roots are every node pinned by a ref handle plus the
+  // operands of the call that triggered this collection.
+  for (VNode& n : vnodes_)
+    if (n.alive) n.marked = false;
+  for (MNode& n : mnodes_)
+    if (n.alive) n.marked = false;
+  for (VNode& n : vnodes_)
+    if (n.alive && n.ref > 0) mark_v(&n);
+  for (MNode& n : mnodes_)
+    if (n.alive && n.ref > 0) mark_m(&n);
+  for (const VEdge* e : vroots)
+    if (e) mark_v(e->node);
+  for (const MEdge* e : mroots)
+    if (e) mark_m(e->node);
+  // Sweep phase: unmarked nodes leave the unique table and join the free
+  // list; their storage is reused by the next allocation.
+  std::size_t freed = 0;
+  for (VNode& n : vnodes_) {
+    if (!n.alive || n.marked) continue;
+    v_unique_.erase(key_of(n));
+    n.alive = false;
+    n.ref = 0;
+    v_free_.push_back(&n);
+    --v_live_;
+    ++freed;
+  }
+  for (MNode& n : mnodes_) {
+    if (!n.alive || n.marked) continue;
+    m_unique_.erase(key_of(n));
+    n.alive = false;
+    n.ref = 0;
+    m_free_.push_back(&n);
+    --m_live_;
+    ++freed;
+  }
+  stats_.nodes_freed += freed;
+  // Compute tables and the norm memo may reference swept nodes (and node
+  // addresses are about to be reused) — invalidate them wholesale.
+  add_cache_.invalidate();
+  madd_cache_.invalidate();
+  mulv_cache_.invalidate();
+  mulm_cache_.invalidate();
+  norm_memo_.clear();
+  return freed;
 }
 
 // ---------------------------------------------------------------------------
@@ -86,26 +278,50 @@ VEdge Package::make_vnode(int var, VEdge e0, VEdge e1) {
   if (e1.w == cplx{0, 0}) e1 = {};
   if (e0.is_zero() && e1.is_zero()) return {};
   // Normalize: the child with the larger magnitude (ties -> child 0) takes
-  // weight 1 and its weight moves up to the returned edge.
-  const int pivot = std::abs(e1.w) > std::abs(e0.w) ? 1 : 0;
+  // weight 1 and its weight moves up to the returned edge. The tolerance band
+  // keeps the pivot choice stable when rounding drift perturbs a near-tie.
+  const int pivot = std::abs(e1.w) > std::abs(e0.w) + 1e-15 ? 1 : 0;
   const cplx top = pivot == 0 ? e0.w : e1.w;
   e0.w /= top;
   e1.w /= top;
+  e0.w = snap_weight(e0.w);
+  e1.w = snap_weight(e1.w);
+  // The pivot child's weight is exactly 1 by construction; force the bit
+  // pattern (complex self-division can yield e.g. a signed-zero imaginary
+  // part).
+  (pivot == 0 ? e0 : e1).w = cplx{1, 0};
+  if (e0.w == cplx{0, 0}) e0 = {};
+  if (e1.w == cplx{0, 0}) e1 = {};
   VKey key{var,
            e0.node,
            e1.node,
-           quantize(e0.w.real()),
-           quantize(e0.w.imag()),
-           quantize(e1.w.real()),
-           quantize(e1.w.imag())};
+           weight_bits(e0.w.real()),
+           weight_bits(e0.w.imag()),
+           weight_bits(e1.w.real()),
+           weight_bits(e1.w.imag())};
   auto it = v_unique_.find(key);
   if (it != v_unique_.end()) {
     ++stats_.unique_hits;
     return {it->second, top};
   }
-  vnodes_.push_back(VNode{var, {e0, e1}});
+  VNode* node;
+  if (!v_free_.empty()) {
+    node = v_free_.back();
+    v_free_.pop_back();
+    ++stats_.vector_nodes_reused;
+  } else {
+    vnodes_.emplace_back();
+    node = &vnodes_.back();
+  }
+  node->var = var;
+  node->e[0] = e0;
+  node->e[1] = e1;
+  node->ref = 0;
+  node->alive = true;
+  node->marked = false;
+  ++v_live_;
   ++stats_.vector_nodes_allocated;
-  VNode* node = &vnodes_.back();
+  stats_.peak_live_nodes = std::max(stats_.peak_live_nodes, v_live_ + m_live_);
   v_unique_.emplace(key, node);
   return {node, top};
 }
@@ -128,19 +344,43 @@ MEdge Package::make_mnode(int var, MEdge e00, MEdge e01, MEdge e10,
   MKey key;
   key.var = var;
   for (int i = 0; i < 4; ++i) {
-    e[i].w /= top;
+    // A child weight bitwise equal to the pivot's divides to exactly 1:
+    // complex self-division in FP leaves ~1e-17 imaginary residue, and
+    // whether that residue survives would otherwise depend on which node a
+    // tolerance lookup adopts — i.e. on allocation history. Forcing the
+    // exact quotient keeps gate construction deterministic across GC.
+    e[i].w = e[i].w == top ? cplx{1, 0} : e[i].w / top;
+    // Matrix nodes keep raw first-writer weights and unify by tolerance
+    // cell (see quantize_cell above): a near-miss lookup adopts the stored
+    // node verbatim, which is the contraction that lets deep miters cancel.
+    if (i == pivot) e[i].w = cplx{1, 0};
+    if (e[i].w == cplx{0, 0}) e[i] = {};
     key.n[i] = e[i].node;
-    key.wr[i] = quantize(e[i].w.real());
-    key.wi[i] = quantize(e[i].w.imag());
+    key.wr[i] = quantize_cell(e[i].w.real());
+    key.wi[i] = quantize_cell(e[i].w.imag());
   }
   auto it = m_unique_.find(key);
   if (it != m_unique_.end()) {
     ++stats_.unique_hits;
     return {it->second, top};
   }
-  mnodes_.push_back(MNode{var, {e[0], e[1], e[2], e[3]}});
+  MNode* node;
+  if (!m_free_.empty()) {
+    node = m_free_.back();
+    m_free_.pop_back();
+    ++stats_.matrix_nodes_reused;
+  } else {
+    mnodes_.emplace_back();
+    node = &mnodes_.back();
+  }
+  node->var = var;
+  for (int i = 0; i < 4; ++i) node->e[i] = e[i];
+  node->ref = 0;
+  node->alive = true;
+  node->marked = false;
+  ++m_live_;
   ++stats_.matrix_nodes_allocated;
-  MNode* node = &mnodes_.back();
+  stats_.peak_live_nodes = std::max(stats_.peak_live_nodes, v_live_ + m_live_);
   m_unique_.emplace(key, node);
   return {node, top};
 }
@@ -150,6 +390,7 @@ MEdge Package::make_mnode(int var, MEdge e00, MEdge e01, MEdge e10,
 // ---------------------------------------------------------------------------
 
 VEdge Package::make_basis_state(std::uint64_t bits) {
+  maybe_collect();
   VEdge below{nullptr, 1};
   for (int v = 0; v < n_; ++v) {
     const int bit = static_cast<int>((bits >> v) & 1);
@@ -163,6 +404,7 @@ VEdge Package::make_basis_state(std::uint64_t bits) {
 VEdge Package::make_state(const std::vector<cplx>& amplitudes) {
   if (amplitudes.size() != (std::size_t{1} << n_))
     throw std::invalid_argument("make_state: wrong amplitude count");
+  maybe_collect();
   // Build bottom-up over basis-index prefixes.
   struct Builder {
     Package& pkg;
@@ -181,6 +423,7 @@ VEdge Package::make_state(const std::vector<cplx>& amplitudes) {
 }
 
 MEdge Package::make_identity() {
+  maybe_collect();
   MEdge below{nullptr, 1};
   for (int v = 0; v < n_; ++v) below = make_mnode(v, below, {}, {}, below);
   return below;
@@ -198,6 +441,7 @@ MEdge Package::make_gate(const Matrix& gate, const std::vector<int>& qubits) {
       throw std::invalid_argument("make_gate: duplicate qubit");
     local[qubits[t]] = t;
   }
+  maybe_collect();
   // Recursive block construction: gate qubits branch into the 2x2 block of
   // the gate matrix, all other qubits contribute identity blocks. Memoized
   // on (level, accumulated gate-local row/col indices).
@@ -239,72 +483,81 @@ MEdge Package::make_gate(const Matrix& gate, const std::vector<int>& qubits) {
 // ---------------------------------------------------------------------------
 
 VEdge Package::add(const VEdge& a, const VEdge& b) {
+  maybe_collect({&a, &b});
   return add_rec(a, b, n_ - 1);
 }
 
 VEdge Package::add_rec(const VEdge& a, const VEdge& b, int var) {
-  if (a.is_zero()) return b;
-  if (b.is_zero()) return a;
+  // Canonicalize operand weights first: a user-constructed edge can carry a
+  // sub-tolerance nonzero weight, and dividing by it below would inject
+  // Inf/NaN into the result (and the compute table).
+  VEdge x = a, y = b;
+  x.w = canonical_zero_if_tiny(x.w);
+  y.w = canonical_zero_if_tiny(y.w);
+  if (x.w == cplx{0, 0}) return y.w == cplx{0, 0} ? VEdge{} : y;
+  if (y.w == cplx{0, 0}) return x;
   if (var < 0) {
-    const cplx s = canonical_zero_if_tiny(a.w + b.w);
+    const cplx s = canonical_zero_if_tiny(x.w + y.w);
     return s == cplx{0, 0} ? VEdge{} : VEdge{nullptr, s};
   }
-  VEdge x = a, y = b;
-  if (x.node > y.node) std::swap(x, y);  // addition commutes
+  // NOTE: operands are deliberately NOT reordered by node address — address
+  // order depends on allocation history, and the engine guarantees results
+  // that are bitwise independent of garbage collection.
+  // The ratio is used raw and keyed on its exact bit pattern: a cache hit
+  // returns precisely what recomputation would, so statevectors stay
+  // bitwise independent of garbage collection. Merging of near-equal
+  // amplitudes happens only in make_vnode, whose grid snap is a pure
+  // function of the value.
   const cplx ratio = y.w / x.w;
-  const BinKey key{x.node, y.node, quantize(ratio.real()),
-                   quantize(ratio.imag()), var};
-  auto it = add_cache_.find(key);
-  VEdge unit;
-  if (it != add_cache_.end()) {
-    ++stats_.compute_hits;
-    unit = it->second;
-  } else {
-    VEdge r[2];
-    for (int i = 0; i < 2; ++i) {
-      const VEdge xc = x.node->e[i];
-      VEdge yc = y.node->e[i];
-      yc.w *= ratio;
-      r[i] = add_rec(xc, yc, var - 1);
-    }
-    unit = make_vnode(var, r[0], r[1]);
-    add_cache_.emplace(key, unit);
+  const BinKey key{x.node, y.node, weight_bits(ratio.real()),
+                   weight_bits(ratio.imag()), var};
+  if (const VEdge* hit = add_cache_.lookup(key))
+    return {hit->node, hit->w * x.w};
+  VEdge r[2];
+  for (int i = 0; i < 2; ++i) {
+    const VEdge xc = x.node->e[i];
+    VEdge yc = y.node->e[i];
+    yc.w *= ratio;
+    r[i] = add_rec(xc, yc, var - 1);
   }
+  const VEdge unit = make_vnode(var, r[0], r[1]);
+  add_cache_.insert(key, unit);
   return {unit.node, unit.w * x.w};
 }
 
 MEdge Package::add(const MEdge& a, const MEdge& b) {
+  maybe_collect({}, {&a, &b});
   return add_rec(a, b, n_ - 1);
 }
 
 MEdge Package::add_rec(const MEdge& a, const MEdge& b, int var) {
-  if (a.is_zero()) return b;
-  if (b.is_zero()) return a;
+  MEdge x = a, y = b;
+  x.w = canonical_zero_if_tiny(x.w);
+  y.w = canonical_zero_if_tiny(y.w);
+  if (x.w == cplx{0, 0}) return y.w == cplx{0, 0} ? MEdge{} : y;
+  if (y.w == cplx{0, 0}) return x;
   if (var < 0) {
-    const cplx s = canonical_zero_if_tiny(a.w + b.w);
+    const cplx s = canonical_zero_if_tiny(x.w + y.w);
     return s == cplx{0, 0} ? MEdge{} : MEdge{nullptr, s};
   }
-  MEdge x = a, y = b;
+  // Matrix land: operands are canonically ordered and the ratio is keyed by
+  // tolerance cell, so near-equal sums resolve to the first-computed result
+  // (the same first-writer merging the matrix unique table does).
   if (x.node > y.node) std::swap(x, y);
   const cplx ratio = y.w / x.w;
-  const BinKey key{x.node, y.node, quantize(ratio.real()),
-                   quantize(ratio.imag()), var};
-  auto it = madd_cache_.find(key);
-  MEdge unit;
-  if (it != madd_cache_.end()) {
-    ++stats_.compute_hits;
-    unit = it->second;
-  } else {
-    MEdge r[4];
-    for (int i = 0; i < 4; ++i) {
-      const MEdge xc = x.node->e[i];
-      MEdge yc = y.node->e[i];
-      yc.w *= ratio;
-      r[i] = add_rec(xc, yc, var - 1);
-    }
-    unit = make_mnode(var, r[0], r[1], r[2], r[3]);
-    madd_cache_.emplace(key, unit);
+  const BinKey key{x.node, y.node, quantize_cell(ratio.real()),
+                   quantize_cell(ratio.imag()), var};
+  if (const MEdge* hit = madd_cache_.lookup(key))
+    return {hit->node, hit->w * x.w};
+  MEdge r[4];
+  for (int i = 0; i < 4; ++i) {
+    const MEdge xc = x.node->e[i];
+    MEdge yc = y.node->e[i];
+    yc.w *= ratio;
+    r[i] = add_rec(xc, yc, var - 1);
   }
+  const MEdge unit = make_mnode(var, r[0], r[1], r[2], r[3]);
+  madd_cache_.insert(key, unit);
   return {unit.node, unit.w * x.w};
 }
 
@@ -314,6 +567,7 @@ MEdge Package::add_rec(const MEdge& a, const MEdge& b, int var) {
 
 VEdge Package::multiply(const MEdge& m, const VEdge& v) {
   if (m.is_zero() || v.is_zero()) return {};
+  maybe_collect({&v}, {&m});
   if (n_ == 0) return {nullptr, m.w * v.w};
   VEdge unit = mul_rec(m.node, v.node, n_ - 1);
   return {unit.node, unit.w * m.w * v.w};
@@ -321,11 +575,7 @@ VEdge Package::multiply(const MEdge& m, const VEdge& v) {
 
 VEdge Package::mul_rec(MNode* m, VNode* v, int var) {
   const BinKey key{m, v, 0, 0, var};
-  auto it = mulv_cache_.find(key);
-  if (it != mulv_cache_.end()) {
-    ++stats_.compute_hits;
-    return it->second;
-  }
+  if (const VEdge* hit = mulv_cache_.lookup(key)) return *hit;
   VEdge r[2];
   for (int i = 0; i < 2; ++i) {
     VEdge sum{};
@@ -345,23 +595,20 @@ VEdge Package::mul_rec(MNode* m, VNode* v, int var) {
     r[i] = sum;
   }
   VEdge result = make_vnode(var, r[0], r[1]);
-  mulv_cache_.emplace(key, result);
+  mulv_cache_.insert(key, result);
   return result;
 }
 
 MEdge Package::multiply(const MEdge& m1, const MEdge& m2) {
   if (m1.is_zero() || m2.is_zero()) return {};
+  maybe_collect({}, {&m1, &m2});
   MEdge unit = mul_rec(m1.node, m2.node, n_ - 1);
   return {unit.node, unit.w * m1.w * m2.w};
 }
 
 MEdge Package::mul_rec(MNode* a, MNode* b, int var) {
-  const BinKey key{a, b, 1, 0, var};  // wr=1 distinguishes from mul_rec(V)
-  auto it = mulm_cache_.find(key);
-  if (it != mulm_cache_.end()) {
-    ++stats_.compute_hits;
-    return it->second;
-  }
+  const BinKey key{a, b, 0, 0, var};
+  if (const MEdge* hit = mulm_cache_.lookup(key)) return *hit;
   MEdge r[4];
   for (int i = 0; i < 2; ++i) {
     for (int j = 0; j < 2; ++j) {
@@ -383,7 +630,7 @@ MEdge Package::mul_rec(MNode* a, MNode* b, int var) {
     }
   }
   MEdge result = make_mnode(var, r[0], r[1], r[2], r[3]);
-  mulm_cache_.emplace(key, result);
+  mulm_cache_.insert(key, result);
   return result;
 }
 
@@ -392,17 +639,38 @@ MEdge Package::mul_rec(MNode* a, MNode* b, int var) {
 // ---------------------------------------------------------------------------
 
 cplx Package::inner_product(const VEdge& a, const VEdge& b) {
-  return inner_rec(a, b, n_ - 1);
-}
-
-cplx Package::inner_rec(const VEdge& a, const VEdge& b, int var) {
   if (a.is_zero() || b.is_zero()) return {0, 0};
   const cplx factor = std::conj(a.w) * b.w;
-  if (var < 0) return factor;
+  if (a.is_terminal() || b.is_terminal()) return factor;  // n_ == 0 edges
+  std::map<std::pair<const VNode*, const VNode*>, cplx> memo;
+  return factor * inner_unit(a.node, b.node, n_ - 1, memo);
+}
+
+/// <a|b> of two unit edges into `a`/`b` at level `var`. Memoized on the node
+/// pair: shared sub-DDs are visited once, so highly structured states cost
+/// O(distinct pairs) instead of the exponential naive recursion.
+cplx Package::inner_unit(
+    VNode* a, VNode* b, int var,
+    std::map<std::pair<const VNode*, const VNode*>, cplx>& memo) {
+  if (var < 0) return {1, 0};
+  ++stats_.inner_visits;
+  const auto key = std::make_pair(static_cast<const VNode*>(a),
+                                  static_cast<const VNode*>(b));
+  auto it = memo.find(key);
+  if (it != memo.end()) {
+    ++stats_.inner_memo_hits;
+    return it->second;
+  }
   cplx sum{0, 0};
-  for (int i = 0; i < 2; ++i)
-    sum += inner_rec(a.node->e[i], b.node->e[i], var - 1);
-  return factor * sum;
+  for (int i = 0; i < 2; ++i) {
+    const VEdge& ae = a->e[i];
+    const VEdge& be = b->e[i];
+    if (ae.is_zero() || be.is_zero()) continue;
+    sum += std::conj(ae.w) * be.w *
+           (var == 0 ? cplx{1, 0} : inner_unit(ae.node, be.node, var - 1, memo));
+  }
+  memo.emplace(key, sum);
+  return sum;
 }
 
 double Package::fidelity(const VEdge& a, const VEdge& b) {
@@ -411,27 +679,24 @@ double Package::fidelity(const VEdge& a, const VEdge& b) {
 
 double Package::norm_squared(const VEdge& v) {
   if (v.is_zero()) return 0;
-  std::unordered_map<VNode*, double> memo;
-  return std::norm(v.w) * (v.is_terminal() ? 1.0 : norm_rec(v.node, memo));
+  return std::norm(v.w) * (v.is_terminal() ? 1.0 : norm_rec(v.node));
 }
 
-double Package::norm_rec(VNode* node,
-                         std::unordered_map<VNode*, double>& memo) {
-  auto it = memo.find(node);
-  if (it != memo.end()) return it->second;
+double Package::norm_rec(VNode* node) {
+  auto it = norm_memo_.find(node);
+  if (it != norm_memo_.end()) return it->second;
   double total = 0;
   for (int i = 0; i < 2; ++i) {
     const VEdge& e = node->e[i];
     if (e.is_zero()) continue;
-    total += std::norm(e.w) * (e.is_terminal() ? 1.0 : norm_rec(e.node, memo));
+    total += std::norm(e.w) * (e.is_terminal() ? 1.0 : norm_rec(e.node));
   }
-  memo.emplace(node, total);
+  norm_memo_.emplace(node, total);
   return total;
 }
 
 std::uint64_t Package::sample(const VEdge& v, Rng& rng) {
   if (v.is_zero()) throw std::invalid_argument("sample: zero state");
-  std::unordered_map<VNode*, double> memo;
   std::uint64_t result = 0;
   const VEdge* edge = &v;
   for (int var = n_ - 1; var >= 0; --var) {
@@ -441,7 +706,7 @@ std::uint64_t Package::sample(const VEdge& v, Rng& rng) {
       const VEdge& c = node->e[i];
       p[i] = c.is_zero() ? 0.0
                          : std::norm(c.w) *
-                               (c.is_terminal() ? 1.0 : norm_rec(c.node, memo));
+                               (c.is_terminal() ? 1.0 : norm_rec(c.node));
     }
     const double total = p[0] + p[1];
     const int bit = rng.uniform() * total < p[0] ? 0 : 1;
@@ -550,6 +815,18 @@ std::size_t Package::node_count(const MEdge& m) const {
   return seen.size();
 }
 
+namespace {
+
+/// Render an edge weight for DOT labels: real part, then the imaginary part
+/// with an explicit sign (never "+-0.5i").
+void append_weight(std::ostringstream& os, cplx w) {
+  os << w.real();
+  if (std::abs(w.imag()) > 1e-12)
+    os << (w.imag() < 0 ? "-" : "+") << std::abs(w.imag()) << "i";
+}
+
+}  // namespace
+
 std::string Package::to_dot(const VEdge& v) const {
   std::ostringstream os;
   os << "digraph dd {\n  rankdir=TB;\n";
@@ -573,14 +850,14 @@ std::string Package::to_dot(const VEdge& v) const {
         const VEdge& e = node->e[b];
         if (e.is_zero()) continue;
         if (e.is_terminal()) {
-          os << "  n" << my << " -> t [label=\"" << b << ": " << e.w.real();
-          if (std::abs(e.w.imag()) > 1e-12) os << "+" << e.w.imag() << "i";
+          os << "  n" << my << " -> t [label=\"" << b << ": ";
+          append_weight(os, e.w);
           os << "\"];\n";
         } else {
           const bool first = ids.find(e.node) == ids.end();
           os << "  n" << my << " -> n" << id(e.node) << " [label=\"" << b
-             << ": " << e.w.real();
-          if (std::abs(e.w.imag()) > 1e-12) os << "+" << e.w.imag() << "i";
+             << ": ";
+          append_weight(os, e.w);
           os << "\"];\n";
           if (first) walk(e.node);
         }

@@ -1,23 +1,59 @@
 #include "dd/simulator.hpp"
 
 #include <stdexcept>
+#include <string>
 
 #include "sim/statevector.hpp"  // format_bits
 
 namespace qtc::dd {
 
+namespace {
+
+/// Enforce the measure-last contract: once a wire is measured, nothing else
+/// may act on it. The old behavior — silently skipping mid-circuit measures
+/// — returned confidently wrong counts for measure-then-gate circuits.
+void require_measure_last(const QuantumCircuit& circuit, const char* api) {
+  std::vector<char> measured(circuit.num_qubits(), 0);
+  for (const auto& op : circuit.ops()) {
+    if (op.kind == OpKind::Barrier) continue;
+    if (op.kind == OpKind::Measure) {
+      const int q = op.qubits[0];
+      if (measured[q])
+        throw std::invalid_argument(
+            std::string(api) + ": qubit " + std::to_string(q) +
+            " is measured twice; measurements must form a single final "
+            "layer (measure-last only)");
+      measured[q] = 1;
+      continue;
+    }
+    for (int q : op.qubits)
+      if (measured[q])
+        throw std::invalid_argument(
+            std::string(api) + ": mid-circuit measurement — qubit " +
+            std::to_string(q) +
+            " is used after being measured; the DD engine supports "
+            "measure-last circuits only");
+  }
+}
+
+}  // namespace
+
 DDSimulator::StateHandle DDSimulator::simulate(const QuantumCircuit& circuit) {
+  require_measure_last(circuit, "dd::simulate");
   auto pkg = std::make_unique<Package>(circuit.num_qubits());
-  VEdge state = pkg->make_zero_state();
+  // The evolving state is pinned via a ref handle so the collector can
+  // reclaim spent gate DDs and intermediate states mid-run.
+  Package::VRef state = pkg->hold(pkg->make_zero_state());
   for (const auto& op : circuit.ops()) {
     if (op.kind == OpKind::Barrier || op.kind == OpKind::Measure) continue;
     if (!op_is_unitary(op.kind) || op.conditioned())
       throw std::invalid_argument(
           "dd::simulate: only unitary, unconditioned circuits");
     const MEdge gate = pkg->make_gate(op_matrix(op.kind, op.params), op.qubits);
-    state = pkg->multiply(gate, state);
+    state = pkg->hold(pkg->multiply(gate, state.edge()));
   }
-  return {std::move(pkg), state};
+  const VEdge final_state = state.edge();
+  return {std::move(pkg), final_state, std::move(state)};
 }
 
 std::vector<cplx> DDSimulator::statevector(const QuantumCircuit& circuit) {
@@ -27,6 +63,7 @@ std::vector<cplx> DDSimulator::statevector(const QuantumCircuit& circuit) {
 
 DDRunResult DDSimulator::run(const QuantumCircuit& circuit, int shots) {
   if (shots <= 0) throw std::invalid_argument("run: shots must be positive");
+  require_measure_last(circuit, "dd::run");
   // Collect the measurement layer; everything else must be unitary.
   std::vector<std::pair<int, int>> qubit_to_clbit;
   for (const auto& op : circuit.ops()) {
@@ -42,10 +79,21 @@ DDRunResult DDSimulator::run(const QuantumCircuit& circuit, int shots) {
   const auto& stats = handle.package->stats();
   result.allocated_nodes =
       stats.vector_nodes_allocated + stats.matrix_nodes_allocated;
+  result.gc_runs = stats.gc_runs;
+  result.freed_nodes = stats.nodes_freed;
+  result.reused_nodes = stats.vector_nodes_reused + stats.matrix_nodes_reused;
+  result.peak_live_nodes = stats.peak_live_nodes;
+  result.compute_hits = stats.compute_hits;
+  result.compute_evictions = stats.add_table.evictions +
+                             stats.madd_table.evictions +
+                             stats.mulv_table.evictions +
+                             stats.mulm_table.evictions;
   if (qubit_to_clbit.empty()) {
     result.counts.shots = shots;
     return result;
   }
+  // The per-node norm table is cached inside the package, so the O(nodes)
+  // preprocessing is paid once here, then each shot costs O(n).
   const int ncl = circuit.num_clbits();
   for (int s = 0; s < shots; ++s) {
     const std::uint64_t basis = handle.package->sample(handle.state, rng_);
@@ -59,15 +107,16 @@ DDRunResult DDSimulator::run(const QuantumCircuit& circuit, int shots) {
 
 DDSimulator::UnitaryHandle DDSimulator::unitary(const QuantumCircuit& circuit) {
   auto pkg = std::make_unique<Package>(circuit.num_qubits());
-  MEdge u = pkg->make_identity();
+  Package::MRef u = pkg->hold(pkg->make_identity());
   for (const auto& op : circuit.ops()) {
     if (op.kind == OpKind::Barrier) continue;
     if (!op_is_unitary(op.kind) || op.conditioned())
       throw std::invalid_argument("dd::unitary: circuit must be unitary");
     const MEdge gate = pkg->make_gate(op_matrix(op.kind, op.params), op.qubits);
-    u = pkg->multiply(gate, u);  // later gates compose from the left
+    u = pkg->hold(pkg->multiply(gate, u.edge()));  // later gates from the left
   }
-  return {std::move(pkg), u};
+  const MEdge unitary = u.edge();
+  return {std::move(pkg), unitary, std::move(u)};
 }
 
 }  // namespace qtc::dd

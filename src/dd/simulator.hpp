@@ -3,6 +3,18 @@
 // paper presents as a Qiskit "success story" (Sec. V-A, refs [5][40]).
 // Functionally a drop-in alternative to sim::StatevectorSimulator, but the
 // state is a DD, so memory tracks circuit structure instead of 2^n.
+//
+// Measurement contract: measurements must form a final layer. A circuit in
+// which any gate or another measurement acts on a wire after that wire has
+// been measured is rejected with std::invalid_argument by simulate(),
+// statevector() and run() — silently skipping a mid-circuit measurement
+// would return confidently wrong amplitudes/counts, and the DD engine has
+// no collapse path. Reset and classically conditioned operations are
+// likewise unsupported.
+//
+// Memory: the simulator pins its evolving state with a Package ref handle,
+// so the package's garbage collector (QTC_DD_GC_THRESHOLD) can reclaim
+// spent gate DDs and intermediate states while the run is in flight.
 
 #include <cstdint>
 #include <memory>
@@ -17,8 +29,19 @@ struct DDRunResult {
   sim::Counts counts;
   /// Nodes in the final state DD — the compactness measure of Fig. 3.
   std::size_t final_nodes = 0;
-  /// Total vector/matrix nodes ever allocated during the run.
+  /// Total vector/matrix nodes ever constructed during the run (free-list
+  /// reuses included).
   std::size_t allocated_nodes = 0;
+  // --- bounded-memory telemetry (see PackageStats) -------------------------
+  std::size_t gc_runs = 0;
+  std::size_t freed_nodes = 0;
+  std::size_t reused_nodes = 0;
+  /// High-water mark of simultaneously live nodes; with GC enabled this is
+  /// bounded by the threshold plus one operation's working set, however
+  /// deep the circuit.
+  std::size_t peak_live_nodes = 0;
+  std::size_t compute_hits = 0;
+  std::size_t compute_evictions = 0;
 };
 
 class DDSimulator {
@@ -30,10 +53,12 @@ class DDSimulator {
   DDRunResult run(const QuantumCircuit& circuit, int shots = 1024);
 
   /// Final state as a DD, together with the package that owns it. The
-  /// package must outlive the edge.
+  /// package must outlive the edge; `root` keeps the state pinned across
+  /// any further garbage collections in that package.
   struct StateHandle {
     std::unique_ptr<Package> package;
     VEdge state;
+    Package::VRef root;
   };
   StateHandle simulate(const QuantumCircuit& circuit);
 
@@ -44,6 +69,7 @@ class DDSimulator {
   struct UnitaryHandle {
     std::unique_ptr<Package> package;
     MEdge unitary;
+    Package::MRef root;
   };
   UnitaryHandle unitary(const QuantumCircuit& circuit);
 

@@ -35,23 +35,25 @@ EquivalenceResult check_equivalence(const QuantumCircuit& c1,
   const int n = c1.num_qubits();
   Package pkg(n);
   // Miter M = U2^dag U1: apply c1 forward, then c2's inverses in reverse.
-  MEdge m = pkg.make_identity();
+  // The evolving miter is pinned so the package's garbage collector can
+  // reclaim spent gate DDs between steps without touching it.
+  Package::MRef m = pkg.hold(pkg.make_identity());
   for (const auto& op : c1.ops()) {
     if (op.kind == OpKind::Barrier) continue;
-    m = pkg.multiply(pkg.make_gate(op_matrix(op.kind, op.params), op.qubits),
-                     m);
+    const MEdge gate = pkg.make_gate(op_matrix(op.kind, op.params), op.qubits);
+    m = pkg.hold(pkg.multiply(gate, m.edge()));
   }
   for (auto it = c2.ops().rbegin(); it != c2.ops().rend(); ++it) {
     if (it->kind == OpKind::Barrier) continue;
-    m = pkg.multiply(
-        pkg.make_gate(op_matrix(it->kind, it->params).dagger(), it->qubits),
-        m);
+    const MEdge gate =
+        pkg.make_gate(op_matrix(it->kind, it->params).dagger(), it->qubits);
+    m = pkg.hold(pkg.multiply(gate, m.edge()));
   }
   // M = e^{i phi} I  <=>  |tr M| = 2^n.
   const double dim = std::pow(2.0, n);
-  const cplx trace = dd_trace(m, n - 1);
+  const cplx trace = dd_trace(m.edge(), n - 1);
   EquivalenceResult result;
-  result.miter_nodes = pkg.node_count(m);
+  result.miter_nodes = pkg.node_count(m.edge());
   result.equivalent = std::abs(std::abs(trace) - dim) <= tolerance * dim;
   if (result.equivalent && std::abs(trace) > 0)
     result.phase = trace / std::abs(trace);

@@ -282,6 +282,47 @@ TEST(DDSimulator, RunProducesCorrelatedBellCounts) {
   EXPECT_GT(r.allocated_nodes, 0u);
 }
 
+TEST(DDSimulator, RejectsGateAfterMeasureOnSameWire) {
+  // Silently skipping a mid-circuit measurement would return confidently
+  // wrong results — the engine must reject measure-then-gate circuits.
+  QuantumCircuit qc(2, 2);
+  qc.h(0).measure(0, 0);
+  qc.x(0);  // acts on a measured wire
+  DDSimulator sim;
+  EXPECT_THROW(sim.run(qc, 10), std::invalid_argument);
+  EXPECT_THROW(sim.statevector(qc), std::invalid_argument);
+  EXPECT_THROW(sim.simulate(qc), std::invalid_argument);
+}
+
+TEST(DDSimulator, RejectsDoubleMeasureOnSameWire) {
+  QuantumCircuit qc(2, 2);
+  qc.h(0).measure(0, 0).measure(0, 1);
+  DDSimulator sim;
+  EXPECT_THROW(sim.run(qc, 10), std::invalid_argument);
+}
+
+TEST(DDSimulator, AllowsGatesOnUnmeasuredWiresAfterOtherMeasures) {
+  // Measure-last is a per-wire contract: activity on other wires after a
+  // measurement stays legal (e.g. routed circuits measuring qubits early).
+  QuantumCircuit qc(2, 2);
+  qc.h(0).measure(0, 0);
+  qc.h(1).measure(1, 1);
+  DDSimulator sim(5);
+  const DDRunResult r = sim.run(qc, 100);
+  EXPECT_EQ(r.counts.shots, 100);
+}
+
+TEST(DDPackage, DotExportRendersNegativeImaginaryParts) {
+  // Regression: weights with negative imaginary part used to render as
+  // "+-0.5i".
+  Package pkg(1);
+  // After normalization the |1> child carries weight -0.75i.
+  const VEdge e = pkg.make_state({cplx(0.8, 0), cplx(0, -0.6)});
+  const std::string dot = pkg.to_dot(e);
+  EXPECT_EQ(dot.find("+-"), std::string::npos) << dot;
+  EXPECT_NE(dot.find("-0.75i"), std::string::npos) << dot;
+}
+
 TEST(DDSimulator, RejectsConditionedCircuits) {
   QuantumCircuit qc(1, 1);
   qc.measure(0, 0);
