@@ -9,7 +9,10 @@
 #include "aqua/maxcut.hpp"
 #include "aqua/optimizer.hpp"
 #include "aqua/vqe.hpp"
+#include "exec/execute.hpp"
+#include "map/mapping.hpp"
 #include "sim/simulator.hpp"
+#include "transpiler/transpile_cache.hpp"
 
 namespace {
 
@@ -67,6 +70,38 @@ void print_artifact() {
       "\nShape check: VQE tracks FCI to ~1e-3 Ha across the curve with the\n"
       "minimum near 0.735 A; QAOA reaches the optimal cut and deeper\n"
       "circuits push <H> towards the Ising ground energy.\n\n");
+
+  // The hybrid-loop hot path: a device-executed parameter sweep re-compiles
+  // the *same ansatz structure* every iteration, so with the transpile cache
+  // only the first compile runs the mapper (cold); every later iteration
+  // replays the cached routing with re-bound angles (warm).
+  std::printf("Hybrid loop on QX4 (20-iteration parameter sweep, 64 shots):\n");
+  transpiler::TranspileCache::global().clear();
+  transpiler::TranspileCache::set_enabled(1);
+  const Ansatz sweep_ansatz = ry_linear(4, 2);
+  std::vector<double> params(sweep_ansatz.num_parameters, 0.0);
+  exec::ExecuteOptions exec_opts;
+  exec_opts.shots = 64;
+  exec_opts.transpile_options.trials = 4;
+  exec_opts.transpile_options.seed = 17;
+  const std::uint64_t mapper_runs_before = map::mapper_run_count();
+  int cold_compiles = 0, warm_compiles = 0;
+  for (int iter = 0; iter < 20; ++iter) {
+    for (auto& p : params) p += 0.05;
+    const auto run = exec::execute(sweep_ansatz.build(params),
+                                   arch::qx4_backend(), exec_opts);
+    run.transpile_cache_hit ? ++warm_compiles : ++cold_compiles;
+  }
+  std::printf(
+      "  transpiles: %d cold, %d warm; mapper runs: %llu (one per cold)\n"
+      "Shape check: every iteration after the first hits the cache — the\n"
+      "layout+routing cost is paid once per ansatz structure, not per\n"
+      "parameter set.\n\n",
+      cold_compiles, warm_compiles,
+      static_cast<unsigned long long>(map::mapper_run_count() -
+                                      mapper_runs_before));
+  transpiler::TranspileCache::set_enabled(-1);
+  transpiler::TranspileCache::global().clear();
 }
 
 void BM_H2Integrals(benchmark::State& state) {

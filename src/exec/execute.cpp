@@ -4,6 +4,7 @@
 
 #include "noise/trajectory.hpp"
 #include "transpiler/direction.hpp"
+#include "transpiler/transpile_cache.hpp"
 
 namespace qtc::exec {
 
@@ -15,11 +16,17 @@ ExecuteResult execute(const QuantumCircuit& circuit,
   ExecuteResult result;
   if (options.transpile) {
     transpiler::TranspileResult compiled =
-        transpiler::transpile(circuit, backend, options.transpile_options);
+        options.use_transpile_cache
+            ? transpiler::transpile_cached(circuit, backend,
+                                           options.transpile_options)
+            : transpiler::transpile(circuit, backend,
+                                    options.transpile_options);
     result.compiled = std::move(compiled.circuit);
     result.initial_layout = std::move(compiled.initial_layout);
     result.final_layout = std::move(compiled.final_layout);
     result.swaps_inserted = compiled.swaps_inserted;
+    result.transpile_cache_hit = compiled.cache_hit;
+    result.mapper_trials = compiled.mapper_trials;
   } else {
     if (!transpiler::satisfies_coupling(circuit, backend.coupling_map()))
       throw std::invalid_argument(

@@ -29,6 +29,10 @@ struct ExecuteOptions {
   /// calibration data (noise::from_backend).
   const noise::NoiseModel* noise_model = nullptr;
   transpiler::TranspileOptions transpile_options{};
+  /// Serve compilation from the global TranspileCache (when it is enabled —
+  /// see QTC_TRANSPILE_CACHE). Hybrid loops re-executing the same ansatz
+  /// structure with new angles then skip layout + routing entirely.
+  bool use_transpile_cache = true;
 };
 
 struct ExecuteResult {
@@ -38,6 +42,10 @@ struct ExecuteResult {
   map::Layout initial_layout;
   map::Layout final_layout;
   int swaps_inserted = 0;
+  /// Whether compilation was served from the transpile cache, and how many
+  /// mapper layout trials ran (0 on a cache hit or with transpile=false).
+  bool transpile_cache_hit = false;
+  int mapper_trials = 0;
 };
 
 /// Compile `circuit` for `backend`, attach its noise model, and execute on

@@ -68,21 +68,24 @@ std::optional<std::vector<std::pair<int, int>>> search_layer(
 MappingResult AStarMapper::run(const QuantumCircuit& circuit,
                                const arch::CouplingMap& coupling) const {
   detail::validate(circuit, coupling);
+  detail::note_mapper_run();
   detail::RoutingContext ctx(circuit, coupling);
   const Layout initial = ctx.layout;
+  const auto& ops = circuit.ops();
 
-  // Current layer: consecutive two-qubit gates on pairwise disjoint qubits.
-  std::vector<const Operation*> layer;
+  // Current layer: consecutive two-qubit gates on pairwise disjoint qubits,
+  // held as indices into the op list.
+  std::vector<int> layer;
   auto layer_uses = [&](Qubit q) {
-    for (const Operation* op : layer)
-      if (op->qubits[0] == q || op->qubits[1] == q) return true;
+    for (int idx : layer)
+      if (ops[idx].qubits[0] == q || ops[idx].qubits[1] == q) return true;
     return false;
   };
   auto flush_layer = [&]() {
     if (layer.empty()) return;
     std::vector<std::pair<int, int>> pairs;
-    for (const Operation* op : layer)
-      pairs.emplace_back(op->qubits[0], op->qubits[1]);
+    for (int idx : layer)
+      pairs.emplace_back(ops[idx].qubits[0], ops[idx].qubits[1]);
     const auto swaps = search_layer(pairs, ctx.layout, coupling, node_limit_);
     if (swaps) {
       for (const auto& [p1, p2] : *swaps) ctx.emit_swap(p1, p2);
@@ -95,14 +98,15 @@ MappingResult AStarMapper::run(const QuantumCircuit& circuit,
           ctx.emit_swap(path[i], path[i + 1]);
       }
     }
-    for (const Operation* op : layer) ctx.emit_remapped(*op);
+    for (int idx : layer) ctx.emit_remapped(ops[idx], idx);
     layer.clear();
   };
 
-  for (const auto& op : circuit.ops()) {
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Operation& op = ops[i];
     if (detail::is_two_qubit_gate(op) && !op.conditioned()) {
       if (layer_uses(op.qubits[0]) || layer_uses(op.qubits[1])) flush_layer();
-      layer.push_back(&op);
+      layer.push_back(static_cast<int>(i));
       continue;
     }
     // Anything else only synchronizes when it touches a layer qubit (or is
@@ -113,10 +117,10 @@ MappingResult AStarMapper::run(const QuantumCircuit& circuit,
     if (detail::is_two_qubit_gate(op)) {  // conditioned 2q gate: route naively
       const auto path = coupling.shortest_path(ctx.layout.l2p[op.qubits[0]],
                                                ctx.layout.l2p[op.qubits[1]]);
-      for (std::size_t i = 0; i + 2 < path.size(); ++i)
-        ctx.emit_swap(path[i], path[i + 1]);
+      for (std::size_t j = 0; j + 2 < path.size(); ++j)
+        ctx.emit_swap(path[j], path[j + 1]);
     }
-    ctx.emit_remapped(op);
+    ctx.emit_remapped(op, static_cast<int>(i));
   }
   flush_layer();
   return std::move(ctx).finish(initial);

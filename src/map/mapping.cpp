@@ -1,8 +1,41 @@
 #include "map/mapping.hpp"
 
+#include <atomic>
+#include <cstdlib>
 #include <stdexcept>
 
+#include "map/router_detail.hpp"
+
 namespace qtc::map {
+
+namespace {
+std::atomic<std::uint64_t> g_mapper_runs{0};
+}  // namespace
+
+std::uint64_t mapper_run_count() {
+  return g_mapper_runs.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+void note_mapper_run() {
+  g_mapper_runs.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace detail
+
+int default_map_trials() {
+  const char* s = std::getenv("QTC_MAP_TRIALS");
+  if (!s || !*s) return 4;
+  const long v = std::strtol(s, nullptr, 10);
+  if (v < 1) return 1;
+  if (v > 256) return 256;
+  return static_cast<int>(v);
+}
+
+std::uint64_t default_map_seed() {
+  const char* s = std::getenv("QTC_MAP_SEED");
+  if (!s || !*s) return 0xC0FFEE;
+  return std::strtoull(s, nullptr, 10);
+}
 
 Layout Layout::trivial(int num_logical, int num_physical) {
   if (num_logical > num_physical)

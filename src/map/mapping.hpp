@@ -5,6 +5,7 @@
 // straightforward mapper Qiskit shipped (Fig. 4a) and two improved
 // heuristics in the spirit of [18] (SABRE) and [39] (layered A*).
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,8 @@ struct Layout {
   void swap_physical(int p1, int p2);
   int num_logical() const { return static_cast<int>(l2p.size()); }
   int num_physical() const { return static_cast<int>(p2l.size()); }
+
+  bool operator==(const Layout&) const = default;
 };
 
 /// A routed circuit over physical qubits plus the layouts that relate it to
@@ -35,7 +38,29 @@ struct MappingResult {
   Layout initial;
   Layout final_layout;
   int swaps_inserted = 0;
+  /// Per routed op: the index of the input op it remaps, or -1 for an
+  /// inserted SWAP. Lets a transpile cache replay this routing onto a
+  /// same-structure circuit with different parameters (re-bind only).
+  std::vector<int> source_index;
+  /// Portfolio bookkeeping (SABRE): how many layout trials ran and which won.
+  int trials_run = 1;
+  int best_trial = 0;
+
+  bool operator==(const MappingResult&) const = default;
 };
+
+/// Process-wide count of Mapper::run invocations (all mappers, one per call
+/// whatever the trial count). Monotonic; tests diff it around a code path to
+/// prove a transpile-cache hit performed zero mapper runs.
+std::uint64_t mapper_run_count();
+
+/// Portfolio defaults, resolved from the environment on each run:
+/// QTC_MAP_TRIALS (default 4, clamped to [1, 256]) and QTC_MAP_SEED
+/// (default 0xC0FFEE).
+int default_map_trials();
+std::uint64_t default_map_seed();
+/// Sentinel seed value meaning "resolve from QTC_MAP_SEED / default".
+inline constexpr std::uint64_t kMapSeedFromEnv = ~std::uint64_t{0};
 
 class Mapper {
  public:
@@ -57,12 +82,25 @@ class NaiveMapper final : public Mapper {
                     const arch::CouplingMap& coupling) const override;
 };
 
-/// SABRE-style heuristic (Li/Ding/Xie [18]): front-layer routing with a
-/// lookahead window and per-qubit decay to escape ping-pong swaps.
+/// Bidirectional SABRE (Li/Ding/Xie [18]): front-layer routing with a
+/// lookahead window and per-qubit decay to escape ping-pong swaps, run as a
+/// portfolio of `trials` independent layout trials. Trial 0 starts from the
+/// trivial layout; trial t > 0 from a random initial placement drawn from
+/// the RNG stream derive_stream_seed(seed, t). Every trial refines its
+/// initial layout with a forward/backward/forward pass before emitting, and
+/// the portfolio keeps the best result by (swap count, then depth, then
+/// trial index). Trials fan out on the core/parallel.hpp pool; the result is
+/// bitwise independent of the thread count. trials == 0 and
+/// seed == kMapSeedFromEnv defer to the QTC_MAP_TRIALS / QTC_MAP_SEED
+/// environment knobs.
 class SabreMapper final : public Mapper {
  public:
-  explicit SabreMapper(int lookahead = 20, double lookahead_weight = 0.5)
-      : lookahead_(lookahead), lookahead_weight_(lookahead_weight) {}
+  explicit SabreMapper(int lookahead = 20, double lookahead_weight = 0.5,
+                       int trials = 0, std::uint64_t seed = kMapSeedFromEnv)
+      : lookahead_(lookahead),
+        lookahead_weight_(lookahead_weight),
+        trials_(trials),
+        seed_(seed) {}
   std::string name() const override { return "sabre"; }
   MappingResult run(const QuantumCircuit& circuit,
                     const arch::CouplingMap& coupling) const override;
@@ -70,6 +108,8 @@ class SabreMapper final : public Mapper {
  private:
   int lookahead_;
   double lookahead_weight_;
+  int trials_;
+  std::uint64_t seed_;
 };
 
 /// Layered A* search (Zulehner/Paler/Wille [39]): the circuit is split into

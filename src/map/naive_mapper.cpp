@@ -6,20 +6,23 @@ namespace qtc::map {
 MappingResult NaiveMapper::run(const QuantumCircuit& circuit,
                                const arch::CouplingMap& coupling) const {
   detail::validate(circuit, coupling);
+  detail::note_mapper_run();
   detail::RoutingContext ctx(circuit, coupling);
   const Layout initial = ctx.layout;
-  for (const auto& op : circuit.ops()) {
+  const auto& ops = circuit.ops();
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Operation& op = ops[i];
     if (detail::is_two_qubit_gate(op)) {
       const int a = ctx.layout.l2p[op.qubits[0]];
       const int b = ctx.layout.l2p[op.qubits[1]];
       if (!coupling.connected(a, b)) {
         // Walk the first operand towards the second along a shortest path.
         const auto path = coupling.shortest_path(a, b);
-        for (std::size_t i = 0; i + 2 < path.size(); ++i)
-          ctx.emit_swap(path[i], path[i + 1]);
+        for (std::size_t j = 0; j + 2 < path.size(); ++j)
+          ctx.emit_swap(path[j], path[j + 1]);
       }
     }
-    ctx.emit_remapped(op);
+    ctx.emit_remapped(op, static_cast<int>(i));
   }
   return std::move(ctx).finish(initial);
 }

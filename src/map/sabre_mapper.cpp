@@ -1,6 +1,22 @@
-#include <algorithm>
-#include <set>
+// Bidirectional multi-seed SABRE (Li/Ding/Xie [18]). Each layout trial
+// refines its initial placement with a forward/backward/forward routing
+// pass; trials fan out on the fork-join pool and the best result by
+// (swap count, depth, trial index) wins, bitwise independent of the thread
+// count because every trial is a pure function of (circuit, coupling,
+// trial seed) and the selection scans trial slots in index order.
+//
+// The inner routing loop avoids the naive O(|front|·|candidates|·|window|)
+// re-scoring: per stall step the front/window distance sums are computed
+// once, and each candidate SWAP is scored by the distance delta of the
+// gates touching its two physical endpoints (distances are integers, so the
+// incremental score is exactly the re-summed one). Hot-loop containers are
+// flat vectors; the only per-step allocations are amortized scratch reuse.
 
+#include <algorithm>
+#include <utility>
+
+#include "core/parallel.hpp"
+#include "core/rng.hpp"
 #include "map/mapping.hpp"
 #include "map/router_detail.hpp"
 
@@ -14,26 +30,28 @@ struct OpDag {
   std::vector<std::vector<int>> successors;
   std::vector<int> indegree;
 
-  explicit OpDag(const QuantumCircuit& circuit) {
-    const auto& ops = circuit.ops();
+  OpDag(const std::vector<Operation>& ops, int num_qubits, int num_clbits) {
     successors.resize(ops.size());
     indegree.assign(ops.size(), 0);
-    std::vector<int> last_q(circuit.num_qubits(), -1);
-    std::vector<int> last_c(circuit.num_clbits(), -1);
+    std::vector<int> last_q(num_qubits, -1);
+    std::vector<int> last_c(num_clbits, -1);
+    std::vector<int> preds;
     for (std::size_t i = 0; i < ops.size(); ++i) {
-      std::set<int> preds;
+      preds.clear();
       for (Qubit q : ops[i].qubits) {
-        if (last_q[q] >= 0) preds.insert(last_q[q]);
+        if (last_q[q] >= 0) preds.push_back(last_q[q]);
         last_q[q] = static_cast<int>(i);
       }
       for (Clbit c : ops[i].clbits) {
-        if (last_c[c] >= 0) preds.insert(last_c[c]);
+        if (last_c[c] >= 0) preds.push_back(last_c[c]);
         last_c[c] = static_cast<int>(i);
       }
       if (ops[i].conditioned())
-        for (int c = 0; c < circuit.num_clbits(); ++c)
+        for (int c = 0; c < num_clbits; ++c)
           if (last_c[c] >= 0 && last_c[c] != static_cast<int>(i))
-            preds.insert(last_c[c]);
+            preds.push_back(last_c[c]);
+      std::sort(preds.begin(), preds.end());
+      preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
       for (int p : preds) {
         successors[p].push_back(static_cast<int>(i));
         ++indegree[i];
@@ -42,69 +60,79 @@ struct OpDag {
   }
 };
 
-}  // namespace
+/// One routing decision: a SWAP on physical pair (a, b), or — when b < 0 —
+/// the retirement of op index a. Replaying the event list through a
+/// RoutingContext reconstructs the routed circuit.
+struct Event {
+  int a;
+  int b;
+};
 
-MappingResult SabreMapper::run(const QuantumCircuit& circuit,
-                               const arch::CouplingMap& coupling) const {
-  detail::validate(circuit, coupling);
-  detail::RoutingContext ctx(circuit, coupling);
-  const Layout initial = ctx.layout;
-  const auto& ops = circuit.ops();
-  OpDag dag(circuit);
+struct RouteResult {
+  std::vector<Event> events;
+  Layout layout;  // final layout after routing
+  int swaps = 0;
+};
 
-  std::set<int> front;
+/// One SABRE routing pass over `ops` starting from `layout`. Pure function
+/// of its arguments (no RNG): used forward to route and backward (on the
+/// reversed op list) to refine the initial layout.
+RouteResult route_pass(const std::vector<Operation>& ops, const OpDag& dag,
+                       const arch::CouplingMap& coupling, Layout layout,
+                       int lookahead, double weight) {
+  const int nphys = coupling.num_qubits();
+  RouteResult out;
   std::vector<int> indegree = dag.indegree;
+  std::vector<int> front;  // ready ops, kept sorted ascending
   for (std::size_t i = 0; i < ops.size(); ++i)
-    if (indegree[i] == 0) front.insert(static_cast<int>(i));
+    if (indegree[i] == 0) front.push_back(static_cast<int>(i));
 
-  std::vector<double> decay(coupling.num_qubits(), 1.0);
+  std::vector<double> decay(nphys, 1.0);
   int stall = 0;
-  const int stall_limit =
-      4 * coupling.num_qubits() * coupling.num_qubits() + 16;
+  const int stall_limit = 4 * nphys * nphys + 16;
 
   auto phys_dist = [&](const Operation& op) {
-    return coupling.distance(ctx.layout.l2p[op.qubits[0]],
-                             ctx.layout.l2p[op.qubits[1]]);
+    return coupling.distance(layout.l2p[op.qubits[0]],
+                             layout.l2p[op.qubits[1]]);
   };
   auto executable = [&](int i) {
     return !detail::is_two_qubit_gate(ops[i]) || phys_dist(ops[i]) == 1;
   };
-  auto retire = [&](int i) {
-    ctx.emit_remapped(ops[i]);
-    front.erase(i);
-    for (int succ : dag.successors[i])
-      if (--indegree[succ] == 0) front.insert(succ);
+  auto do_swap = [&](int p1, int p2) {
+    out.events.push_back({p1, p2});
+    layout.swap_physical(p1, p2);
+    ++out.swaps;
   };
 
-  /// The lookahead window: the next few two-qubit gates reachable from the
-  /// front, collected breadth-first through the DAG.
-  auto extended_set = [&]() {
-    std::vector<int> window;
-    std::vector<int> frontier(front.begin(), front.end());
-    std::set<int> seen(front.begin(), front.end());
-    while (!frontier.empty() &&
-           static_cast<int>(window.size()) < lookahead_) {
-      std::vector<int> next;
-      for (int i : frontier)
-        for (int succ : dag.successors[i])
-          if (seen.insert(succ).second) {
-            next.push_back(succ);
-            if (detail::is_two_qubit_gate(ops[succ]))
-              window.push_back(succ);
-          }
-      frontier = std::move(next);
-    }
-    return window;
+  // Scratch reused across stall steps (cleared via touch lists, not
+  // reallocation).
+  std::vector<char> seen(ops.size(), 0);
+  std::vector<int> seen_list, frontier, next, window, ready;
+  std::vector<std::pair<int, int>> cands;
+  // Blocked-front and lookahead-window gates with their current physical
+  // endpoints and distance, indexed by the per-endpoint touch lists.
+  struct GateRec {
+    int pa, pb, d;
+    bool in_window;
   };
+  std::vector<GateRec> recs;
+  std::vector<std::vector<int>> touch(nphys);
+  std::vector<int> touched;
 
   while (!front.empty()) {
     // Retire everything currently executable (in program order).
-    std::vector<int> ready;
+    ready.clear();
     for (int i : front)
       if (executable(i)) ready.push_back(i);
     if (!ready.empty()) {
-      std::sort(ready.begin(), ready.end());
-      for (int i : ready) retire(i);
+      for (int i : ready) {
+        front.erase(std::lower_bound(front.begin(), front.end(), i));
+        out.events.push_back({i, -1});
+        for (int succ : dag.successors[i])
+          if (--indegree[succ] == 0)
+            front.insert(std::upper_bound(front.begin(), front.end(), succ),
+                         succ);
+      }
       std::fill(decay.begin(), decay.end(), 1.0);
       stall = 0;
       continue;
@@ -113,53 +141,219 @@ MappingResult SabreMapper::run(const QuantumCircuit& circuit,
     if (stall > stall_limit) {
       // Safety valve: force-route the oldest blocked gate along a shortest
       // path (the naive step) to guarantee progress.
-      const Operation& op = ops[*front.begin()];
-      const auto path = coupling.shortest_path(ctx.layout.l2p[op.qubits[0]],
-                                               ctx.layout.l2p[op.qubits[1]]);
+      const Operation& op = ops[front[0]];
+      const auto path = coupling.shortest_path(layout.l2p[op.qubits[0]],
+                                               layout.l2p[op.qubits[1]]);
       for (std::size_t i = 0; i + 2 < path.size(); ++i)
-        ctx.emit_swap(path[i], path[i + 1]);
+        do_swap(path[i], path[i + 1]);
       stall = 0;
       continue;
     }
-    // Score candidate swaps on edges touching any blocked front gate.
-    std::set<std::pair<int, int>> candidates;
+
+    // Blocked front gates (nothing was ready, so every front op is a
+    // two-qubit gate on uncoupled endpoints) and the candidate swaps on
+    // edges touching them.
+    recs.clear();
+    for (int p : touched) touch[p].clear();
+    touched.clear();
+    cands.clear();
+    auto add_rec = [&](int op_idx, bool in_window) {
+      const Operation& g = ops[op_idx];
+      GateRec r;
+      r.pa = layout.l2p[g.qubits[0]];
+      r.pb = layout.l2p[g.qubits[1]];
+      r.d = coupling.distance(r.pa, r.pb);
+      r.in_window = in_window;
+      const int id = static_cast<int>(recs.size());
+      recs.push_back(r);
+      for (int p : {r.pa, r.pb}) {
+        if (touch[p].empty()) touched.push_back(p);
+        touch[p].push_back(id);
+      }
+    };
+    int front_gates = 0, front_base = 0;
     for (int i : front) {
       if (!detail::is_two_qubit_gate(ops[i])) continue;
-      for (Qubit lq : ops[i].qubits) {
-        const int p = ctx.layout.l2p[lq];
+      add_rec(i, false);
+      ++front_gates;
+      front_base += recs.back().d;
+      for (int p : {recs.back().pa, recs.back().pb})
         for (int nb : coupling.neighbors(p))
-          candidates.insert({std::min(p, nb), std::max(p, nb)});
-      }
+          cands.emplace_back(std::min(p, nb), std::max(p, nb));
     }
-    const auto window = extended_set();
-    double best_score = 0;
-    std::pair<int, int> best{-1, -1};
-    for (const auto& [p1, p2] : candidates) {
-      ctx.layout.swap_physical(p1, p2);
-      double front_cost = 0;
-      int front_gates = 0;
-      for (int i : front)
-        if (detail::is_two_qubit_gate(ops[i])) {
-          front_cost += phys_dist(ops[i]);
-          ++front_gates;
+    std::sort(cands.begin(), cands.end());
+    cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
+
+    // The lookahead window: the next few two-qubit gates reachable from the
+    // front, breadth-first through the DAG, capped at exactly `lookahead`
+    // (expansion stops mid-level once the window is full).
+    window.clear();
+    seen_list.clear();
+    frontier = front;
+    for (int i : frontier) {
+      seen[i] = 1;
+      seen_list.push_back(i);
+    }
+    bool full = static_cast<int>(window.size()) >= lookahead;
+    while (!frontier.empty() && !full) {
+      next.clear();
+      for (int i : frontier) {
+        for (int succ : dag.successors[i]) {
+          if (seen[succ]) continue;
+          seen[succ] = 1;
+          seen_list.push_back(succ);
+          next.push_back(succ);
+          if (detail::is_two_qubit_gate(ops[succ])) {
+            window.push_back(succ);
+            if (static_cast<int>(window.size()) >= lookahead) {
+              full = true;
+              break;
+            }
+          }
         }
-      double ahead_cost = 0;
-      for (int i : window) ahead_cost += phys_dist(ops[i]);
-      ctx.layout.swap_physical(p1, p2);  // undo
-      double score = front_cost / std::max(front_gates, 1);
+        if (full) break;
+      }
+      frontier.swap(next);
+    }
+    for (int i : seen_list) seen[i] = 0;
+    int ahead_base = 0;
+    for (int i : window) {
+      add_rec(i, true);
+      ahead_base += recs.back().d;
+    }
+
+    // Score each candidate by the distance delta of the gates touching its
+    // two endpoints (integer-exact vs re-summing front + window).
+    double best_score = 0;
+    int best = -1;
+    for (std::size_t ci = 0; ci < cands.size(); ++ci) {
+      const auto [p1, p2] = cands[ci];
+      int dfront = 0, dahead = 0;
+      auto apply = [&](int id, bool skip_p1_touchers) {
+        const GateRec& r = recs[id];
+        if (skip_p1_touchers && (r.pa == p1 || r.pb == p1)) return;
+        const int na = r.pa == p1 ? p2 : r.pa == p2 ? p1 : r.pa;
+        const int nb = r.pb == p1 ? p2 : r.pb == p2 ? p1 : r.pb;
+        const int delta = coupling.distance(na, nb) - r.d;
+        if (r.in_window)
+          dahead += delta;
+        else
+          dfront += delta;
+      };
+      for (int id : touch[p1]) apply(id, false);
+      for (int id : touch[p2]) apply(id, true);  // dedup gates touching both
+      double score = static_cast<double>(front_base + dfront) /
+                     std::max(front_gates, 1);
       if (!window.empty())
-        score += lookahead_weight_ * ahead_cost / window.size();
+        score += weight * static_cast<double>(ahead_base + dahead) /
+                 static_cast<double>(window.size());
       score *= std::max(decay[p1], decay[p2]);
-      if (best.first < 0 || score < best_score) {
+      if (best < 0 || score < best_score) {
         best_score = score;
-        best = {p1, p2};
+        best = static_cast<int>(ci);
       }
     }
-    ctx.emit_swap(best.first, best.second);
-    decay[best.first] += 0.01;
-    decay[best.second] += 0.01;
+    do_swap(cands[best].first, cands[best].second);
+    decay[cands[best].first] += 0.01;
+    decay[cands[best].second] += 0.01;
   }
-  return std::move(ctx).finish(initial);
+  out.layout = std::move(layout);
+  return out;
+}
+
+/// Random initial placement for trial t > 0: a Fisher-Yates permutation of
+/// the physical qubits drawn from the trial's derived RNG stream.
+Layout random_layout(int num_logical, int num_physical, Rng& rng) {
+  std::vector<int> perm(num_physical);
+  for (int i = 0; i < num_physical; ++i) perm[i] = i;
+  for (int i = num_physical - 1; i > 0; --i)
+    std::swap(perm[i], perm[static_cast<int>(rng.index(i + 1))]);
+  Layout layout;
+  layout.l2p.assign(num_logical, -1);
+  layout.p2l.assign(num_physical, -1);
+  for (int l = 0; l < num_logical; ++l) {
+    layout.l2p[l] = perm[l];
+    layout.p2l[perm[l]] = l;
+  }
+  return layout;
+}
+
+}  // namespace
+
+MappingResult SabreMapper::run(const QuantumCircuit& circuit,
+                               const arch::CouplingMap& coupling) const {
+  detail::validate(circuit, coupling);
+  detail::note_mapper_run();
+  const int trials = trials_ > 0 ? trials_ : default_map_trials();
+  const std::uint64_t seed =
+      seed_ != kMapSeedFromEnv ? seed_ : default_map_seed();
+
+  const auto& ops = circuit.ops();
+  const OpDag dag(ops, circuit.num_qubits(), circuit.num_clbits());
+  const std::vector<Operation> rev_ops(ops.rbegin(), ops.rend());
+  const OpDag rev_dag(rev_ops, circuit.num_qubits(), circuit.num_clbits());
+
+  struct Trial {
+    MappingResult result;
+    int depth = 0;
+  };
+  std::vector<Trial> outcomes(trials);
+  auto run_trial = [&](int t) {
+    Layout l0 = Layout::trivial(circuit.num_qubits(), coupling.num_qubits());
+    if (t > 0) {
+      Rng rng(derive_stream_seed(seed, static_cast<std::uint64_t>(t)));
+      l0 = random_layout(circuit.num_qubits(), coupling.num_qubits(), rng);
+    }
+    // Bidirectional refinement: the forward pass's final layout seeds a
+    // backward pass over the reversed circuit, whose final layout is the
+    // refined initial placement for the emitting forward pass.
+    RouteResult fwd = route_pass(ops, dag, coupling, std::move(l0),
+                                 lookahead_, lookahead_weight_);
+    RouteResult bwd = route_pass(rev_ops, rev_dag, coupling,
+                                 std::move(fwd.layout), lookahead_,
+                                 lookahead_weight_);
+    const Layout initial = bwd.layout;
+    RouteResult final_pass = route_pass(ops, dag, coupling,
+                                        std::move(bwd.layout), lookahead_,
+                                        lookahead_weight_);
+    detail::RoutingContext ctx(circuit, coupling, initial);
+    for (const Event& e : final_pass.events) {
+      if (e.b < 0)
+        ctx.emit_remapped(ops[e.a], e.a);
+      else
+        ctx.emit_swap(e.a, e.b);
+    }
+    Trial trial;
+    trial.result = std::move(ctx).finish(initial);
+    trial.depth = trial.result.circuit.depth();
+    return trial;
+  };
+
+  // Fan the trials out on the fork-join pool. Each slot is a pure function
+  // of (circuit, coupling, seed, t), so scheduling cannot change any result.
+  parallel::parallel_for(
+      0, static_cast<std::uint64_t>(trials),
+      [&](std::uint64_t lo, std::uint64_t hi) {
+        for (std::uint64_t t = lo; t < hi; ++t)
+          outcomes[t] = run_trial(static_cast<int>(t));
+      },
+      /*serial_cutoff=*/1);
+
+  // Best by (swap count, depth, trial index), scanned in index order so the
+  // winner is independent of execution order.
+  int best = 0;
+  for (int t = 1; t < trials; ++t) {
+    const Trial& cand = outcomes[t];
+    const Trial& cur = outcomes[best];
+    if (cand.result.swaps_inserted < cur.result.swaps_inserted ||
+        (cand.result.swaps_inserted == cur.result.swaps_inserted &&
+         cand.depth < cur.depth))
+      best = t;
+  }
+  MappingResult result = std::move(outcomes[best].result);
+  result.trials_run = trials;
+  result.best_trial = best;
+  return result;
 }
 
 }  // namespace qtc::map

@@ -10,32 +10,51 @@
 
 namespace qtc::transpiler {
 
-TranspileResult transpile(const QuantumCircuit& circuit,
-                          const arch::Backend& backend,
-                          const TranspileOptions& options) {
-  // 1. Bring everything down to {1q, CX} so the router sees only pairs.
-  QuantumCircuit current = DecomposeMultiQubit().run(circuit);
+namespace detail {
 
-  // 2. Layout + routing.
-  std::unique_ptr<map::Mapper> mapper;
+namespace {
+
+/// True when every multi-qubit op is already a CX (or barrier): nothing for
+/// DecomposeMultiQubit to rewrite. Kind-only check, so a circuit and its
+/// re-parameterized twin agree on it (the transpile cache relies on that).
+bool in_router_basis(const QuantumCircuit& circuit) {
+  for (const auto& op : circuit.ops()) {
+    if (op.kind == OpKind::Barrier) continue;
+    if (op.qubits.size() >= 2 && op.kind != OpKind::CX) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+QuantumCircuit lower_to_router_basis(const QuantumCircuit& circuit) {
+  if (in_router_basis(circuit)) return circuit;
+  return DecomposeMultiQubit().run(circuit);
+}
+
+std::unique_ptr<map::Mapper> make_mapper(const TranspileOptions& options) {
   switch (options.mapper) {
     case MapperKind::Naive:
-      mapper = std::make_unique<map::NaiveMapper>();
-      break;
-    case MapperKind::Sabre:
-      mapper = std::make_unique<map::SabreMapper>();
-      break;
+      return std::make_unique<map::NaiveMapper>();
     case MapperKind::AStar:
-      mapper = std::make_unique<map::AStarMapper>();
+      return std::make_unique<map::AStarMapper>();
+    case MapperKind::Sabre:
       break;
   }
-  map::MappingResult mapped = mapper->run(current, backend.coupling_map());
+  return std::make_unique<map::SabreMapper>(20, 0.5, options.trials,
+                                            options.seed);
+}
 
-  // 3. Inserted SWAPs become CXs; wrong-way CXs get the 4-H conjugation.
-  current = DecomposeMultiQubit().run(mapped.circuit);
+QuantumCircuit finish_pipeline(QuantumCircuit routed, bool had_swaps,
+                               const arch::Backend& backend,
+                               const TranspileOptions& options) {
+  // Inserted SWAPs become CXs; when the mapper inserted none the routed
+  // circuit is already in the {1q, CX} basis and the pass would be an
+  // op-for-op identity, so skip it. Wrong-way CXs get the 4-H conjugation.
+  QuantumCircuit current = std::move(routed);
+  if (had_swaps) current = DecomposeMultiQubit().run(current);
   current = FixCxDirections(backend.coupling_map()).run(current);
 
-  // 4. Cleanup.
   if (options.optimization_level >= 1)
     current = GateCancellation().run(current);
   if (options.optimization_level >= 2) {
@@ -47,10 +66,41 @@ TranspileResult transpile(const QuantumCircuit& circuit,
 
   if (!satisfies_coupling(current, backend.coupling_map()))
     throw std::logic_error("transpile: produced an illegal circuit");
+  return current;
+}
 
-  return TranspileResult{std::move(current), std::move(mapped.initial),
-                         std::move(mapped.final_layout),
-                         mapped.swaps_inserted};
+TranspileOptions resolve_options(const TranspileOptions& options) {
+  TranspileOptions resolved = options;
+  if (resolved.trials <= 0) resolved.trials = map::default_map_trials();
+  if (resolved.seed == map::kMapSeedFromEnv)
+    resolved.seed = map::default_map_seed();
+  return resolved;
+}
+
+}  // namespace detail
+
+TranspileResult transpile(const QuantumCircuit& circuit,
+                          const arch::Backend& backend,
+                          const TranspileOptions& options) {
+  const TranspileOptions opts = detail::resolve_options(options);
+
+  // 1. Bring everything down to {1q, CX} so the router sees only pairs.
+  QuantumCircuit current = detail::lower_to_router_basis(circuit);
+
+  // 2. Layout + routing.
+  map::MappingResult mapped =
+      detail::make_mapper(opts)->run(current, backend.coupling_map());
+
+  // 3-4. Lower SWAPs, legalize directions, clean up.
+  TranspileResult result;
+  result.circuit = detail::finish_pipeline(
+      std::move(mapped.circuit), mapped.swaps_inserted > 0, backend, opts);
+  result.initial_layout = std::move(mapped.initial);
+  result.final_layout = std::move(mapped.final_layout);
+  result.swaps_inserted = mapped.swaps_inserted;
+  result.mapper_trials = mapped.trials_run;
+  result.best_trial = mapped.best_trial;
+  return result;
 }
 
 }  // namespace qtc::transpiler

@@ -3,6 +3,8 @@
 // of the paper's Sec. IV: decompose to {U, CX}, place & route under the
 // coupling map, legalize CNOT directions, and clean up.
 
+#include <cstdint>
+
 #include "arch/backend.hpp"
 #include "map/mapping.hpp"
 #include "transpiler/pass_manager.hpp"
@@ -17,6 +19,12 @@ struct TranspileOptions {
   int optimization_level = 1;
   /// Rewrite all 1q gates into the device-native U(theta, phi, lambda).
   bool to_u_basis = false;
+  /// SABRE layout-portfolio width; 0 defers to QTC_MAP_TRIALS (default 4).
+  int trials = 0;
+  /// Portfolio base seed; kMapSeedFromEnv defers to QTC_MAP_SEED
+  /// (default 0xC0FFEE). Fixed seed => bitwise-reproducible routing,
+  /// independent of QTC_NUM_THREADS.
+  std::uint64_t seed = map::kMapSeedFromEnv;
 };
 
 struct TranspileResult {
@@ -24,6 +32,14 @@ struct TranspileResult {
   map::Layout initial_layout;
   map::Layout final_layout;
   int swaps_inserted = 0;
+  /// Layout trials the mapper ran for this result (0 when the routing was
+  /// served from a TranspileCache) and which trial won.
+  int mapper_trials = 0;
+  int best_trial = 0;
+  /// Set when the result came out of a TranspileCache: `cache_hit` for any
+  /// hit, `cache_exact` when even the parameters matched (no re-bind).
+  bool cache_hit = false;
+  bool cache_exact = false;
 };
 
 /// Compile `circuit` for `backend`. The result satisfies
@@ -31,5 +47,29 @@ struct TranspileResult {
 TranspileResult transpile(const QuantumCircuit& circuit,
                           const arch::Backend& backend,
                           const TranspileOptions& options = {});
+
+namespace detail {
+
+/// Stage 1 of transpile(): lower to the router's {1q, CX} basis. Returns the
+/// input unchanged (fast path) when no op needs rewriting — the predicate
+/// depends only on gate kinds, never on parameter values.
+QuantumCircuit lower_to_router_basis(const QuantumCircuit& circuit);
+
+/// Stage 2 factory: the mapper selected by `options` (with the SABRE
+/// portfolio's resolved trials/seed).
+std::unique_ptr<map::Mapper> make_mapper(const TranspileOptions& options);
+
+/// Stages 3-4 of transpile(): lower inserted SWAPs (skipped when the mapper
+/// inserted none), legalize CX directions, clean up, optionally rewrite to
+/// the U basis, and verify the result against the coupling map.
+QuantumCircuit finish_pipeline(QuantumCircuit routed, bool had_swaps,
+                               const arch::Backend& backend,
+                               const TranspileOptions& options);
+
+/// Copy of `options` with trials/seed resolved from the QTC_MAP_* knobs, so
+/// cache keys and mapper construction agree on the effective values.
+TranspileOptions resolve_options(const TranspileOptions& options);
+
+}  // namespace detail
 
 }  // namespace qtc::transpiler

@@ -1,0 +1,293 @@
+#include "transpiler/transpile_cache.hpp"
+
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <utility>
+
+namespace qtc::transpiler {
+
+namespace {
+
+/// FNV-1a over 64-bit words; enough to bucket structures, with full
+/// structural comparison behind it so collisions only cost a compare.
+struct Hasher {
+  std::uint64_t h = 14695981039346656037ull;
+  void mix(std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  }
+  void mix_str(const std::string& s) {
+    mix(s.size());
+    for (char c : s) mix(static_cast<unsigned char>(c));
+  }
+};
+
+void mix_registers(Hasher& h, const std::vector<Register>& regs) {
+  h.mix(regs.size());
+  for (const auto& r : regs) {
+    h.mix_str(r.name);
+    h.mix(static_cast<std::uint64_t>(r.size));
+    h.mix(static_cast<std::uint64_t>(r.offset));
+  }
+}
+
+/// Structure-only circuit fingerprint: everything except parameter values
+/// (their count is structural; a CU and a CX never collide).
+std::uint64_t structural_hash(const QuantumCircuit& c) {
+  Hasher h;
+  h.mix(static_cast<std::uint64_t>(c.num_qubits()));
+  h.mix(static_cast<std::uint64_t>(c.num_clbits()));
+  mix_registers(h, c.qregs());
+  mix_registers(h, c.cregs());
+  h.mix(c.ops().size());
+  for (const auto& op : c.ops()) {
+    h.mix(static_cast<std::uint64_t>(op.kind));
+    h.mix(op.qubits.size());
+    for (Qubit q : op.qubits) h.mix(static_cast<std::uint64_t>(q));
+    h.mix(op.clbits.size());
+    for (Clbit cl : op.clbits) h.mix(static_cast<std::uint64_t>(cl));
+    h.mix(static_cast<std::uint64_t>(op.cond_reg + 1));
+    h.mix(op.cond_val);
+    h.mix(op.params.size());
+  }
+  return h.h;
+}
+
+/// Parameter-only fingerprint (exact double bit patterns).
+std::uint64_t param_hash(const QuantumCircuit& c) {
+  Hasher h;
+  for (const auto& op : c.ops())
+    for (double p : op.params) h.mix(std::bit_cast<std::uint64_t>(p));
+  return h.h;
+}
+
+/// Same structure: equal up to parameter *values* (counts must match).
+bool same_structure(const QuantumCircuit& a, const QuantumCircuit& b) {
+  if (a.num_qubits() != b.num_qubits() || a.num_clbits() != b.num_clbits() ||
+      a.qregs() != b.qregs() || a.cregs() != b.cregs() ||
+      a.ops().size() != b.ops().size())
+    return false;
+  for (std::size_t i = 0; i < a.ops().size(); ++i) {
+    const Operation& x = a.ops()[i];
+    const Operation& y = b.ops()[i];
+    if (x.kind != y.kind || x.qubits != y.qubits || x.clbits != y.clbits ||
+        x.cond_reg != y.cond_reg || x.cond_val != y.cond_val ||
+        x.params.size() != y.params.size())
+      return false;
+  }
+  return true;
+}
+
+bool options_equal(const TranspileOptions& a, const TranspileOptions& b) {
+  return a.mapper == b.mapper &&
+         a.optimization_level == b.optimization_level &&
+         a.to_u_basis == b.to_u_basis && a.trials == b.trials &&
+         a.seed == b.seed;
+}
+
+std::uint64_t cache_key(const QuantumCircuit& circuit,
+                        const arch::CouplingMap& coupling,
+                        const TranspileOptions& opts) {
+  Hasher h;
+  h.mix(structural_hash(circuit));
+  h.mix(static_cast<std::uint64_t>(coupling.num_qubits()));
+  for (const auto& [a, b] : coupling.edges()) {
+    h.mix(static_cast<std::uint64_t>(a));
+    h.mix(static_cast<std::uint64_t>(b));
+  }
+  h.mix(static_cast<std::uint64_t>(opts.mapper));
+  h.mix(static_cast<std::uint64_t>(opts.optimization_level));
+  h.mix(opts.to_u_basis ? 1 : 0);
+  h.mix(static_cast<std::uint64_t>(opts.trials));
+  h.mix(opts.seed);
+  return h.h;
+}
+
+std::atomic<int> g_enabled_override{-1};
+
+bool env_enabled() {
+  const char* s = std::getenv("QTC_TRANSPILE_CACHE");
+  if (!s || !*s) return true;
+  const std::string v(s);
+  return !(v == "0" || v == "off" || v == "false" || v == "no");
+}
+
+}  // namespace
+
+TranspileCache& TranspileCache::global() {
+  static TranspileCache cache;
+  return cache;
+}
+
+bool TranspileCache::enabled() {
+  const int o = g_enabled_override.load(std::memory_order_relaxed);
+  if (o >= 0) return o != 0;
+  return env_enabled();
+}
+
+void TranspileCache::set_enabled(int enabled) {
+  g_enabled_override.store(enabled < 0 ? -1 : (enabled ? 1 : 0),
+                           std::memory_order_relaxed);
+}
+
+TranspileResult TranspileCache::transpile(const QuantumCircuit& circuit,
+                                          const arch::Backend& backend,
+                                          const TranspileOptions& options) {
+  const TranspileOptions opts = detail::resolve_options(options);
+  const arch::CouplingMap& coupling = backend.coupling_map();
+  const std::uint64_t key = cache_key(circuit, coupling, opts);
+  const std::uint64_t phash = param_hash(circuit);
+
+  // Lookup under the lock; copy the winning entry's template out so the
+  // replay (and any cold run) happens without holding it.
+  bool have_template = false;
+  Entry tmpl;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.lookups;
+    auto it = buckets_.find(key);
+    if (it != buckets_.end()) {
+      for (const Entry& e : it->second) {
+        if (e.coupling_qubits != coupling.num_qubits() ||
+            e.coupling_edges != coupling.edges() ||
+            !options_equal(e.options, opts) ||
+            !same_structure(e.input, circuit))
+          continue;
+        if (e.param_hash == phash && e.input == circuit) {
+          ++stats_.exact_hits;
+          ++stats_.mapper_runs_saved;
+          TranspileResult r = e.result;
+          r.cache_hit = true;
+          r.cache_exact = true;
+          r.mapper_trials = 0;
+          return r;
+        }
+        tmpl = e;
+        have_template = true;
+        break;
+      }
+    }
+  }
+
+  if (have_template) {
+    QuantumCircuit lowered = detail::lower_to_router_basis(circuit);
+    // Decomposition can be angle-dependent (near-zero rotations vanish in
+    // the controlled-unitary ABC network), so re-verify before replaying.
+    if (same_structure(lowered, tmpl.lowered)) {
+      QuantumCircuit routed = tmpl.routed;
+      auto& rops = routed.ops();
+      const auto& lops = lowered.ops();
+      for (std::size_t k = 0; k < rops.size(); ++k) {
+        const int src = tmpl.source_index[k];
+        if (src >= 0) rops[k].params = lops[src].params;
+      }
+      TranspileResult r;
+      r.circuit = detail::finish_pipeline(std::move(routed), tmpl.swaps > 0,
+                                          backend, opts);
+      r.initial_layout = tmpl.initial;
+      r.final_layout = tmpl.final_layout;
+      r.swaps_inserted = tmpl.swaps;
+      r.mapper_trials = 0;
+      r.best_trial = tmpl.best_trial;
+      r.cache_hit = true;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.structural_hits;
+        ++stats_.mapper_runs_saved;
+      }
+      return r;
+    }
+  }
+
+  return cold_transpile(circuit, backend, opts, key, phash);
+}
+
+TranspileResult TranspileCache::cold_transpile(const QuantumCircuit& circuit,
+                                               const arch::Backend& backend,
+                                               const TranspileOptions& opts,
+                                               std::uint64_t key,
+                                               std::uint64_t phash) {
+  QuantumCircuit lowered = detail::lower_to_router_basis(circuit);
+  map::MappingResult mapped =
+      detail::make_mapper(opts)->run(lowered, backend.coupling_map());
+
+  Entry e;
+  e.param_hash = phash;
+  e.input = circuit;
+  e.lowered = std::move(lowered);
+  e.routed = mapped.circuit;  // keep the template before finishing consumes it
+  e.source_index = mapped.source_index;
+  e.initial = mapped.initial;
+  e.final_layout = mapped.final_layout;
+  e.swaps = mapped.swaps_inserted;
+  e.mapper_trials = mapped.trials_run;
+  e.best_trial = mapped.best_trial;
+  e.coupling_qubits = backend.coupling_map().num_qubits();
+  e.coupling_edges = backend.coupling_map().edges();
+  e.options = opts;
+
+  TranspileResult result;
+  result.circuit = detail::finish_pipeline(std::move(mapped.circuit),
+                                           e.swaps > 0, backend, opts);
+  result.initial_layout = std::move(mapped.initial);
+  result.final_layout = std::move(mapped.final_layout);
+  result.swaps_inserted = e.swaps;
+  result.mapper_trials = e.mapper_trials;
+  result.best_trial = e.best_trial;
+  e.result = result;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    ++stats_.insertions;
+    while (entries_ >= capacity_ && !order_.empty()) {
+      const auto [old_key, old_id] = order_.front();
+      order_.erase(order_.begin());
+      auto it = buckets_.find(old_key);
+      if (it == buckets_.end()) continue;
+      auto& vec = it->second;
+      for (std::size_t i = 0; i < vec.size(); ++i) {
+        if (vec[i].id == old_id) {
+          vec.erase(vec.begin() + i);
+          --entries_;
+          ++stats_.evictions;
+          break;
+        }
+      }
+      if (vec.empty()) buckets_.erase(it);
+    }
+    e.id = next_id_++;
+    order_.emplace_back(key, e.id);
+    buckets_[key].push_back(std::move(e));
+    ++entries_;
+  }
+  return result;
+}
+
+TranspileCacheStats TranspileCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t TranspileCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+void TranspileCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  buckets_.clear();
+  order_.clear();
+  entries_ = 0;
+  stats_ = TranspileCacheStats{};
+}
+
+TranspileResult transpile_cached(const QuantumCircuit& circuit,
+                                 const arch::Backend& backend,
+                                 const TranspileOptions& options) {
+  if (!TranspileCache::enabled()) return transpile(circuit, backend, options);
+  return TranspileCache::global().transpile(circuit, backend, options);
+}
+
+}  // namespace qtc::transpiler

@@ -95,9 +95,15 @@ TEST_P(MapperSuite, AdjacentGatesNeedNoSwaps) {
 
 TEST_P(MapperSuite, DistantGateGetsRouted) {
   QuantumCircuit qc(5);
-  qc.cx(0, 4);  // distance 2 on QX4
+  qc.cx(0, 4);  // distance 2 on QX4 under the trivial layout
   const auto result = make_mapper()->run(qc, arch::ibm_qx4());
-  EXPECT_GE(result.swaps_inserted, 1);
+  // Either SWAPs route the gate, or (bidirectional SABRE) the mapper found
+  // an initial placement where the operands are already adjacent.
+  if (result.swaps_inserted == 0) {
+    EXPECT_EQ(arch::ibm_qx4().distance(result.initial.l2p[0],
+                                       result.initial.l2p[4]),
+              1);
+  }
   expect_mapped_equivalent(qc, result, arch::ibm_qx4());
 }
 

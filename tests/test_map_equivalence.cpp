@@ -1,0 +1,198 @@
+// Property tests for the mapping portfolio: every mapper, on every coupling
+// map, must produce a circuit that is statevector-equivalent to the logical
+// one under the final layout permutation — with gate fusion both on and off
+// (the fused executor sees the routed SWAP/CX stream differently). Plus the
+// portfolio's determinism contract: a fixed seed gives a bitwise-identical
+// MappingResult whatever QTC_NUM_THREADS is, and widening the portfolio
+// never makes the routing worse (trial 0 is always in the pool).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/coupling_map.hpp"
+#include "core/parallel.hpp"
+#include "core/rng.hpp"
+#include "map/mapping.hpp"
+#include "sim/fusion.hpp"
+#include "sim/simulator.hpp"
+#include "transpiler/decompose.hpp"
+#include "transpiler/direction.hpp"
+
+namespace qtc::map {
+namespace {
+
+QuantumCircuit random_circuit(int n, int gates, std::uint64_t seed) {
+  Rng rng(seed);
+  QuantumCircuit qc(n);
+  for (int g = 0; g < gates; ++g) {
+    switch (rng.index(4)) {
+      case 0:
+        qc.h(static_cast<int>(rng.index(n)));
+        break;
+      case 1:
+        qc.rz(rng.uniform(-PI, PI), static_cast<int>(rng.index(n)));
+        break;
+      default: {
+        const int a = static_cast<int>(rng.index(n));
+        const int b = (a + 1 + static_cast<int>(rng.index(n - 1))) % n;
+        qc.cx(a, b);
+      }
+    }
+  }
+  return qc;
+}
+
+/// Simulate the routed circuit (SWAPs lowered to CX) and compare against the
+/// logical statevector embedded through the final layout.
+void expect_equivalent(const QuantumCircuit& logical,
+                       const MappingResult& result,
+                       const arch::CouplingMap& coupling) {
+  ASSERT_TRUE(transpiler::satisfies_connectivity(result.circuit, coupling));
+  const QuantumCircuit lowered =
+      transpiler::DecomposeMultiQubit().run(result.circuit);
+  sim::StatevectorSimulator sim;
+  const auto mapped_sv = sim.statevector(lowered).amplitudes();
+  const auto logical_sv = sim.statevector(logical).amplitudes();
+  const auto expected =
+      embed_state(logical_sv, result.final_layout, coupling.num_qubits());
+  EXPECT_TRUE(states_equal_up_to_phase(mapped_sv, expected, 1e-8));
+}
+
+struct FusionToggle {
+  explicit FusionToggle(int enabled) { sim::set_fusion_enabled(enabled); }
+  ~FusionToggle() { sim::set_fusion_enabled(-1); }
+};
+
+struct ThreadOverride {
+  explicit ThreadOverride(int n) { parallel::set_num_threads(n); }
+  ~ThreadOverride() { parallel::set_num_threads(0); }
+};
+
+std::unique_ptr<Mapper> make_mapper(int which) {
+  switch (which) {
+    case 0:
+      return std::make_unique<NaiveMapper>();
+    case 1:
+      return std::make_unique<SabreMapper>();
+    default:
+      return std::make_unique<AStarMapper>();
+  }
+}
+
+arch::CouplingMap coupling(int which) {
+  return which == 0 ? arch::linear(8) : arch::ibm_qx5();
+}
+
+class MapEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MapEquivalence, RandomCircuitsMatchUnderLayoutFusionOnAndOff) {
+  const auto [mapper_id, coupling_id] = GetParam();
+  const arch::CouplingMap cm = coupling(coupling_id);
+  std::uint64_t seed = 1000;
+  for (int n = 5; n <= 8; ++n) {
+    const QuantumCircuit qc = random_circuit(n, 4 * n, ++seed);
+    const MappingResult result = make_mapper(mapper_id)->run(qc, cm);
+    {
+      FusionToggle fusion_on(1);
+      expect_equivalent(qc, result, cm);
+    }
+    {
+      FusionToggle fusion_off(0);
+      expect_equivalent(qc, result, cm);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMappersAllCouplings, MapEquivalence,
+    ::testing::Combine(::testing::Values(0, 1, 2), ::testing::Values(0, 1)),
+    [](const auto& info) {
+      const std::string mapper =
+          std::get<0>(info.param) == 0
+              ? "naive"
+              : (std::get<0>(info.param) == 1 ? "sabre" : "astar");
+      return mapper +
+             (std::get<1>(info.param) == 0 ? "_linear8" : "_qx5");
+    });
+
+// --- determinism contract ----------------------------------------------------
+
+TEST(SabrePortfolio, FixedSeedIsBitwiseIdenticalAcrossThreadCounts) {
+  const QuantumCircuit qc = random_circuit(8, 40, 99);
+  SabreMapper mapper(20, 0.5, /*trials=*/8, /*seed=*/12345);
+  MappingResult serial, threaded;
+  {
+    ThreadOverride one(1);
+    serial = mapper.run(qc, arch::ibm_qx5());
+  }
+  {
+    ThreadOverride four(4);
+    threaded = mapper.run(qc, arch::ibm_qx5());
+  }
+  EXPECT_EQ(serial, threaded);
+  EXPECT_EQ(serial.trials_run, 8);
+}
+
+TEST(SabrePortfolio, RepeatedRunsAreIdentical) {
+  const QuantumCircuit qc = random_circuit(6, 30, 7);
+  SabreMapper mapper(20, 0.5, 4, 777);
+  const MappingResult a = mapper.run(qc, arch::linear(8));
+  const MappingResult b = mapper.run(qc, arch::linear(8));
+  EXPECT_EQ(a, b);
+}
+
+TEST(SabrePortfolio, SeedChangesAreHonored) {
+  // Different base seeds explore different random layouts; the *reported*
+  // portfolio metadata must reflect the winning trial either way.
+  const QuantumCircuit qc = random_circuit(8, 40, 3);
+  const auto r1 = SabreMapper(20, 0.5, 8, 1).run(qc, arch::linear(8));
+  const auto r2 = SabreMapper(20, 0.5, 8, 2).run(qc, arch::linear(8));
+  EXPECT_GE(r1.best_trial, 0);
+  EXPECT_LT(r1.best_trial, 8);
+  EXPECT_GE(r2.best_trial, 0);
+  EXPECT_LT(r2.best_trial, 8);
+}
+
+TEST(SabrePortfolio, WiderPortfolioNeverRoutesWorse) {
+  // Trial 0 (the bidirectional pass from the trivial layout) is always in
+  // the pool, so the best-of-8 swap count cannot exceed the best-of-1.
+  std::uint64_t seed = 40;
+  for (int c = 0; c < 2; ++c) {
+    const arch::CouplingMap cm = coupling(c);
+    for (int rep = 0; rep < 3; ++rep) {
+      const QuantumCircuit qc = random_circuit(8, 36, ++seed);
+      const auto one = SabreMapper(20, 0.5, 1, 5).run(qc, cm);
+      const auto eight = SabreMapper(20, 0.5, 8, 5).run(qc, cm);
+      EXPECT_LE(eight.swaps_inserted, one.swaps_inserted);
+      expect_equivalent(qc, eight, cm);
+    }
+  }
+}
+
+TEST(SabrePortfolio, SourceIndexTracksEveryRoutedOp) {
+  const QuantumCircuit qc = random_circuit(7, 30, 13);
+  const auto result = SabreMapper(20, 0.5, 4, 9).run(qc, arch::linear(8));
+  ASSERT_EQ(result.source_index.size(), result.circuit.ops().size());
+  int swaps = 0;
+  for (std::size_t i = 0; i < result.source_index.size(); ++i) {
+    const int src = result.source_index[i];
+    if (src < 0) {
+      EXPECT_EQ(result.circuit.ops()[i].kind, OpKind::SWAP);
+      ++swaps;
+    } else {
+      // A routed op is its source op with remapped qubits.
+      EXPECT_EQ(result.circuit.ops()[i].kind,
+                qc.ops()[static_cast<std::size_t>(src)].kind);
+      EXPECT_EQ(result.circuit.ops()[i].params,
+                qc.ops()[static_cast<std::size_t>(src)].params);
+    }
+  }
+  EXPECT_EQ(swaps, result.swaps_inserted);
+}
+
+}  // namespace
+}  // namespace qtc::map

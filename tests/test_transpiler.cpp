@@ -3,11 +3,13 @@
 #include "transpiler/optimize.hpp"
 #include "transpiler/pass_manager.hpp"
 #include "transpiler/transpile.hpp"
+#include "transpiler/transpile_cache.hpp"
 
 #include <gtest/gtest.h>
 
 #include "arch/backend.hpp"
 #include "core/rng.hpp"
+#include "exec/execute.hpp"
 #include "sim/simulator.hpp"
 
 namespace qtc::transpiler {
@@ -329,6 +331,145 @@ TEST(Transpile, OptimizationReducesGateCount) {
   const auto r0 = transpile(qc, arch::qx4_backend(), raw);
   const auto r2 = transpile(qc, arch::qx4_backend(), optimized);
   EXPECT_LE(r2.circuit.size(), r0.circuit.size());
+}
+
+// --- transpile cache -----------------------------------------------------------
+
+/// A VQE-style ansatz: fixed structure, angle-dependent parameters, with a
+/// distant CX so routing actually has work to do on QX4.
+QuantumCircuit ansatz(double a, double b) {
+  QuantumCircuit qc(5);
+  qc.rx(a, 0).rz(b, 1).cx(0, 4).h(2).cx(1, 3).rx(a + b, 2).cx(0, 1);
+  return qc;
+}
+
+TranspileOptions fixed_options() {
+  TranspileOptions opt;
+  opt.trials = 2;
+  opt.seed = 42;  // pin the portfolio so direct and cached runs agree
+  return opt;
+}
+
+TEST(TranspileCache, WarmExactHitRunsZeroMappers) {
+  TranspileCache cache;
+  const QuantumCircuit qc = ansatz(0.3, 0.7);
+  const auto cold = cache.transpile(qc, arch::qx4_backend(), fixed_options());
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_EQ(cold.mapper_trials, 2);
+
+  const std::uint64_t runs_before = map::mapper_run_count();
+  const auto warm = cache.transpile(qc, arch::qx4_backend(), fixed_options());
+  EXPECT_EQ(map::mapper_run_count(), runs_before);  // zero mapper runs
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_TRUE(warm.cache_exact);
+  EXPECT_EQ(warm.mapper_trials, 0);
+  EXPECT_EQ(warm.circuit, cold.circuit);
+  EXPECT_EQ(warm.swaps_inserted, cold.swaps_inserted);
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.lookups, 2u);
+  EXPECT_EQ(stats.exact_hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.mapper_runs_saved, 1u);
+}
+
+TEST(TranspileCache, StructuralHitRebindsParamsBitwiseEqualToDirect) {
+  TranspileCache cache;
+  cache.transpile(ansatz(0.3, 0.7), arch::qx4_backend(), fixed_options());
+
+  // Same structure, new angles: routing replays, params re-bind, and the
+  // result must be bitwise what a from-scratch transpile would produce.
+  const QuantumCircuit next = ansatz(-1.1, 2.4);
+  const std::uint64_t runs_before = map::mapper_run_count();
+  const auto warm = cache.transpile(next, arch::qx4_backend(), fixed_options());
+  EXPECT_EQ(map::mapper_run_count(), runs_before);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_FALSE(warm.cache_exact);
+  EXPECT_EQ(cache.stats().structural_hits, 1u);
+
+  const auto direct = transpile(next, arch::qx4_backend(), fixed_options());
+  EXPECT_EQ(warm.circuit, direct.circuit);
+  EXPECT_EQ(warm.initial_layout, direct.initial_layout);
+  EXPECT_EQ(warm.final_layout, direct.final_layout);
+  EXPECT_EQ(warm.swaps_inserted, direct.swaps_inserted);
+}
+
+TEST(TranspileCache, AngleDependentDecompositionFallsBackToCold) {
+  // CRX lowers through the controlled-unitary ABC network, which elides
+  // near-zero rotations — so CRX(0.7) and CRX(0.0) have the same *input*
+  // structure but different lowered structures. The cache must detect the
+  // divergence and run cold instead of replaying a wrong-shape template.
+  auto crx_circuit = [](double angle) {
+    QuantumCircuit qc(5);
+    qc.h(0);
+    qc.gate(OpKind::CRX, {0, 1}, {angle});
+    qc.cx(1, 2);
+    return qc;
+  };
+  TranspileCache cache;
+  cache.transpile(crx_circuit(0.7), arch::qx4_backend(), fixed_options());
+  const auto fallback =
+      cache.transpile(crx_circuit(0.0), arch::qx4_backend(), fixed_options());
+  EXPECT_FALSE(fallback.cache_hit);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  const auto direct =
+      transpile(crx_circuit(0.0), arch::qx4_backend(), fixed_options());
+  EXPECT_EQ(fallback.circuit, direct.circuit);
+}
+
+TEST(TranspileCache, DifferentCouplingOrOptionsDoNotCollide) {
+  TranspileCache cache;
+  const QuantumCircuit qc = ansatz(0.1, 0.2);
+  cache.transpile(qc, arch::qx4_backend(), fixed_options());
+  TranspileOptions other = fixed_options();
+  other.optimization_level = 2;
+  const auto r = cache.transpile(qc, arch::qx4_backend(), other);
+  EXPECT_FALSE(r.cache_hit);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(TranspileCache, EvictionKeepsTheCacheBounded) {
+  TranspileCache cache(/*capacity=*/2);
+  for (int n = 2; n <= 5; ++n) {
+    QuantumCircuit qc(n);
+    for (int q = 0; q + 1 < n; ++q) qc.cx(q, q + 1);
+    cache.transpile(qc, arch::qx4_backend(), fixed_options());
+  }
+  EXPECT_LE(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+}
+
+TEST(TranspileCache, ExecuteRoutesThroughTheGlobalCache) {
+  TranspileCache::global().clear();
+  TranspileCache::set_enabled(1);
+  exec::ExecuteOptions opts;
+  opts.shots = 16;
+  opts.transpile_options = fixed_options();
+
+  const auto cold = exec::execute(ansatz(0.5, 0.5), arch::qx4_backend(), opts);
+  EXPECT_FALSE(cold.transpile_cache_hit);
+  EXPECT_EQ(cold.mapper_trials, 2);
+
+  const std::uint64_t runs_before = map::mapper_run_count();
+  const auto warm = exec::execute(ansatz(1.5, -0.5), arch::qx4_backend(), opts);
+  EXPECT_EQ(map::mapper_run_count(), runs_before);  // hybrid-loop hot path
+  EXPECT_TRUE(warm.transpile_cache_hit);
+  EXPECT_EQ(warm.mapper_trials, 0);
+
+  TranspileCache::set_enabled(-1);
+  TranspileCache::global().clear();
+}
+
+TEST(TranspileCache, DisabledCacheBypassesLookup) {
+  TranspileCache::global().clear();
+  TranspileCache::set_enabled(0);
+  const auto before = TranspileCache::global().stats().lookups;
+  const auto r =
+      transpile_cached(ansatz(0.2, 0.9), arch::qx4_backend(), fixed_options());
+  EXPECT_FALSE(r.cache_hit);
+  EXPECT_GT(r.mapper_trials, 0);
+  EXPECT_EQ(TranspileCache::global().stats().lookups, before);
+  TranspileCache::set_enabled(-1);
 }
 
 }  // namespace
