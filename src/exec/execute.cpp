@@ -1,6 +1,7 @@
 #include "exec/execute.hpp"
 
 #include <stdexcept>
+#include <string>
 
 #include "noise/trajectory.hpp"
 #include "transpiler/direction.hpp"
@@ -11,6 +12,12 @@ namespace qtc::exec {
 ExecuteResult execute(const QuantumCircuit& circuit,
                       const arch::Backend& backend,
                       const ExecuteOptions& options) {
+  // Validate up front so a malformed request costs a structured error, not
+  // a transpile followed by a failure (or UB) deep in the shot loop — a bad
+  // tenant submission must never take down a service worker.
+  if (options.shots < 1)
+    throw std::invalid_argument("execute: shots must be >= 1 (got " +
+                                std::to_string(options.shots) + ")");
   if (circuit.num_qubits() > backend.num_qubits())
     throw std::invalid_argument("execute: circuit does not fit the backend");
   ExecuteResult result;

@@ -283,6 +283,13 @@ void TranspileCache::clear() {
   stats_ = TranspileCacheStats{};
 }
 
+std::uint64_t structural_cache_key(const QuantumCircuit& circuit,
+                                   const arch::Backend& backend,
+                                   const TranspileOptions& options) {
+  return cache_key(circuit, backend.coupling_map(),
+                   detail::resolve_options(options));
+}
+
 TranspileResult transpile_cached(const QuantumCircuit& circuit,
                                  const arch::Backend& backend,
                                  const TranspileOptions& options) {

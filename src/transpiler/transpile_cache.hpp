@@ -106,6 +106,17 @@ class TranspileCache {
   TranspileCacheStats stats_;
 };
 
+/// Structural batching key: the fingerprint the cache buckets on — circuit
+/// structure (gate kinds/qubits/clbits/conditions/registers, parameter
+/// values excluded), the backend's coupling map, and the resolved transpile
+/// options. Jobs with equal keys share a cache entry, so running them back
+/// to back costs one mapper run; the execution service groups queued jobs by
+/// this key. Purely advisory — a (vanishingly unlikely) hash collision only
+/// batches unrelated jobs together, it cannot change any job's result.
+std::uint64_t structural_cache_key(const QuantumCircuit& circuit,
+                                   const arch::Backend& backend,
+                                   const TranspileOptions& options = {});
+
 /// Transpile through the global cache when it is enabled, else directly.
 /// This is the call exec::execute / arch::Backend::run go through, so every
 /// hybrid loop re-executing a same-structure circuit pays the mapper once.

@@ -16,10 +16,12 @@
 
 #include "arch/backend.hpp"
 #include "dd/simulator.hpp"
+#include "exec/execute.hpp"
 #include "map/mapping.hpp"
 #include "noise/density_matrix.hpp"
 #include "noise/noise_model.hpp"
 #include "noise/trajectory.hpp"
+#include "service/execution_service.hpp"
 #include "sim/fusion.hpp"
 #include "sim/stabilizer.hpp"
 #include "sim/simulator.hpp"
@@ -272,6 +274,58 @@ TEST(Differential, TrajectoryMatchesDensityMatrixFusionOffAndOn) {
     }
     ASSERT_GE(tested, 4) << "generator stopped producing small circuits";
   });
+}
+
+// --- the execution service joins the vote ------------------------------------
+
+TEST(Differential, ServicePathMatchesDirectExecuteAndArrayEngine) {
+  // A sample of the standing cross-checks routed through
+  // ExecutionService::submit: the async service (3 workers, concurrent
+  // submission, batching on) must return counts bitwise equal to a direct
+  // exec::execute with the same seed, and — executed noiselessly — those
+  // counts must agree with the array engine's logical-circuit distribution,
+  // so the whole transpile+dispatch path re-enters the engine-equivalence
+  // oracle.
+  const noise::NoiseModel noiseless;  // empty model: exact unitary sampling
+  const int shots = 4000;
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t seed = 1; seed <= kNumCircuits && seeds.size() < 6; ++seed)
+    if (random_measured_circuit(seed).num_qubits() <= 5) seeds.push_back(seed);
+  ASSERT_GE(seeds.size(), 4u);
+
+  service::ServiceConfig config;
+  config.workers = 3;
+  service::ExecutionService svc(config);
+  const arch::Backend backend = arch::qx4_backend();
+  std::vector<service::JobHandle> handles;
+  std::vector<exec::ExecuteOptions> opts_used;
+  for (std::uint64_t seed : seeds) {
+    exec::ExecuteOptions opts;
+    opts.shots = shots;
+    opts.seed = seed * 101 + 7;
+    opts.noise_model = &noiseless;
+    opts_used.push_back(opts);
+    handles.push_back(svc.submit(random_measured_circuit(seed), backend, opts,
+                                 "differential"));
+  }
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    const std::uint64_t seed = seeds[i];
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const service::JobResult r = handles[i].result();
+    ASSERT_EQ(r.state, service::JobState::Done) << r.error;
+    const QuantumCircuit logical = random_measured_circuit(seed);
+    const auto direct = exec::execute(logical, backend, opts_used[i]);
+    EXPECT_EQ(r.counts.histogram, direct.counts.histogram)
+        << "service counts diverged from direct exec::execute";
+    sim::StatevectorSimulator array(seed);
+    const auto expected = array.run(logical, shots).counts;
+    for (std::uint64_t b = 0; b < (std::uint64_t{1} << logical.num_qubits());
+         ++b) {
+      const std::string bits = sim::format_bits(b, logical.num_qubits());
+      EXPECT_NEAR(r.counts.probability(bits), expected.probability(bits), 0.05)
+          << "service vs array engine, bits " << bits;
+    }
+  }
 }
 
 // --- fusion on/off: fixed-seed counts must be bitwise identical --------------
