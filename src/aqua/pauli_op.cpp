@@ -140,7 +140,7 @@ Matrix PauliOp::to_matrix() const {
   return out;
 }
 
-double PauliOp::expectation(const std::vector<cplx>& sv) const {
+double PauliOp::expectation(std::span<const cplx> sv) const {
   if (sv.size() != (std::size_t{1} << n_))
     throw std::invalid_argument("pauli op: state size mismatch");
   // <psi|P|psi> computed per term by streaming over basis states: for each

@@ -5,6 +5,7 @@
 // Jordan-Wigner transformed symbolically.
 
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -52,7 +53,7 @@ class PauliOp {
   /// Dense 2^n x 2^n matrix (n <= 12).
   Matrix to_matrix() const;
   /// <psi| op |psi> for a real (Hermitian) operator.
-  double expectation(const std::vector<cplx>& statevector) const;
+  double expectation(std::span<const cplx> statevector) const;
   /// Smallest eigenvalue via dense diagonalization (n <= 6).
   double ground_energy() const;
 

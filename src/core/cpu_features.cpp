@@ -1,0 +1,27 @@
+#include "core/cpu_features.hpp"
+
+namespace qtc::core {
+
+namespace {
+
+CpuFeatures probe() {
+  CpuFeatures f;
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  __builtin_cpu_init();
+  f.avx2 = __builtin_cpu_supports("avx2");
+  f.fma = __builtin_cpu_supports("fma");
+#endif
+#if defined(__aarch64__) || defined(__ARM_NEON)
+  f.neon = true;  // Advanced SIMD is architecturally required on AArch64
+#endif
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures features = probe();
+  return features;
+}
+
+}  // namespace qtc::core

@@ -1,0 +1,19 @@
+#pragma once
+// Runtime CPU feature probe for the SIMD kernel layer. The library is built
+// for the baseline ISA and selects vector kernels at run time, so one binary
+// runs everywhere: an AVX2 path compiled with a per-function target
+// attribute is only ever entered after this probe says the machine has it.
+
+namespace qtc::core {
+
+struct CpuFeatures {
+  bool avx2 = false;  // x86-64 with AVX2 (256-bit integer + FP vectors)
+  bool fma = false;   // x86-64 fused multiply-add (informational; the
+                      // kernels avoid FMA to stay bitwise-stable vs scalar)
+  bool neon = false;  // AArch64 Advanced SIMD (baseline on 64-bit ARM)
+};
+
+/// The host's feature set, probed once on first use (thread-safe).
+const CpuFeatures& cpu_features();
+
+}  // namespace qtc::core

@@ -271,20 +271,20 @@ Matrix matrix_controlled_residual(const Matrix& m,
   return residual;
 }
 
-cplx inner(const std::vector<cplx>& a, const std::vector<cplx>& b) {
+cplx inner(std::span<const cplx> a, std::span<const cplx> b) {
   if (a.size() != b.size()) throw std::invalid_argument("inner size mismatch");
   cplx s{0, 0};
   for (std::size_t i = 0; i < a.size(); ++i) s += std::conj(a[i]) * b[i];
   return s;
 }
 
-double vec_norm(const std::vector<cplx>& v) {
+double vec_norm(std::span<const cplx> v) {
   double s = 0;
   for (const auto& x : v) s += std::norm(x);
   return std::sqrt(s);
 }
 
-double max_abs_diff(const std::vector<cplx>& a, const std::vector<cplx>& b) {
+double max_abs_diff(std::span<const cplx> a, std::span<const cplx> b) {
   if (a.size() != b.size()) throw std::invalid_argument("diff size mismatch");
   double worst = 0;
   for (std::size_t i = 0; i < a.size(); ++i)
@@ -292,8 +292,8 @@ double max_abs_diff(const std::vector<cplx>& a, const std::vector<cplx>& b) {
   return worst;
 }
 
-bool states_equal_up_to_phase(const std::vector<cplx>& a,
-                              const std::vector<cplx>& b, double tol) {
+bool states_equal_up_to_phase(std::span<const cplx> a, std::span<const cplx> b,
+                              double tol) {
   if (a.size() != b.size()) return false;
   std::size_t best = 0;
   double best_mag = 0;

@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -110,17 +111,21 @@ std::vector<int> matrix_control_bits(const Matrix& m, double tol = 1e-14);
 Matrix matrix_controlled_residual(const Matrix& m,
                                   const std::vector<int>& control_bits);
 
+// The amplitude-vector helpers take spans so both std::vector<cplx> and the
+// 64-byte-aligned aligned_vector<cplx> the statevector engine uses (see
+// core/aligned.hpp) flow through them without copies.
+
 /// Inner product <a|b> with conjugation on `a`.
-cplx inner(const std::vector<cplx>& a, const std::vector<cplx>& b);
+cplx inner(std::span<const cplx> a, std::span<const cplx> b);
 /// Euclidean norm of a vector: sqrt(sum |v_i|^2). (Formerly misnamed
 /// `norm2`, which suggested the *squared* norm — callers wanting that should
 /// square the result, not sqrt it again.)
-double vec_norm(const std::vector<cplx>& v);
+double vec_norm(std::span<const cplx> v);
 /// Largest |a_i - b_i|.
-double max_abs_diff(const std::vector<cplx>& a, const std::vector<cplx>& b);
+double max_abs_diff(std::span<const cplx> a, std::span<const cplx> b);
 /// True if vectors agree up to a global phase.
-bool states_equal_up_to_phase(const std::vector<cplx>& a,
-                              const std::vector<cplx>& b, double tol = 1e-9);
+bool states_equal_up_to_phase(std::span<const cplx> a, std::span<const cplx> b,
+                              double tol = 1e-9);
 
 /// Solve the dense linear system A x = b by Gaussian elimination with
 /// partial pivoting. A must be square and nonsingular.

@@ -3,7 +3,9 @@
 #include <stdexcept>
 #include <string>
 
+#include "dd/simulator.hpp"
 #include "noise/trajectory.hpp"
+#include "sim/stabilizer.hpp"
 #include "transpiler/direction.hpp"
 #include "transpiler/transpile_cache.hpp"
 
@@ -46,8 +48,48 @@ ExecuteResult execute(const QuantumCircuit& circuit,
   const noise::NoiseModel model = options.noise_model
                                       ? *options.noise_model
                                       : noise::from_backend(backend);
-  noise::TrajectorySimulator device(options.seed);
-  result.counts = device.run(result.compiled, model, options.shots);
+  // Engine selection: explicit request wins; otherwise the dispatcher picks
+  // from the compiled circuit's structure. Noise pins the choice to the
+  // trajectory engine — the tableau and DD engines cannot apply Kraus
+  // channels (an explicit noisy request for one is a contract violation).
+  const bool noisy = model.has_noise();
+  if (options.engine != sim::Engine::Auto) {
+    if (noisy && options.engine != sim::Engine::Statevector)
+      throw std::invalid_argument(
+          std::string("execute: engine '") +
+          sim::engine_name(options.engine) +
+          "' cannot apply a noise model (only statevector/trajectory can)");
+    result.engine = options.engine;
+    result.dispatch_reason = "explicit override";
+  } else if (noisy) {
+    result.engine = sim::Engine::Statevector;
+    result.dispatch_reason = "noise model active";
+  } else if (!sim::dispatch_enabled()) {
+    result.engine = sim::Engine::Statevector;
+    result.dispatch_reason = "dispatch disabled";
+  } else {
+    const sim::DispatchDecision decision = sim::choose_engine(result.compiled);
+    result.engine = decision.engine;
+    result.dispatch_reason = decision.reason;
+  }
+  switch (result.engine) {
+    case sim::Engine::Stabilizer: {
+      sim::StabilizerSimulator tableau(options.seed);
+      result.counts = tableau.run(result.compiled, options.shots);
+      break;
+    }
+    case sim::Engine::DecisionDiagram: {
+      dd::DDSimulator diagrams(options.seed);
+      result.counts = diagrams.run(result.compiled, options.shots).counts;
+      break;
+    }
+    default: {
+      noise::TrajectorySimulator device(options.seed);
+      result.counts = device.run(result.compiled, model, options.shots);
+      break;
+    }
+  }
+  sim::note_engine_run(result.engine);
   return result;
 }
 

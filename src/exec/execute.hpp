@@ -13,6 +13,7 @@
 #include "core/circuit.hpp"
 #include "map/mapping.hpp"
 #include "noise/noise_model.hpp"
+#include "sim/dispatch.hpp"
 #include "sim/result.hpp"
 #include "transpiler/transpile.hpp"
 
@@ -33,6 +34,12 @@ struct ExecuteOptions {
   /// see QTC_TRANSPILE_CACHE). Hybrid loops re-executing the same ansatz
   /// structure with new angles then skip layout + routing entirely.
   bool use_transpile_cache = true;
+  /// Simulation engine. Auto lets the dispatcher pick from the circuit's
+  /// structure (see sim/dispatch.hpp; noisy runs always use the trajectory
+  /// engine). An explicit engine always wins — but requesting Stabilizer or
+  /// DecisionDiagram together with an active noise model throws, since
+  /// neither can apply Kraus channels.
+  sim::Engine engine = sim::Engine::Auto;
 };
 
 struct ExecuteResult {
@@ -46,6 +53,10 @@ struct ExecuteResult {
   /// mapper layout trials ran (0 on a cache hit or with transpile=false).
   bool transpile_cache_hit = false;
   int mapper_trials = 0;
+  /// The engine that actually sampled the shots, and why the dispatcher
+  /// picked it ("explicit override" when options.engine was not Auto).
+  sim::Engine engine = sim::Engine::Statevector;
+  const char* dispatch_reason = "";
 };
 
 /// Compile `circuit` for `backend`, attach its noise model, and execute on

@@ -44,7 +44,7 @@ QuantumCircuit tomography_circuit(const QuantumCircuit& preparation,
   return qc;
 }
 
-double TomographyResult::fidelity(const std::vector<cplx>& reference) const {
+double TomographyResult::fidelity(std::span<const cplx> reference) const {
   if (reference.size() != rho.rows())
     throw std::invalid_argument("tomography fidelity: size mismatch");
   cplx f{0, 0};

@@ -4,6 +4,7 @@
 // the expectations estimated from 3^n measurement settings.
 
 #include <string>
+#include <span>
 #include <vector>
 
 #include "core/circuit.hpp"
@@ -24,7 +25,7 @@ QuantumCircuit tomography_circuit(const QuantumCircuit& preparation,
 struct TomographyResult {
   Matrix rho;
   /// <psi|rho|psi> against a pure reference.
-  double fidelity(const std::vector<cplx>& reference) const;
+  double fidelity(std::span<const cplx> reference) const;
 };
 
 /// Run the full protocol: 3^n settings, `shots` each, under `noise`,

@@ -58,7 +58,7 @@ void Layout::swap_physical(int p1, int p2) {
   if (l2 >= 0) l2p[l2] = p1;
 }
 
-std::vector<cplx> embed_state(const std::vector<cplx>& logical_state,
+std::vector<cplx> embed_state(std::span<const cplx> logical_state,
                               const Layout& layout, int num_physical) {
   const int nl = layout.num_logical();
   if (logical_state.size() != (std::size_t{1} << nl))

@@ -6,6 +6,7 @@
 // heuristics in the spirit of [18] (SABRE) and [39] (layered A*).
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -130,7 +131,7 @@ class AStarMapper final : public Mapper {
 /// Embed an n-logical-qubit statevector into n_physical qubits under a
 /// layout (ancilla physical qubits in |0>). Used to verify that a mapped
 /// circuit is equivalent to the original up to the layout permutation.
-std::vector<cplx> embed_state(const std::vector<cplx>& logical_state,
+std::vector<cplx> embed_state(std::span<const cplx> logical_state,
                               const Layout& layout, int num_physical);
 
 }  // namespace qtc::map

@@ -51,7 +51,7 @@ void DensityMatrix::left_multiply(const Matrix& m,
   parallel::parallel_for(
       0, dim,
       [&](std::uint64_t c0, std::uint64_t c1) {
-        std::vector<cplx> column(dim);
+        sim::AmpVector column(dim);  // aligned: adopted by the kernel engine
         for (std::uint64_t c = c0; c < c1; ++c) {
           for (std::size_t r = 0; r < dim; ++r) column[r] = rho_(r, c);
           sim::Statevector col(std::move(column));
@@ -72,7 +72,7 @@ void DensityMatrix::right_multiply_dagger(const Matrix& m,
   parallel::parallel_for(
       0, dim,
       [&](std::uint64_t r0, std::uint64_t r1) {
-        std::vector<cplx> row(dim);
+        sim::AmpVector row(dim);  // aligned: adopted by the kernel engine
         for (std::uint64_t r = r0; r < r1; ++r) {
           for (std::size_t c = 0; c < dim; ++c) row[c] = rho_(r, c);
           sim::Statevector rv(std::move(row));
@@ -130,7 +130,7 @@ double DensityMatrix::purity() const { return (rho_ * rho_).trace().real(); }
 
 double DensityMatrix::trace_real() const { return rho_.trace().real(); }
 
-double DensityMatrix::fidelity(const std::vector<cplx>& sv) const {
+double DensityMatrix::fidelity(std::span<const cplx> sv) const {
   if (sv.size() != rho_.rows())
     throw std::invalid_argument("fidelity: size mismatch");
   cplx f{0, 0};

@@ -4,6 +4,7 @@
 // the reference against which the Monte-Carlo trajectory method is checked.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/circuit.hpp"
@@ -39,7 +40,7 @@ class DensityMatrix {
   double purity() const;
   double trace_real() const;
   /// <psi| rho |psi> against a pure reference state.
-  double fidelity(const std::vector<cplx>& statevector) const;
+  double fidelity(std::span<const cplx> statevector) const;
   /// Expectation of a Pauli string (leftmost char = highest qubit).
   double expectation_pauli(const std::string& paulis) const;
   /// Reduce to the listed qubits (ascending order kept).

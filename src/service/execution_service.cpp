@@ -95,6 +95,8 @@ struct ExecutionService::Job {
   double run_ms = 0;
   bool cache_hit = false;
   int mapper_trials = 0;
+  const char* engine = "";
+  const char* dispatch_reason = "";
   bool batch_follower = false;
   std::uint64_t completion_seq = 0;
 };
@@ -283,6 +285,8 @@ void ExecutionService::run_job(const JobPtr& job, bool batch_follower) {
     job->counts = std::move(result.counts);
     job->cache_hit = result.transpile_cache_hit;
     job->mapper_trials = result.mapper_trials;
+    job->engine = sim::engine_name(result.engine);
+    job->dispatch_reason = result.dispatch_reason;
   } else {
     job->error = std::move(error);
   }
@@ -344,6 +348,8 @@ JobResult ExecutionService::snapshot_locked(const Job& job) const {
   r.run_ms = job.run_ms;
   r.transpile_cache_hit = job.cache_hit;
   r.mapper_trials = job.mapper_trials;
+  r.engine = job.engine;
+  r.dispatch_reason = job.dispatch_reason;
   r.batch_follower = job.batch_follower;
   r.completion_seq = job.completion_seq;
   return r;

@@ -85,6 +85,10 @@ struct JobResult {
   bool transpile_cache_hit = false;  // compilation served warm
   int mapper_trials = 0;             // layout trials run (0 on a warm hit)
   bool batch_follower = false;  // ran in the tail of a structural batch
+  /// Engine that sampled the shots ("statevector" / "stabilizer" /
+  /// "decision_diagram") and the dispatcher's reason (Done only).
+  std::string engine;
+  std::string dispatch_reason;
   /// 1-based order of this job's terminal transition among all jobs of the
   /// service — the fairness tests read interleaving off this sequence.
   std::uint64_t completion_seq = 0;

@@ -1,0 +1,145 @@
+#include "sim/dispatch.hpp"
+
+#include <array>
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/gates.hpp"
+#include "sim/stabilizer.hpp"
+
+namespace qtc::sim {
+
+namespace {
+
+std::atomic<int> g_enabled_override{-1};
+
+bool env_dispatch_enabled() {
+  const char* s = std::getenv("QTC_DISPATCH");
+  if (!s || !*s) return true;
+  std::string v(s);
+  for (char& c : v) c = static_cast<char>(std::tolower(c));
+  return !(v == "0" || v == "off" || v == "false" || v == "no");
+}
+
+/// Gate kinds the tableau engine supports — keep in sync with
+/// sim::is_clifford_circuit / StabilizerState::apply.
+bool is_clifford_kind(OpKind k) {
+  switch (k) {
+    case OpKind::I:
+    case OpKind::X:
+    case OpKind::Y:
+    case OpKind::Z:
+    case OpKind::H:
+    case OpKind::S:
+    case OpKind::Sdg:
+    case OpKind::SX:
+    case OpKind::SXdg:
+    case OpKind::CX:
+    case OpKind::CY:
+    case OpKind::CZ:
+    case OpKind::SWAP:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// One counter slot per Engine value (Auto never runs, but indexing by the
+// enum keeps the bookkeeping trivial).
+constexpr int kNumEngines = 4;
+std::array<std::atomic<std::uint64_t>, kNumEngines>& counters() {
+  static std::array<std::atomic<std::uint64_t>, kNumEngines> c{};
+  return c;
+}
+
+}  // namespace
+
+const char* engine_name(Engine e) {
+  switch (e) {
+    case Engine::Auto:
+      return "auto";
+    case Engine::Statevector:
+      return "statevector";
+    case Engine::Stabilizer:
+      return "stabilizer";
+    case Engine::DecisionDiagram:
+      return "decision_diagram";
+  }
+  return "statevector";
+}
+
+bool dispatch_enabled() {
+  const int forced = g_enabled_override.load(std::memory_order_relaxed);
+  return forced >= 0 ? forced != 0 : env_dispatch_enabled();
+}
+
+void set_dispatch_enabled(int enabled) {
+  g_enabled_override.store(enabled < 0 ? -1 : (enabled != 0),
+                           std::memory_order_relaxed);
+}
+
+CircuitProfile profile_circuit(const QuantumCircuit& circuit) {
+  CircuitProfile p;
+  p.num_qubits = circuit.num_qubits();
+  std::vector<bool> measured(static_cast<std::size_t>(circuit.num_qubits()),
+                             false);
+  for (const Operation& op : circuit.ops()) {
+    if (op.conditioned()) p.has_conditionals = true;
+    switch (op.kind) {
+      case OpKind::Barrier:
+        continue;  // no wire interaction; never blocks any engine
+      case OpKind::Measure:
+        p.has_measurements = true;
+        if (measured[static_cast<std::size_t>(op.qubits[0])])
+          p.measurements_final = false;  // second measurement of a wire
+        measured[static_cast<std::size_t>(op.qubits[0])] = true;
+        continue;
+      case OpKind::Reset:
+        p.has_reset = true;
+        break;
+      default:
+        break;
+    }
+    if (op_is_unitary(op.kind)) {
+      ++p.unitary_gates;
+      if (op.qubits.size() >= 2) ++p.entangling_gates;
+      if (!is_clifford_kind(op.kind)) p.clifford_only = false;
+    }
+    for (Qubit q : op.qubits)
+      if (measured[static_cast<std::size_t>(q)]) p.measurements_final = false;
+  }
+  return p;
+}
+
+DispatchDecision choose_engine(const CircuitProfile& p) {
+  if (p.clifford_only && p.unitary_gates > 0)
+    return {Engine::Stabilizer, "clifford-only gate set"};
+  if (p.dd_compatible()) {
+    if (p.num_qubits > 26)
+      return {Engine::DecisionDiagram, "beyond array-engine capacity"};
+    if (p.entangling_gates <= 2 * p.num_qubits && p.num_qubits >= 8)
+      return {Engine::DecisionDiagram, "sparse entanglement structure"};
+  }
+  return {Engine::Statevector, "general circuit"};
+}
+
+DispatchDecision choose_engine(const QuantumCircuit& circuit) {
+  return choose_engine(profile_circuit(circuit));
+}
+
+void note_engine_run(Engine e) {
+  counters()[static_cast<int>(e)].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t engine_runs(Engine e) {
+  return counters()[static_cast<int>(e)].load(std::memory_order_relaxed);
+}
+
+void reset_engine_run_counters() {
+  for (auto& c : counters()) c.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace qtc::sim

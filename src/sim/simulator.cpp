@@ -36,7 +36,7 @@ RunResult StatevectorSimulator::run(const QuantumCircuit& circuit, int shots) {
 
   if (!circuit.has_measurements()) {
     Statevector sv = statevector(circuit);
-    result.statevector = sv.amplitudes();
+    result.statevector.assign(sv.amplitudes().begin(), sv.amplitudes().end());
     result.counts.shots = shots;
     return result;
   }
@@ -60,7 +60,7 @@ RunResult StatevectorSimulator::run(const QuantumCircuit& circuit, int shots) {
         sv.apply(f.op);  // passthrough unitary (fusion disabled)
       }
     }
-    result.statevector = sv.amplitudes();
+    result.statevector.assign(sv.amplitudes().begin(), sv.amplitudes().end());
     const std::vector<double> cdf = sv.cumulative_probabilities();
     for (int s = 0; s < shots; ++s) {
       const std::uint64_t basis = sample_cdf(cdf, rng_.uniform());
@@ -113,7 +113,8 @@ RunResult StatevectorSimulator::run(const QuantumCircuit& circuit, int shots) {
             if (clbits[c]) value |= std::uint64_t{1} << c;
           outcomes[s] = value;
           if (s + 1 == static_cast<std::uint64_t>(shots))
-            last_state = sv.amplitudes();
+            last_state.assign(sv.amplitudes().begin(),
+                              sv.amplitudes().end());
         }
       },
       /*serial_cutoff=*/2);

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/parallel.hpp"
+#include "sim/simd.hpp"
 
 namespace qtc::sim {
 
@@ -37,14 +38,16 @@ Statevector::Statevector(int num_qubits) : n_(num_qubits) {
   amp_[0] = 1;
 }
 
-Statevector::Statevector(std::vector<cplx> amplitudes)
-    : amp_(std::move(amplitudes)) {
+Statevector::Statevector(AmpVector amplitudes) : amp_(std::move(amplitudes)) {
   if (!is_power_of_two(amp_.size()))
     throw std::invalid_argument("statevector: size must be a power of two");
   n_ = log2_exact(amp_.size());
   if (n_ > 30)
     throw std::invalid_argument("statevector: unsupported qubit count");
 }
+
+Statevector::Statevector(const std::vector<cplx>& amplitudes)
+    : Statevector(AmpVector(amplitudes.begin(), amplitudes.end())) {}
 
 void Statevector::apply(const Operation& op) {
   if (op.kind == OpKind::Barrier) return;
@@ -67,13 +70,12 @@ void Statevector::apply_1q(cplx m00, cplx m01, cplx m10, cplx m11, int q) {
   if (q < 0 || q >= n_) throw std::out_of_range("apply_1q: qubit out of range");
   const std::uint64_t half = amp_.size() >> 1;
   const std::uint64_t mask = std::uint64_t{1} << q;
+  // Resolve the ISA once so the choice cannot flip between chunks of one
+  // sweep; the SIMD layer guarantees bitwise-identical results either way.
+  const simd::Isa isa = simd::select();
+  cplx* amp = amp_.data();
   parallel::parallel_for(0, half, [&](std::uint64_t g0, std::uint64_t g1) {
-    for (std::uint64_t g = g0; g < g1; ++g) {
-      const std::uint64_t i = insert_zero_bit(g, mask);
-      const cplx a0 = amp_[i], a1 = amp_[i | mask];
-      amp_[i] = m00 * a0 + m01 * a1;
-      amp_[i | mask] = m10 * a0 + m11 * a1;
-    }
+    simd::apply_1q_range(isa, amp, g0, g1, mask, m00, m01, m10, m11);
   });
 }
 
@@ -83,11 +85,10 @@ void Statevector::apply_cx(int control, int target) {
   const std::uint64_t half = amp_.size() >> 1;
   const std::uint64_t cmask = std::uint64_t{1} << control;
   const std::uint64_t tmask = std::uint64_t{1} << target;
+  const simd::Isa isa = simd::select();
+  cplx* amp = amp_.data();
   parallel::parallel_for(0, half, [&](std::uint64_t g0, std::uint64_t g1) {
-    for (std::uint64_t g = g0; g < g1; ++g) {
-      const std::uint64_t i = insert_zero_bit(g, tmask);
-      if (i & cmask) std::swap(amp_[i], amp_[i | tmask]);
-    }
+    simd::apply_cx_range(isa, amp, g0, g1, cmask, tmask);
   });
 }
 
@@ -126,37 +127,59 @@ void Statevector::apply_matrix(const Matrix& m, const std::vector<int>& qs) {
   // accordingly before forking.
   const std::uint64_t cutoff =
       std::max<std::uint64_t>(2, parallel::kSerialCutoff >> (2 * k));
-  // The kernel body over one group: expand g by inserting a 0 bit at each
-  // (sorted) gate qubit position, gather, multiply, scatter.
-  auto run_group = [&](std::uint64_t g, cplx* in, cplx* out) {
-    std::uint64_t base = g;
+  // The kernel body: expand g by inserting a 0 bit at each (sorted) gate
+  // qubit position, gather, multiply, scatter. Groups go through the matvec
+  // two at a time, lane-interleaved, so the AVX2 path sees contiguous loads;
+  // each group's rows still accumulate in the scalar column order, and lanes
+  // are independent, so results are ISA- and pairing-invariant bit for bit
+  // (an odd chunk tail runs the single-group scalar matvec).
+  const simd::Isa isa = simd::select();
+  const cplx* md = m.data().data();
+  auto expand = [&](std::uint64_t g) {
     for (int t = 0; t < k; ++t)
-      base = insert_zero_bit(base, std::uint64_t{1} << sorted_qubits_[t]);
+      g = insert_zero_bit(g, std::uint64_t{1} << sorted_qubits_[t]);
+    return g;
+  };
+  auto run_group = [&](std::uint64_t g, cplx* in, cplx* out) {
+    const std::uint64_t base = expand(g);
     for (std::size_t j = 0; j < dim; ++j)
       in[j] = amp_[base | gather_offsets_[j]];
-    for (std::size_t r = 0; r < dim; ++r) {
-      cplx acc{0, 0};
-      for (std::size_t c = 0; c < dim; ++c) acc += m(r, c) * in[c];
-      out[r] = acc;
-    }
+    simd::matvec(isa, md, in, out, dim);
     for (std::size_t j = 0; j < dim; ++j)
       amp_[base | gather_offsets_[j]] = out[j];
+  };
+  auto run_pair = [&](std::uint64_t g, cplx* in2, cplx* out2) {
+    const std::uint64_t ba = expand(g), bb = expand(g + 1);
+    for (std::size_t j = 0; j < dim; ++j) {
+      in2[2 * j] = amp_[ba | gather_offsets_[j]];
+      in2[2 * j + 1] = amp_[bb | gather_offsets_[j]];
+    }
+    simd::matvec2(isa, md, in2, out2, dim);
+    for (std::size_t j = 0; j < dim; ++j) {
+      amp_[ba | gather_offsets_[j]] = out2[2 * j];
+      amp_[bb | gather_offsets_[j]] = out2[2 * j + 1];
+    }
+  };
+  auto sweep = [&](std::uint64_t g_lo, std::uint64_t g_hi, cplx* in2,
+                   cplx* out2) {
+    std::uint64_t g = g_lo;
+    for (; g + 2 <= g_hi; g += 2) run_pair(g, in2, out2);
+    if (g < g_hi) run_group(g, in2, out2);
   };
   if (dim <= kStackDim) {
     parallel::parallel_for(
         0, groups,
         [&](std::uint64_t g_lo, std::uint64_t g_hi) {
-          cplx in[kStackDim], out[kStackDim];  // no heap in the hot loop
-          for (std::uint64_t g = g_lo; g < g_hi; ++g) run_group(g, in, out);
+          cplx in2[2 * kStackDim], out2[2 * kStackDim];  // no heap in the loop
+          sweep(g_lo, g_hi, in2, out2);
         },
         cutoff);
   } else {
     parallel::parallel_for(
         0, groups,
         [&](std::uint64_t g_lo, std::uint64_t g_hi) {
-          std::vector<cplx> in(dim), out(dim);  // rare large-k fallback
-          for (std::uint64_t g = g_lo; g < g_hi; ++g)
-            run_group(g, in.data(), out.data());
+          std::vector<cplx> in2(2 * dim), out2(2 * dim);  // large-k fallback
+          sweep(g_lo, g_hi, in2.data(), out2.data());
         },
         cutoff);
   }
@@ -182,6 +205,8 @@ void Statevector::apply_diagonal(const std::vector<cplx>& diag,
   const std::uint64_t seg = std::uint64_t{1} << qmin;
   const std::uint64_t cutoff =
       std::max<std::uint64_t>(1, parallel::kSerialCutoff >> qmin);
+  const simd::Isa isa = simd::select();
+  cplx* amp = amp_.data();
   parallel::parallel_for(
       0, amp_.size() >> qmin,
       [&](std::uint64_t s_lo, std::uint64_t s_hi) {
@@ -189,8 +214,7 @@ void Statevector::apply_diagonal(const std::vector<cplx>& diag,
           const std::uint64_t i0 = s << qmin;
           std::size_t j = 0;
           for (int t = 0; t < k; ++t) j |= ((i0 >> qp[t]) & 1) << t;
-          const cplx d = diag[j];
-          for (std::uint64_t i = i0; i < i0 + seg; ++i) amp_[i] *= d;
+          simd::scale_range(isa, amp, i0, seg, diag[j]);
         }
       },
       cutoff);
@@ -209,10 +233,11 @@ void Statevector::apply_permutation(const std::vector<std::uint32_t>& row_of,
   const std::uint64_t groups = amp_.size() >> k;
   const std::uint64_t cutoff =
       std::max<std::uint64_t>(2, parallel::kSerialCutoff >> k);
+  const simd::Isa isa = simd::select();
   parallel::parallel_for(
       0, groups,
       [&](std::uint64_t g_lo, std::uint64_t g_hi) {
-        cplx in[kStackDim];
+        cplx in[kStackDim], scaled[kStackDim];
         for (std::uint64_t g = g_lo; g < g_hi; ++g) {
           std::uint64_t base = g;
           for (int t = 0; t < k; ++t)
@@ -223,8 +248,9 @@ void Statevector::apply_permutation(const std::vector<std::uint32_t>& row_of,
             for (std::size_t j = 0; j < dim; ++j)
               amp_[base | gather_offsets_[row_of[j]]] = in[j];
           } else {
+            simd::cmul(isa, phases.data(), in, scaled, dim);
             for (std::size_t j = 0; j < dim; ++j)
-              amp_[base | gather_offsets_[row_of[j]]] = phases[j] * in[j];
+              amp_[base | gather_offsets_[row_of[j]]] = scaled[j];
           }
         }
       },
@@ -268,24 +294,39 @@ void Statevector::apply_controlled_matrix(const Matrix& u,
   const std::uint64_t groups = amp_.size() >> k;
   const std::uint64_t cutoff =
       std::max<std::uint64_t>(2, parallel::kSerialCutoff >> (2 * nt));
+  const simd::Isa isa = simd::select();
+  const cplx* ud = u.data().data();
+  // Same two-groups-per-matvec layout as apply_matrix (see the comment
+  // there); the control mask pins every group to the control-active slice.
+  auto expand = [&](std::uint64_t g) {
+    for (int t = 0; t < k; ++t)
+      g = insert_zero_bit(g, std::uint64_t{1} << all[t]);
+    return g | cmask;
+  };
   parallel::parallel_for(
       0, groups,
       [&](std::uint64_t g_lo, std::uint64_t g_hi) {
-        cplx in[kStackDim], out[kStackDim];
-        for (std::uint64_t g = g_lo; g < g_hi; ++g) {
-          std::uint64_t base = g;
-          for (int t = 0; t < k; ++t)
-            base = insert_zero_bit(base, std::uint64_t{1} << all[t]);
-          base |= cmask;
-          for (std::size_t j = 0; j < tdim; ++j)
-            in[j] = amp_[base | gather_offsets_[j]];
-          for (std::size_t r = 0; r < tdim; ++r) {
-            cplx acc{0, 0};
-            for (std::size_t c = 0; c < tdim; ++c) acc += u(r, c) * in[c];
-            out[r] = acc;
+        cplx in2[2 * kStackDim], out2[2 * kStackDim];
+        std::uint64_t g = g_lo;
+        for (; g + 2 <= g_hi; g += 2) {
+          const std::uint64_t ba = expand(g), bb = expand(g + 1);
+          for (std::size_t j = 0; j < tdim; ++j) {
+            in2[2 * j] = amp_[ba | gather_offsets_[j]];
+            in2[2 * j + 1] = amp_[bb | gather_offsets_[j]];
           }
+          simd::matvec2(isa, ud, in2, out2, tdim);
+          for (std::size_t j = 0; j < tdim; ++j) {
+            amp_[ba | gather_offsets_[j]] = out2[2 * j];
+            amp_[bb | gather_offsets_[j]] = out2[2 * j + 1];
+          }
+        }
+        if (g < g_hi) {
+          const std::uint64_t base = expand(g);
           for (std::size_t j = 0; j < tdim; ++j)
-            amp_[base | gather_offsets_[j]] = out[j];
+            in2[j] = amp_[base | gather_offsets_[j]];
+          simd::matvec(isa, ud, in2, out2, tdim);
+          for (std::size_t j = 0; j < tdim; ++j)
+            amp_[base | gather_offsets_[j]] = out2[j];
         }
       },
       cutoff);

@@ -12,12 +12,18 @@
 #include <string>
 #include <vector>
 
+#include "core/aligned.hpp"
 #include "core/circuit.hpp"
 #include "core/matrix.hpp"
 #include "core/rng.hpp"
 #include "core/types.hpp"
 
 namespace qtc::sim {
+
+/// Amplitude storage: 64-byte aligned so the SIMD kernel layer (sim/simd.hpp)
+/// can use cacheline-aligned vector loads and the array never straddles a
+/// line boundary at index 0.
+using AmpVector = aligned_vector<cplx>;
 
 /// Basis-state convention: qubit q is bit q of the index (little-endian, as
 /// in Qiskit). Bitstrings print with the highest qubit leftmost.
@@ -26,12 +32,15 @@ class Statevector {
   /// |0...0> on n qubits.
   explicit Statevector(int num_qubits);
   /// Adopt an existing amplitude vector (size must be a power of two).
-  explicit Statevector(std::vector<cplx> amplitudes);
+  explicit Statevector(AmpVector amplitudes);
+  /// Copying convenience overload for plain vectors (the aligned overload
+  /// adopts the buffer; this one must re-allocate to get alignment).
+  explicit Statevector(const std::vector<cplx>& amplitudes);
 
   int num_qubits() const { return n_; }
   std::size_t dim() const { return amp_.size(); }
-  const std::vector<cplx>& amplitudes() const { return amp_; }
-  std::vector<cplx>& amplitudes() { return amp_; }
+  const AmpVector& amplitudes() const { return amp_; }
+  AmpVector& amplitudes() { return amp_; }
   cplx amplitude(std::uint64_t basis_state) const {
     return amp_[basis_state];
   }
@@ -105,7 +114,7 @@ class Statevector {
   void prepare_gather(const int* qubits, int k, std::size_t dim);
 
   int n_ = 0;
-  std::vector<cplx> amp_;
+  AmpVector amp_;
   // Kernel scratch reused across gate applications (see prepare_gather).
   std::vector<int> sorted_qubits_;
   std::vector<int> expand_qubits_;  // controls ∪ targets, sorted

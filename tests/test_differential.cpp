@@ -4,10 +4,10 @@
 // and counts; each circuit additionally goes through the transpiler and must
 // stay equivalent on the physical qubits. Any disagreement localizes a bug
 // to one engine (or to a transpiler pass) without needing a known-good
-// reference. Every cross-check runs twice — gate fusion off and on — so the
-// fused execution pipeline faces the same differential vote as the raw
-// kernels, and a dedicated test pins fixed-seed counts to be identical in
-// both modes.
+// reference. Every cross-check runs under all four gate-fusion x SIMD
+// combinations, so both the fused execution pipeline and the vector kernel
+// layer face the same differential vote as the raw scalar kernels, and a
+// dedicated test pins fixed-seed counts to be identical in every mode.
 
 #include <gtest/gtest.h>
 
@@ -23,6 +23,7 @@
 #include "noise/trajectory.hpp"
 #include "service/execution_service.hpp"
 #include "sim/fusion.hpp"
+#include "sim/simd.hpp"
 #include "sim/stabilizer.hpp"
 #include "sim/simulator.hpp"
 #include "transpiler/direction.hpp"
@@ -31,17 +32,23 @@
 namespace qtc {
 namespace {
 
-/// Runs a test body with fusion forced off, then forced on, restoring the
+/// Runs a test body under every fusion x SIMD combination, restoring the
 /// env/default configuration afterwards. SCOPED_TRACE labels failures with
-/// the active mode.
+/// the active mode. (With SIMD compiled out or unsupported on the host the
+/// simd-on legs transparently run the scalar path — still a valid vote.)
 template <typename Body>
 void with_fusion_off_and_on(const Body& body) {
   for (int fusion = 0; fusion <= 1; ++fusion) {
-    SCOPED_TRACE(fusion ? "fusion on" : "fusion off");
-    sim::set_fusion_enabled(fusion);
-    body();
+    for (int simd = 0; simd <= 1; ++simd) {
+      SCOPED_TRACE(std::string(fusion ? "fusion on" : "fusion off") +
+                   (simd ? ", simd on" : ", simd off"));
+      sim::set_fusion_enabled(fusion);
+      sim::simd::set_simd_enabled(simd);
+      body();
+    }
   }
   sim::set_fusion_enabled(-1);
+  sim::simd::set_simd_enabled(-1);
 }
 
 /// Universal gate mix (CX/rz-heavy, matching transpiler targets) over

@@ -158,9 +158,9 @@ TEST(Vector, StatesEqualUpToPhase) {
 TEST(Vector, VecNormIsTheNormNotItsSquare) {
   // Pins the semantics after the rename from the misleading `norm2`: the
   // function returns sqrt(sum |v_i|^2), so a 3-4-5 triangle yields 5, not 25.
-  EXPECT_DOUBLE_EQ(vec_norm({cplx(3, 0), cplx(0, 4)}), 5.0);
-  EXPECT_DOUBLE_EQ(vec_norm({cplx(0, 0)}), 0.0);
-  EXPECT_DOUBLE_EQ(vec_norm({SQRT1_2, SQRT1_2}), 1.0);
+  EXPECT_DOUBLE_EQ(vec_norm(std::vector<cplx>{cplx(3, 0), cplx(0, 4)}), 5.0);
+  EXPECT_DOUBLE_EQ(vec_norm(std::vector<cplx>{cplx(0, 0)}), 0.0);
+  EXPECT_DOUBLE_EQ(vec_norm(std::vector<cplx>{SQRT1_2, SQRT1_2}), 1.0);
   // A normalized quantum state has vec_norm 1 (callers must not sqrt again).
   const std::vector<cplx> state{cplx(0.5, 0), cplx(0, 0.5), cplx(0.5, 0),
                                 cplx(0, 0.5)};
