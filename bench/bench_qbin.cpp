@@ -1,0 +1,170 @@
+// QBIN binary circuit format: ingest fast path vs the OpenQASM frontend.
+//
+// Reproduction artifact: for a suite of representative circuits (the paper's
+// Fig. 1 program, QFT, a hardware-efficient VQE ansatz, a random universal
+// mix, a wide GHZ ladder), the encoded QBIN payload size against the QASM
+// source size — the format targets <= 1/5 of the text size — plus a one-shot
+// decode vs parse timing ratio. The google-benchmark timings then measure
+// encode, decode, QASM parse and the payload-prefix structural key on the
+// same suite.
+
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "aqua/algorithms.hpp"
+#include "qasm/parser.hpp"
+#include "qbin/qbin.hpp"
+
+namespace {
+
+using namespace qtc;
+
+/// Hardware-efficient ansatz (the hybrid-loop payload QBIN is for): layers
+/// of parameterized 1q rotations and a CX entangler ladder.
+QuantumCircuit vqe_ansatz(int n, int layers) {
+  Rng rng(7);
+  QuantumCircuit qc(n, n);
+  for (int l = 0; l < layers; ++l) {
+    for (int q = 0; q < n; ++q) {
+      qc.ry(rng.uniform(-PI, PI), q);
+      qc.rz(rng.uniform(-PI, PI), q);
+    }
+    for (int q = 0; q + 1 < n; ++q) qc.cx(q, q + 1);
+  }
+  qc.measure_all();
+  return qc;
+}
+
+QuantumCircuit ghz(int n) {
+  QuantumCircuit qc(n, n);
+  qc.h(0);
+  for (int q = 0; q + 1 < n; ++q) qc.cx(q, q + 1);
+  qc.measure_all();
+  return qc;
+}
+
+std::vector<std::pair<std::string, QuantumCircuit>> suite() {
+  std::vector<std::pair<std::string, QuantumCircuit>> out;
+  out.emplace_back("fig1", qasm::parse(bench::fig1_qasm()));
+  out.emplace_back("qft-20", aqua::qft(20, false));
+  out.emplace_back("vqe-16x6", vqe_ansatz(16, 6));
+  out.emplace_back("random-20q-1000", bench::random_circuit(20, 1000, 11));
+  out.emplace_back("ghz-100", ghz(100));
+  return out;
+}
+
+void print_artifact() {
+  std::printf("=== QBIN: binary payload vs OpenQASM frontend ===\n\n");
+  std::printf("%-16s %10s %10s %8s %12s\n", "circuit", "qasm [B]", "qbin [B]",
+              "ratio", "decode/parse");
+  std::size_t qasm_total = 0;
+  std::size_t qbin_total = 0;
+  double worst_speed = 1e9;
+  for (const auto& [name, qc] : suite()) {
+    const std::string text = qasm::emit(qc);
+    const qbin::Bytes payload = qbin::encode(qc);
+    const double ratio =
+        static_cast<double>(payload.size()) / static_cast<double>(text.size());
+    // One-shot timing ratio (the registered benchmarks give the real
+    // numbers; this is the at-a-glance artifact line).
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < 200; ++i) {
+      auto c = qbin::decode(payload);
+      benchmark::DoNotOptimize(c);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    for (int i = 0; i < 200; ++i) {
+      auto c = qasm::parse(text);
+      benchmark::DoNotOptimize(c);
+    }
+    const auto t2 = std::chrono::steady_clock::now();
+    const double decode_s =
+        std::chrono::duration<double>(t1 - t0).count() + 1e-12;
+    const double parse_s = std::chrono::duration<double>(t2 - t1).count();
+    const double speedup = parse_s / decode_s;
+    qasm_total += text.size();
+    qbin_total += payload.size();
+    worst_speed = std::min(worst_speed, speedup);
+    std::printf("%-16s %10zu %10zu %7.2fx %11.1fx\n", name.c_str(),
+                text.size(), payload.size(), ratio, speedup);
+  }
+  std::printf("%-16s %10zu %10zu %7.2fx\n", "total", qasm_total, qbin_total,
+              static_cast<double>(qbin_total) / static_cast<double>(qasm_total));
+  std::printf(
+      "\nstructure-dominated circuits (qft/ghz) reach <= 1/5 of the text "
+      "size;\nunique-angle payloads are floored near 1/3 — each bit-exact "
+      "8-byte double\nreplaces only ~19 chars of %%.17g text. Worst decode "
+      "speedup %.1fx (target >= 5x).\n\n",
+      worst_speed);
+}
+
+void for_each_case(benchmark::State& state,
+                   const std::function<void(const QuantumCircuit&,
+                                            const std::string&,
+                                            const qbin::Bytes&)>& body) {
+  const auto circuits = suite();
+  const auto& [name, qc] = circuits[static_cast<std::size_t>(state.range(0))];
+  const std::string text = qasm::emit(qc);
+  const qbin::Bytes payload = qbin::encode(qc);
+  state.SetLabel(name);
+  for (auto _ : state) body(qc, text, payload);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(qc.size()));
+}
+
+void BM_QbinEncode(benchmark::State& state) {
+  for_each_case(state, [](const QuantumCircuit& qc, const std::string&,
+                          const qbin::Bytes&) {
+    auto payload = qbin::encode(qc);
+    benchmark::DoNotOptimize(payload);
+  });
+}
+BENCHMARK(BM_QbinEncode)->DenseRange(0, 4);
+
+void BM_QbinDecode(benchmark::State& state) {
+  for_each_case(state, [](const QuantumCircuit&, const std::string&,
+                          const qbin::Bytes& payload) {
+    auto qc = qbin::decode(payload);
+    benchmark::DoNotOptimize(qc);
+  });
+}
+BENCHMARK(BM_QbinDecode)->DenseRange(0, 4);
+
+void BM_QasmParse(benchmark::State& state) {
+  for_each_case(state, [](const QuantumCircuit&, const std::string& text,
+                          const qbin::Bytes&) {
+    auto qc = qasm::parse(text);
+    benchmark::DoNotOptimize(qc);
+  });
+}
+BENCHMARK(BM_QasmParse)->DenseRange(0, 4);
+
+/// The service fast path's key: structural digest straight off the payload
+/// bytes (no decode) vs the circuit-walk digest.
+void BM_StructuralDigestFromPayload(benchmark::State& state) {
+  for_each_case(state, [](const QuantumCircuit&, const std::string&,
+                          const qbin::Bytes& payload) {
+    auto key = qbin::structural_digest(payload);
+    benchmark::DoNotOptimize(key);
+  });
+}
+BENCHMARK(BM_StructuralDigestFromPayload)->DenseRange(0, 4);
+
+void BM_StructuralDigestFromCircuit(benchmark::State& state) {
+  for_each_case(state, [](const QuantumCircuit& qc, const std::string&,
+                          const qbin::Bytes&) {
+    auto key = qbin::structural_digest(qc);
+    benchmark::DoNotOptimize(key);
+  });
+}
+BENCHMARK(BM_StructuralDigestFromCircuit)->DenseRange(0, 4);
+
+}  // namespace
+
+QTC_BENCH_MAIN(print_artifact)

@@ -147,7 +147,60 @@ JobHandle ExecutionService::submit(const QuantumCircuit& circuit,
       options.transpile ? transpiler::structural_cache_key(
                               circuit, backend, options.transpile_options)
                         : 0;
+  QuantumCircuit copy = circuit;
+  return submit_with_key(std::move(copy), backend, options, tenant, key);
+}
 
+JobHandle ExecutionService::submit(const qbin::Bytes& payload,
+                                   const arch::Backend& backend,
+                                   const exec::ExecuteOptions& options,
+                                   const std::string& tenant) {
+  QuantumCircuit circuit;
+  std::uint64_t key = 0;
+  try {
+    circuit = qbin::decode(payload);
+    if (options.transpile) {
+      // Read the batching key off the payload's structural prefix — no
+      // second walk of the decoded IR. Payloads produced by qbin::encode
+      // are canonical, so this digest equals the digest of the decoded
+      // circuit and payload jobs batch with circuit jobs; a hand-built
+      // non-canonical (but valid) payload only costs itself the batch.
+      key = qbin::fingerprint_enabled()
+                ? transpiler::structural_cache_key_digest(
+                      qbin::structural_digest(payload), backend,
+                      options.transpile_options)
+                : transpiler::structural_cache_key(circuit, backend,
+                                                   options.transpile_options);
+    }
+  } catch (const qbin::DecodeError& e) {
+    return reject_now(tenant, std::string("invalid QBIN payload: ") +
+                                  e.what());
+  }
+  return submit_with_key(std::move(circuit), backend, options, tenant, key);
+}
+
+JobHandle ExecutionService::reject_now(const std::string& tenant,
+                                       std::string reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.submitted;
+  ++stats_.rejected;
+  const std::uint64_t id = next_id_++;
+  auto job = std::make_shared<Job>();
+  job->id = id;
+  job->tenant = tenant;
+  job->submitted_at = Clock::now();
+  job->state = JobState::Rejected;
+  job->error = std::move(reason);
+  job->completion_seq = ++completion_seq_;
+  jobs_[id] = job;
+  return JobHandle(this, id, false);
+}
+
+JobHandle ExecutionService::submit_with_key(QuantumCircuit&& circuit,
+                                            const arch::Backend& backend,
+                                            const exec::ExecuteOptions& options,
+                                            const std::string& tenant,
+                                            std::uint64_t key) {
   std::unique_lock<std::mutex> lock(mu_);
   ++stats_.submitted;
   const std::uint64_t id = next_id_++;
@@ -177,7 +230,7 @@ JobHandle ExecutionService::submit(const QuantumCircuit& circuit,
     return JobHandle(this, id, false);
   }
 
-  job->circuit = circuit;
+  job->circuit = std::move(circuit);
   job->backend = backend;
   job->options = options;
   if (options.noise_model) {

@@ -57,6 +57,7 @@
 #include "core/circuit.hpp"
 #include "exec/execute.hpp"
 #include "noise/noise_model.hpp"
+#include "qbin/qbin.hpp"
 #include "sim/result.hpp"
 
 namespace qtc::service {
@@ -177,6 +178,19 @@ class ExecutionService {
                    const exec::ExecuteOptions& options = {},
                    const std::string& tenant = "default");
 
+  /// Enqueue a pre-encoded QBIN payload (see qbin/qbin.hpp): the ingest
+  /// fast path for hot hybrid loops, which ship the binary circuit and skip
+  /// QASM entirely. The payload is decoded at submit time — a malformed
+  /// payload is rejected synchronously with the DecodeError message as the
+  /// reason, never enqueued. The batching key is read off the payload's
+  /// structural prefix without a second IR walk (when the QTC_QBIN
+  /// fingerprint path is on, the default), and matches the key of an
+  /// equivalent circuit submission, so payload-submitted and
+  /// circuit-submitted jobs with the same structure batch together.
+  JobHandle submit(const qbin::Bytes& payload, const arch::Backend& backend,
+                   const exec::ExecuteOptions& options = {},
+                   const std::string& tenant = "default");
+
   /// Current state of a job (Rejected for ids submit() refused; throws
   /// std::out_of_range for ids this service never issued).
   JobState poll(std::uint64_t id) const;
@@ -196,6 +210,16 @@ class ExecutionService {
  private:
   struct Job;
   using JobPtr = std::shared_ptr<Job>;
+
+  /// Shared tail of the submit overloads: admission control and enqueue of
+  /// a decoded circuit with its precomputed batching key.
+  JobHandle submit_with_key(QuantumCircuit&& circuit,
+                            const arch::Backend& backend,
+                            const exec::ExecuteOptions& options,
+                            const std::string& tenant, std::uint64_t key);
+  /// Synchronously reject: records a terminal Rejected job (so the id is
+  /// pollable and the stats ledger balances) and returns its handle.
+  JobHandle reject_now(const std::string& tenant, std::string reason);
 
   void worker_loop();
   /// Pop the next job honoring the round-robin cursor; nullptr when all

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "core/gates.hpp"
+#include "sim/simd.hpp"
 #include "sim/statevector.hpp"
 
 namespace qtc::sim {
@@ -18,6 +19,7 @@ namespace {
 /// "no override, fall back to the environment".
 std::atomic<int> g_enabled_override{-1};
 std::atomic<int> g_max_qubits_override{0};
+std::atomic<int> g_cost_model_override{-1};
 
 int clamp_max_qubits(int k) {
   return std::min(std::max(k, 1), kMaxFusionQubits);
@@ -38,6 +40,24 @@ int env_fusion_max_qubits() {
   const long v = std::strtol(s, &end, 10);
   if (end == s || v < 1) return 3;
   return clamp_max_qubits(static_cast<int>(v));
+}
+
+int env_fusion_cost_model() {
+  const char* s = std::getenv("QTC_FUSION_COST");
+  if (!s || !*s) return -1;
+  std::string v(s);
+  for (char& c : v) c = static_cast<char>(std::tolower(c));
+  if (v == "scalar" || v == "0") return 0;
+  if (v == "simd" || v == "vector" || v == "1") return 1;
+  return -1;  // "auto" and anything unrecognized
+}
+
+/// Resolve the table a plan is judged with: explicit override, else the SIMD
+/// engine state — when the vector kernels will run the sweeps, their cost
+/// ratios are the ones that matter.
+bool use_vector_costs(const FusionConfig& cfg) {
+  if (cfg.cost_model >= 0) return cfg.cost_model != 0;
+  return simd::simd_enabled() && simd::vector_available();
 }
 
 /// Entries of a fused product that should be zero accumulate rounding noise
@@ -110,36 +130,47 @@ FusedOp classify_matrix(Matrix m, std::vector<int> qubits) {
 }
 
 /// Estimated wall-clock of one kernel sweep, in units of a 1-qubit pair-loop
-/// sweep. Calibrated against a 20-qubit single-thread microbenchmark of the
-/// kernels in statevector.cpp: CX moves half the pairs with no arithmetic
-/// (~0.3); diagonal is one multiply per amplitude with a hoisted lookup;
-/// permutation gathers/scatters without arithmetic (~0.75); a dense k-qubit
-/// matrix costs 2^k multiply-adds per amplitude plus gather overhead, and
-/// grows roughly geometrically. A controlled kernel is the dense cost of its
-/// residual on the control-active 1/2^c slice of the state plus the group
-/// indexing overhead.
-constexpr double kCostCX = 0.35;
-constexpr double kCostDiagonal = 0.9;
-constexpr double kCostPermutation = 0.8;
-constexpr double kCostDense[kMaxFusionQubits + 1] = {1.0,  1.0,  4.0, 5.6,
-                                                     10.0, 18.0, 34.0};
+/// sweep *of the same engine*. Index [0] is the scalar table, calibrated
+/// against a 20-qubit single-thread microbenchmark of the kernels in
+/// statevector.cpp: CX moves half the pairs with no arithmetic (~0.3);
+/// diagonal is one multiply per amplitude with a hoisted lookup; permutation
+/// gathers/scatters without arithmetic (~0.75); a dense k-qubit matrix costs
+/// 2^k multiply-adds per amplitude plus gather overhead, and grows roughly
+/// geometrically. Index [1] is the vector-kernel table: the SIMD 1q sweep is
+/// ~3x faster than scalar while CX (~1.9x), diagonal (~1.6x) and the generic
+/// dense gather (~1.5x) compress less, so relative to the (now cheaper) unit
+/// everything else got more expensive — except the lane-interleaved dense
+/// 2q/4q kernels (~3.3x / ~2.3x), which hold closer to their scalar ratios.
+constexpr double kCostCX[2] = {0.35, 0.55};
+constexpr double kCostDiagonal[2] = {0.9, 1.7};
+constexpr double kCostPermutation[2] = {0.8, 1.2};
+constexpr double kCostDense[2][kMaxFusionQubits + 1] = {
+    {1.0, 1.0, 4.0, 5.6, 10.0, 18.0, 34.0},
+    {1.0, 1.0, 3.6, 11.0, 13.0, 34.0, 64.0}};
+/// The controlled kernel keeps scalar group indexing around its residual
+/// (~1.4x end-to-end under SIMD), so its vector cost is the scalar cost
+/// rescaled to the vector 1q unit: (0.25 + dense/2^c) * 3.0 / 1.4.
+constexpr double kCostControlledBase[2] = {0.25, 0.54};
+constexpr double kCostControlledResidualScale[2] = {1.0, 2.14};
 
-double kernel_cost(const FusedOp& f) {
+double kernel_cost(const FusedOp& f, bool vec) {
   switch (f.kind) {
     case FusedOp::Kind::Gate1Q:
       return 1.0;
     case FusedOp::Kind::GateCX:
-      return kCostCX;
+      return kCostCX[vec];
     case FusedOp::Kind::Diagonal:
-      return kCostDiagonal;
+      return kCostDiagonal[vec];
     case FusedOp::Kind::Permutation:
-      return kCostPermutation;
+      return kCostPermutation[vec];
     case FusedOp::Kind::Controlled: {
       const int nt = static_cast<int>(f.qubits.size()) - f.num_controls;
-      return 0.25 + kCostDense[nt] / static_cast<double>(1 << f.num_controls);
+      return kCostControlledBase[vec] +
+             kCostControlledResidualScale[vec] * kCostDense[0][nt] /
+                 static_cast<double>(1 << f.num_controls);
     }
     case FusedOp::Kind::Matrix:
-      return kCostDense[f.qubits.size()];
+      return kCostDense[vec][f.qubits.size()];
     case FusedOp::Kind::Op:
       return 1.0;  // passthrough; never costed
   }
@@ -182,10 +213,19 @@ void push_op(FusedOp f, int nsrc, FusedCircuit& plan) {
     default:
       break;
   }
+  plan.planned_cost += kernel_cost(f, plan.vector_costs);
   f.source_gates = nsrc;
   ++plan.state_sweeps;
   if (nsrc >= 2) ++plan.fused_runs;
   plan.ops.push_back(std::move(f));
+}
+
+/// Emit one gate un-merged, charging both cost ledgers its own kernel cost
+/// (an un-merged gate's planned and unfused costs coincide by definition).
+void push_single(const Operation& op, FusedCircuit& plan) {
+  FusedOp f = make_single(op);
+  plan.unfused_cost += kernel_cost(f, plan.vector_costs);
+  push_op(std::move(f), 1, plan);
 }
 
 /// Compile a run of adjacent unconditioned unitary gates: build the fused
@@ -197,7 +237,7 @@ void push_op(FusedOp f, int nsrc, FusedCircuit& plan) {
 /// 2x2 gates, and streams the rest out unfused.
 void emit_run(const Operation* const* ops, int count, FusedCircuit& plan) {
   if (count == 1) {
-    push_op(make_single(*ops[0]), 1, plan);
+    push_single(*ops[0], plan);
     return;
   }
   std::vector<int> qubits;
@@ -219,8 +259,10 @@ void emit_run(const Operation* const* ops, int count, FusedCircuit& plan) {
   }
   FusedOp candidate = classify_matrix(std::move(fused), std::move(qubits));
   double unfused_cost = 0;
-  for (int i = 0; i < count; ++i) unfused_cost += kernel_cost(make_single(*ops[i]));
-  if (kernel_cost(candidate) <= unfused_cost) {
+  for (int i = 0; i < count; ++i)
+    unfused_cost += kernel_cost(make_single(*ops[i]), plan.vector_costs);
+  if (kernel_cost(candidate, plan.vector_costs) <= unfused_cost) {
+    plan.unfused_cost += unfused_cost;
     push_op(std::move(candidate), count, plan);
     return;
   }
@@ -233,7 +275,7 @@ void emit_run(const Operation* const* ops, int count, FusedCircuit& plan) {
     const Operation& op = *ops[i];
     if (static_cast<int>(op.qubits.size()) > cap) {
       if (i > start) emit_run(ops + start, i - start, plan);
-      push_op(make_single(op), 1, plan);
+      push_single(op, plan);
       start = i + 1;
       uq.clear();
       continue;
@@ -274,6 +316,8 @@ FusionConfig fusion_config() {
   const int forced_maxq = g_max_qubits_override.load(std::memory_order_relaxed);
   cfg.max_qubits =
       forced_maxq > 0 ? clamp_max_qubits(forced_maxq) : env_fusion_max_qubits();
+  const int forced_cost = g_cost_model_override.load(std::memory_order_relaxed);
+  cfg.cost_model = forced_cost >= 0 ? forced_cost : env_fusion_cost_model();
   return cfg;
 }
 
@@ -287,6 +331,11 @@ void set_fusion_max_qubits(int max_qubits) {
                               std::memory_order_relaxed);
 }
 
+void set_fusion_cost_model(int model) {
+  g_cost_model_override.store(model < 0 ? -1 : (model != 0),
+                              std::memory_order_relaxed);
+}
+
 FusedCircuit fuse_circuit(const QuantumCircuit& circuit) {
   return fuse_circuit(circuit, fusion_config());
 }
@@ -295,6 +344,7 @@ FusedCircuit fuse_circuit(const QuantumCircuit& circuit,
                           const FusionConfig& config) {
   FusedCircuit plan;
   plan.num_qubits = circuit.num_qubits();
+  plan.vector_costs = use_vector_costs(config);
   const int max_qubits = clamp_max_qubits(config.max_qubits);
   Run run;
   for (const Operation& op : circuit.ops()) {
@@ -319,7 +369,7 @@ FusedCircuit fuse_circuit(const QuantumCircuit& circuit,
     if (static_cast<int>(op.qubits.size()) > max_qubits) {
       // Wider than any run can grow: emit alone.
       flush(run, plan);
-      push_op(make_single(op), 1, plan);
+      push_single(op, plan);
       continue;
     }
     // Greedy merge: extend the current run while the qubit union stays

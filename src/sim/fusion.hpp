@@ -15,8 +15,19 @@
 //   QTC_FUSION            on by default; "0"/"off"/"false"/"no" disables
 //   QTC_FUSION_MAX_QUBITS qubit cap of a fused run, default 3, clamped to
 //                         [1, 6]
-// set_fusion_enabled / set_fusion_max_qubits override the environment
-// programmatically (tests and benchmarks compare on/off in one process).
+//   QTC_FUSION_COST       cost table: "scalar", "simd"/"vector", or "auto"
+//                         (default) — auto follows the SIMD engine state
+// set_fusion_enabled / set_fusion_max_qubits / set_fusion_cost_model override
+// the environment programmatically (tests and benchmarks compare on/off in
+// one process).
+//
+// Cost model: merge profitability is judged against the kernels that will
+// actually run. The vector kernels (sim/simd.*) compress the cheap sweeps
+// (1q pair-loop ~3x, CX ~1.9x, diagonal ~1.6x) much more than the
+// gather-heavy dense ones, so relative to a 1q sweep a dense merge is
+// *more* expensive under SIMD and some merges that pay off in scalar mode
+// lose. Two calibrated tables are kept and the planner picks by the active
+// engine (or the QTC_FUSION_COST override).
 
 #include <cstdint>
 #include <vector>
@@ -35,15 +46,23 @@ inline constexpr int kMaxFusionQubits = 6;
 struct FusionConfig {
   bool enabled = true;
   int max_qubits = 3;
+  /// Kernel cost table the planner judges merges with: -1 auto-selects from
+  /// the SIMD engine state (vector kernels active -> vector-calibrated
+  /// table), 0 forces the scalar table, 1 forces the vector table.
+  int cost_model = -1;
 };
 
 /// Effective configuration: programmatic overrides win over the QTC_FUSION /
-/// QTC_FUSION_MAX_QUBITS environment variables, which win over the defaults.
+/// QTC_FUSION_MAX_QUBITS / QTC_FUSION_COST environment variables, which win
+/// over the defaults.
 FusionConfig fusion_config();
 /// Force fusion on (1) / off (0); -1 restores the env/default behavior.
 void set_fusion_enabled(int enabled);
 /// Force the fused-run qubit cap (clamped to [1, 6]); 0 restores env/default.
 void set_fusion_max_qubits(int max_qubits);
+/// Force the cost table: vector-calibrated (1) / scalar (0); -1 restores the
+/// env/default (auto) behavior.
+void set_fusion_cost_model(int model);
 
 /// One step of a compiled plan: either a passthrough IR operation (measure,
 /// reset, anything classically conditioned — the executor's shot loop owns
@@ -85,6 +104,14 @@ struct FusedCircuit {
   int diagonal_ops = 0;
   int permutation_ops = 0;
   int controlled_ops = 0;
+  /// Cost table the plan was judged with (resolved from the config/engine).
+  bool vector_costs = false;
+  /// Model-estimated cost of the emitted kernels vs. sweeping the covered
+  /// source gates one by one, in units of one 1-qubit sweep. The planner
+  /// only accepts merges it predicts to win, so planned_cost <= unfused_cost
+  /// always holds. Passthrough Kind::Op boundaries are not costed.
+  double planned_cost = 0;
+  double unfused_cost = 0;
 };
 
 /// Compile `circuit` into a fused plan. Measure, reset, barrier and any

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <utility>
 
+#include "qbin/qbin.hpp"
+
 namespace qtc::transpiler {
 
 namespace {
@@ -32,9 +34,10 @@ void mix_registers(Hasher& h, const std::vector<Register>& regs) {
   }
 }
 
-/// Structure-only circuit fingerprint: everything except parameter values
-/// (their count is structural; a CU and a CX never collide).
-std::uint64_t structural_hash(const QuantumCircuit& c) {
+/// Legacy structure-only fingerprint: an FNV walk over the IR, mixing
+/// everything except parameter values (their count is structural; a CU and
+/// a CX never collide). Kept as the QTC_QBIN=off fallback.
+std::uint64_t legacy_structural_hash(const QuantumCircuit& c) {
   Hasher h;
   h.mix(static_cast<std::uint64_t>(c.num_qubits()));
   h.mix(static_cast<std::uint64_t>(c.num_clbits()));
@@ -52,6 +55,18 @@ std::uint64_t structural_hash(const QuantumCircuit& c) {
     h.mix(op.params.size());
   }
   return h.h;
+}
+
+/// Structure-only circuit fingerprint. The default path streams the QBIN
+/// structural encoder into a hash sink — byte-compatible with the digest
+/// read off an encoded payload, which is what lets the execution service
+/// batch pre-encoded QBIN submissions with circuit submissions without
+/// decoding. QTC_QBIN=0 falls back to the legacy IR walk (same contract,
+/// different hash values — the two never mix in one process run because
+/// every key computation goes through this switch).
+std::uint64_t structural_hash(const QuantumCircuit& c) {
+  if (qbin::fingerprint_enabled()) return qbin::structural_digest(c);
+  return legacy_structural_hash(c);
 }
 
 /// Parameter-only fingerprint (exact double bit patterns).
@@ -86,11 +101,15 @@ bool options_equal(const TranspileOptions& a, const TranspileOptions& b) {
          a.seed == b.seed;
 }
 
-std::uint64_t cache_key(const QuantumCircuit& circuit,
-                        const arch::CouplingMap& coupling,
-                        const TranspileOptions& opts) {
+/// Mix a circuit-structural fingerprint with the coupling map and resolved
+/// options into the final cache/batching key. Shared by the circuit path
+/// (cache_key) and the payload path (structural_cache_key_digest), so the
+/// two produce identical keys for identical structures by construction.
+std::uint64_t mix_key(std::uint64_t structural,
+                      const arch::CouplingMap& coupling,
+                      const TranspileOptions& opts) {
   Hasher h;
-  h.mix(structural_hash(circuit));
+  h.mix(structural);
   h.mix(static_cast<std::uint64_t>(coupling.num_qubits()));
   for (const auto& [a, b] : coupling.edges()) {
     h.mix(static_cast<std::uint64_t>(a));
@@ -102,6 +121,12 @@ std::uint64_t cache_key(const QuantumCircuit& circuit,
   h.mix(static_cast<std::uint64_t>(opts.trials));
   h.mix(opts.seed);
   return h.h;
+}
+
+std::uint64_t cache_key(const QuantumCircuit& circuit,
+                        const arch::CouplingMap& coupling,
+                        const TranspileOptions& opts) {
+  return mix_key(structural_hash(circuit), coupling, opts);
 }
 
 std::atomic<int> g_enabled_override{-1};
@@ -288,6 +313,13 @@ std::uint64_t structural_cache_key(const QuantumCircuit& circuit,
                                    const TranspileOptions& options) {
   return cache_key(circuit, backend.coupling_map(),
                    detail::resolve_options(options));
+}
+
+std::uint64_t structural_cache_key_digest(std::uint64_t structural_digest,
+                                          const arch::Backend& backend,
+                                          const TranspileOptions& options) {
+  return mix_key(structural_digest, backend.coupling_map(),
+                 detail::resolve_options(options));
 }
 
 TranspileResult transpile_cached(const QuantumCircuit& circuit,

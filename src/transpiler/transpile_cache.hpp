@@ -24,6 +24,9 @@
 // disables the global cache used by exec::execute), programmatic override
 // TranspileCache::set_enabled. Explicitly constructed instances always work.
 // The cache is thread-safe and bounded (FIFO eviction past `capacity`).
+// The structural fingerprint itself is computed through the QBIN structural
+// encoder by default (one pass, no allocation, byte-compatible with encoded
+// payloads); QTC_QBIN=0 selects the legacy IR-walk hash (see qbin/qbin.hpp).
 
 #include <cstdint>
 #include <mutex>
@@ -116,6 +119,18 @@ class TranspileCache {
 std::uint64_t structural_cache_key(const QuantumCircuit& circuit,
                                    const arch::Backend& backend,
                                    const TranspileOptions& options = {});
+
+/// The same batching key computed from a circuit-structural fingerprint —
+/// as produced by qbin::structural_digest, either from a circuit or read
+/// straight off an encoded QBIN payload's structural prefix — instead of a
+/// circuit object. When the QBIN fingerprint path is enabled (QTC_QBIN,
+/// the default), structural_cache_key(c, ...) ==
+/// structural_cache_key_digest(qbin::structural_digest(c), ...), which is
+/// what lets the execution service batch pre-encoded payload submissions
+/// with circuit submissions without decoding the payload first.
+std::uint64_t structural_cache_key_digest(std::uint64_t structural_digest,
+                                          const arch::Backend& backend,
+                                          const TranspileOptions& options = {});
 
 /// Transpile through the global cache when it is enabled, else directly.
 /// This is the call exec::execute / arch::Backend::run go through, so every

@@ -21,6 +21,7 @@
 #include "noise/density_matrix.hpp"
 #include "noise/noise_model.hpp"
 #include "noise/trajectory.hpp"
+#include "qbin/qbin.hpp"
 #include "service/execution_service.hpp"
 #include "sim/fusion.hpp"
 #include "sim/simd.hpp"
@@ -333,6 +334,99 @@ TEST(Differential, ServicePathMatchesDirectExecuteAndArrayEngine) {
           << "service vs array engine, bits " << bits;
     }
   }
+}
+
+TEST(Differential, QbinServicePathMatchesDirectExecute) {
+  // The QBIN ingest fast path re-enters the same oracle: a circuit shipped
+  // to the service as a pre-encoded binary payload must produce counts
+  // bitwise equal to a direct exec::execute of the original circuit — the
+  // decode is lossless and the payload-derived batching key changes only
+  // *which jobs run back to back*, never any job's result. Exercised with
+  // the payload fingerprint path both on (key read off the payload's
+  // structural prefix) and off (key recomputed from the decoded circuit).
+  const noise::NoiseModel noiseless;
+  const int shots = 4000;
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t seed = 1; seed <= kNumCircuits && seeds.size() < 6; ++seed)
+    if (random_measured_circuit(seed).num_qubits() <= 5) seeds.push_back(seed);
+  ASSERT_GE(seeds.size(), 4u);
+  const arch::Backend backend = arch::qx4_backend();
+
+  for (int fingerprint = 1; fingerprint >= 0; --fingerprint) {
+    SCOPED_TRACE(fingerprint ? "payload fingerprint" : "decoded-circuit key");
+    qbin::set_fingerprint_enabled(fingerprint);
+    service::ServiceConfig config;
+    config.workers = 3;
+    service::ExecutionService svc(config);
+    std::vector<service::JobHandle> handles;
+    std::vector<exec::ExecuteOptions> opts_used;
+    for (std::uint64_t seed : seeds) {
+      exec::ExecuteOptions opts;
+      opts.shots = shots;
+      opts.seed = seed * 131 + 5;
+      opts.noise_model = &noiseless;
+      opts_used.push_back(opts);
+      const qbin::Bytes payload = qbin::encode(random_measured_circuit(seed));
+      handles.push_back(svc.submit(payload, backend, opts, "qbin"));
+    }
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      SCOPED_TRACE("seed " + std::to_string(seeds[i]));
+      const service::JobResult r = handles[i].result();
+      ASSERT_EQ(r.state, service::JobState::Done) << r.error;
+      const auto direct = exec::execute(random_measured_circuit(seeds[i]),
+                                        backend, opts_used[i]);
+      EXPECT_EQ(r.counts.histogram, direct.counts.histogram)
+          << "QBIN service counts diverged from direct exec::execute";
+    }
+  }
+  qbin::set_fingerprint_enabled(-1);
+}
+
+TEST(Differential, QbinAndCircuitSubmissionsBatchTogether) {
+  // Payload-derived and circuit-derived batching keys must be equal for the
+  // same structure (structural_cache_key_digest shares the key mixer with
+  // structural_cache_key), so a mixed stream of 1 circuit + N payload
+  // submissions of one ansatz structure — different angles — pays one
+  // mapper run and batches the rest, with every job's counts still bitwise
+  // equal to its own direct execution.
+  const noise::NoiseModel noiseless;
+  auto ansatz = [](double a, double b) {
+    QuantumCircuit qc(3, 3);
+    qc.ry(a, 0).ry(b, 1).cx(0, 1).ry(a + b, 2).cx(1, 2);
+    qc.measure_all();
+    return qc;
+  };
+  const arch::Backend backend = arch::qx4_backend();
+  service::ServiceConfig config;
+  config.workers = 1;  // one worker: queued same-key jobs batch maximally
+  service::ExecutionService svc(config);
+  std::vector<service::JobHandle> handles;
+  std::vector<QuantumCircuit> circuits;
+  std::vector<exec::ExecuteOptions> opts_used;
+  for (int i = 0; i < 8; ++i) {
+    exec::ExecuteOptions opts;
+    opts.shots = 1000;
+    opts.seed = 900 + i;
+    opts.noise_model = &noiseless;
+    opts_used.push_back(opts);
+    circuits.push_back(ansatz(0.2 + 0.1 * i, -0.4 + 0.05 * i));
+    if (i == 0)
+      handles.push_back(svc.submit(circuits.back(), backend, opts, "mixed"));
+    else
+      handles.push_back(
+          svc.submit(qbin::encode(circuits.back()), backend, opts, "mixed"));
+  }
+  svc.drain();
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    SCOPED_TRACE("job " + std::to_string(i));
+    const service::JobResult r = handles[i].result();
+    ASSERT_EQ(r.state, service::JobState::Done) << r.error;
+    const auto direct = exec::execute(circuits[i], backend, opts_used[i]);
+    EXPECT_EQ(r.counts.histogram, direct.counts.histogram);
+  }
+  const service::ServiceStats stats = svc.stats();
+  EXPECT_GE(stats.batch_hits + stats.cache_hits, 1u)
+      << "same-structure circuit and payload submissions never shared work";
 }
 
 // --- fusion on/off: fixed-seed counts must be bitwise identical --------------

@@ -19,6 +19,7 @@
 #include "core/parallel.hpp"
 #include "core/rng.hpp"
 #include "sim/fusion.hpp"
+#include "sim/simd.hpp"
 #include "sim/simulator.hpp"
 #include "sim/statevector.hpp"
 
@@ -33,6 +34,8 @@ struct FusionGuard {
   ~FusionGuard() {
     set_fusion_enabled(-1);
     set_fusion_max_qubits(0);
+    set_fusion_cost_model(-1);
+    simd::set_simd_enabled(-1);
   }
 };
 
@@ -187,6 +190,73 @@ TEST(FusionPlanner, DisabledPlanIsPurePassthrough) {
   for (const auto& f : plan.ops) EXPECT_EQ(f.kind, Kind::Op);
   EXPECT_EQ(plan.state_sweeps, plan.source_unitary_gates);
   EXPECT_EQ(plan.fused_runs, 0);
+}
+
+// --- cost model -------------------------------------------------------------
+
+TEST(FusionCost, TableFollowsSimdEngineUnlessForced) {
+  FusionGuard guard;
+  set_fusion_enabled(1);
+  QuantumCircuit qc(2);
+  qc.h(0).cx(0, 1);
+  set_fusion_cost_model(0);
+  EXPECT_FALSE(fuse_circuit(qc).vector_costs);
+  set_fusion_cost_model(1);
+  EXPECT_TRUE(fuse_circuit(qc).vector_costs);
+  set_fusion_cost_model(-1);  // auto: track the engine state
+  simd::set_simd_enabled(0);
+  EXPECT_FALSE(fuse_circuit(qc).vector_costs);
+  simd::set_simd_enabled(1);
+  EXPECT_EQ(fuse_circuit(qc).vector_costs, simd::vector_available());
+}
+
+TEST(FusionCost, VectorTableRejectsAMergeTheScalarTableAccepts) {
+  FusionGuard guard;
+  set_fusion_enabled(1);
+  // Five generic 1q rotations and two CXs over a 3-qubit union. Scalar
+  // ledger: the members cost 5*1.0 + 2*0.35 = 5.7 sweeps and the dense
+  // 3-qubit kernel 5.6 — a (narrow) win, merge accepted. Vector ledger: the
+  // members compress to 5*1.0 + 2*0.55 = 6.1 relative 1q units while the
+  // gather-bound dense 3q kernel costs 11.0 — a clear loss, so the planner
+  // must re-partition at two qubits instead. Same circuit, same kernels
+  // available; only the calibration decides.
+  QuantumCircuit qc(3);
+  qc.u(0.3, 0.7, -0.4, 0).u(1.1, -0.2, 0.5, 1);
+  qc.cx(0, 1);
+  qc.u(0.9, 0.3, 1.3, 2);
+  qc.cx(1, 2);
+  qc.u(-0.6, 1.4, 0.2, 0).u(0.8, -1.0, 0.6, 1);
+
+  set_fusion_cost_model(0);
+  const FusedCircuit scalar = fuse_circuit(qc);
+  ASSERT_EQ(scalar.ops.size(), 1u);
+  EXPECT_EQ(scalar.ops[0].kind, Kind::Matrix);
+  EXPECT_EQ(scalar.ops[0].source_gates, 7);
+  EXPECT_NEAR(scalar.unfused_cost, 5.7, 1e-12);
+  EXPECT_NEAR(scalar.planned_cost, 5.6, 1e-12);
+
+  set_fusion_cost_model(1);
+  const FusedCircuit vec = fuse_circuit(qc);
+  EXPECT_GT(vec.ops.size(), 1u);
+  EXPECT_LE(max_fused_width(vec), 2) << "re-partition runs at cap k-1";
+  EXPECT_NEAR(vec.unfused_cost, 6.1, 1e-12);
+  EXPECT_LE(vec.planned_cost, vec.unfused_cost);
+}
+
+TEST(FusionCost, PlannedCostNeverExceedsUnfusedCost) {
+  FusionGuard guard;
+  set_fusion_enabled(1);
+  for (int model = 0; model <= 1; ++model) {
+    set_fusion_cost_model(model);
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+      const int n = 2 + static_cast<int>(seed % 5);
+      const FusedCircuit plan = fuse_circuit(random_gates(n, 40, seed));
+      EXPECT_EQ(plan.vector_costs, model == 1);
+      EXPECT_GT(plan.unfused_cost, 0.0);
+      EXPECT_LE(plan.planned_cost, plan.unfused_cost + 1e-9)
+          << "model=" << model << " seed=" << seed;
+    }
+  }
 }
 
 // --- classification ---------------------------------------------------------

@@ -1,0 +1,302 @@
+// QBIN decoder fuzz suite: deterministic, structure-aware mutation fuzzing
+// of the strict-decode contract — every input, however mangled, either
+// decodes to a circuit or throws a typed qbin::DecodeError. Anything else
+// (another exception type, a crash, UB flagged by the sanitizer CI legs) is
+// a bug in the decoder, not in the input. Seeds derive from core/rng.hpp's
+// stream-seed mix, so every one of the 10k+ cases is reproducible by
+// number. A checked-in corpus (data/qbin_corpus/: ok_* must decode, bad_*
+// must throw with the expected code spelled in the filename) pins past
+// regressions and the error taxonomy.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/circuit.hpp"
+#include "core/gates.hpp"
+#include "core/rng.hpp"
+#include "qbin/qbin.hpp"
+
+namespace qtc {
+namespace {
+
+constexpr std::uint64_t kFuzzSeed = 0x51B1'FA22'2026'0809ull;
+
+/// Small circuit zoo used as mutation bases: enough shape diversity (empty,
+/// register splits, conditionals, barriers, param-heavy) that mutations hit
+/// every section of the format.
+std::vector<QuantumCircuit> base_circuits() {
+  std::vector<QuantumCircuit> out;
+  out.emplace_back();  // empty
+
+  QuantumCircuit bell(2, 2);
+  bell.h(0).cx(0, 1).measure_all();
+  out.push_back(bell);
+
+  QuantumCircuit multi;
+  multi.add_qreg("a", 3);
+  multi.add_qreg("b", 2);
+  multi.add_creg("m", 3);
+  multi.add_creg("flag", 2);
+  multi.h(0).ccx(0, 1, 3).swap(2, 4);
+  multi.measure(3, 0);
+  multi.x(1).c_if(1, 2);
+  multi.barrier({0, 2, 4});
+  out.push_back(multi);
+
+  QuantumCircuit params(4, 4);
+  for (int i = 0; i < 24; ++i) {
+    params.u(0.1 * i, -0.2 * i, 5e-324, i % 4);
+    params.cp(-0.0, i % 4, (i + 1) % 4);
+  }
+  params.measure_all();
+  out.push_back(params);
+
+  QuantumCircuit deep(6, 6);
+  Rng rng(kFuzzSeed);
+  for (int i = 0; i < 120; ++i) {
+    const int q = static_cast<int>(rng.index(6));
+    switch (rng.index(5)) {
+      case 0: deep.h(q); break;
+      case 1: deep.rz(rng.uniform(-3.14, 3.14), q); break;
+      case 2: deep.cx(q, (q + 1) % 6); break;
+      case 3: deep.reset(q); break;
+      default: deep.measure(q, q); break;
+    }
+    if (rng.index(9) == 0) deep.c_if(0, rng.index(64));
+  }
+  out.push_back(deep);
+  return out;
+}
+
+/// One mutation of a valid payload, chosen and parameterized by the rng:
+/// bit/byte damage, truncation/extension, or targeted corruption of the
+/// length and count fields that drive the decoder's control flow.
+qbin::Bytes mutate(const qbin::Bytes& base, Rng& rng) {
+  qbin::Bytes m = base;
+  switch (rng.index(8)) {
+    case 0: {  // flip random bits
+      const int flips = 1 + static_cast<int>(rng.index(8));
+      for (int i = 0; i < flips && !m.empty(); ++i)
+        m[rng.index(m.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.index(8));
+      break;
+    }
+    case 1: {  // overwrite random bytes
+      const int n = 1 + static_cast<int>(rng.index(6));
+      for (int i = 0; i < n && !m.empty(); ++i)
+        m[rng.index(m.size())] = static_cast<std::uint8_t>(rng.index(256));
+      break;
+    }
+    case 2:  // truncate
+      if (!m.empty()) m.resize(rng.index(m.size()));
+      break;
+    case 3: {  // extend with junk
+      const int n = 1 + static_cast<int>(rng.index(16));
+      for (int i = 0; i < n; ++i)
+        m.push_back(static_cast<std::uint8_t>(rng.index(256)));
+      break;
+    }
+    case 4: {  // corrupt a header length field (total size / param offset)
+      const std::size_t field = 6 + 4 * rng.index(2);
+      if (m.size() >= field + 4) {
+        const std::uint32_t v = static_cast<std::uint32_t>(rng.index(
+            rng.index(2) == 0 ? 4096 : 0xFFFFFFFFull));
+        m[field] = static_cast<std::uint8_t>(v);
+        m[field + 1] = static_cast<std::uint8_t>(v >> 8);
+        m[field + 2] = static_cast<std::uint8_t>(v >> 16);
+        m[field + 3] = static_cast<std::uint8_t>(v >> 24);
+      }
+      break;
+    }
+    case 5: {  // set varint continuation bits: grows/derails varints
+      const int n = 1 + static_cast<int>(rng.index(4));
+      for (int i = 0; i < n && m.size() > qbin::kHeaderSize; ++i)
+        m[qbin::kHeaderSize + rng.index(m.size() - qbin::kHeaderSize)] |=
+            0x80;
+      break;
+    }
+    case 6: {  // splice a slice of the payload over another position
+      if (m.size() > 4) {
+        const std::size_t len = 1 + rng.index(std::min<std::size_t>(
+                                        m.size() / 2, 32));
+        const std::size_t src = rng.index(m.size() - len);
+        const std::size_t dst = rng.index(m.size() - len);
+        for (std::size_t i = 0; i < len; ++i) m[dst + i] = base[src + i];
+      }
+      break;
+    }
+    default: {  // stack two mutations
+      Rng inner(rng.index(~std::uint64_t{0}));
+      m = mutate(mutate(m, inner), inner);
+      break;
+    }
+  }
+  return m;
+}
+
+/// The contract under fuzz: decode returns or throws DecodeError. On
+/// success the decoded circuit must be canonical (re-encodable), and the
+/// streaming path must agree with the in-memory path.
+void check_decode_contract(const qbin::Bytes& input, std::uint64_t case_id) {
+  bool mem_ok = false;
+  QuantumCircuit mem_circuit;
+  qbin::DecodeErrc mem_code{};
+  try {
+    mem_circuit = qbin::decode(input);
+    mem_ok = true;
+  } catch (const qbin::DecodeError& e) {
+    mem_code = e.code();
+  }
+  // Any other exception type escapes and fails the test with its message.
+
+  qbin::Bytes mem_reencoded;
+  if (mem_ok) {
+    // Decoded circuits are canonical: encode cannot reject them.
+    ASSERT_NO_THROW(mem_reencoded = qbin::encode(mem_circuit))
+        << "case " << case_id;
+  }
+
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(input.data()), input.size()));
+  qbin::Reader reader(in, 1 + (case_id % 97));
+  try {
+    const QuantumCircuit stream_circuit = reader.read();
+    // The stream path consumes exactly the declared payload, so it can
+    // succeed where the strict in-memory path reports TrailingBytes.
+    ASSERT_TRUE(mem_ok || mem_code == qbin::DecodeErrc::TrailingBytes)
+        << "case " << case_id
+        << ": stream decode succeeded but memory decode failed with "
+        << qbin::to_string(mem_code);
+    // Compare via canonical re-encodings: mutations can plant NaN bit
+    // patterns in the param pool, and operator== can't see NaN equality.
+    if (mem_ok)
+      ASSERT_EQ(qbin::encode(stream_circuit), mem_reencoded)
+          << "case " << case_id;
+  } catch (const qbin::DecodeError&) {
+    ASSERT_FALSE(mem_ok) << "case " << case_id
+                         << ": memory decode succeeded but stream decode "
+                            "threw";
+  }
+}
+
+TEST(QbinFuzz, TenThousandMutationsDecodeOrThrowDecodeError) {
+  const std::vector<QuantumCircuit> bases = base_circuits();
+  std::vector<qbin::Bytes> payloads;
+  for (const auto& c : bases) payloads.push_back(qbin::encode(c));
+
+  std::uint64_t case_id = 0;
+  for (std::size_t b = 0; b < payloads.size(); ++b) {
+    for (int i = 0; i < 2100; ++i) {
+      Rng rng(derive_stream_seed(kFuzzSeed, case_id));
+      const qbin::Bytes mutant = mutate(payloads[b], rng);
+      check_decode_contract(mutant, case_id);
+      ++case_id;
+    }
+  }
+  EXPECT_GE(case_id, 10000u);
+}
+
+TEST(QbinFuzz, RandomGarbageNeverCrashesTheDecoder) {
+  for (std::uint64_t i = 0; i < 600; ++i) {
+    Rng rng(derive_stream_seed(kFuzzSeed ^ 0xBADC0DE, i));
+    qbin::Bytes junk(rng.index(200));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.index(256));
+    // Half the cases get a valid magic/version prefix so mutations reach
+    // past the header checks into the table and stream decoders.
+    if (i % 2 == 0 && junk.size() >= 6) {
+      junk[0] = 'Q'; junk[1] = 'B'; junk[2] = 'I'; junk[3] = 'N';
+      junk[4] = qbin::kVersion;
+      junk[5] = 0;
+    }
+    check_decode_contract(junk, 1'000'000 + i);
+  }
+}
+
+TEST(QbinFuzz, HostileCountsFailCleanlyWithoutAllocating) {
+  // A tiny payload declaring astronomical counts must be rejected by the
+  // caps or the framing — cheaply, not by attempting the allocation.
+  struct Case {
+    const char* name;
+    qbin::Bytes bytes;
+  };
+  auto header = [](std::uint32_t total, std::uint32_t param_off) {
+    qbin::Bytes b = {'Q', 'B', 'I', 'N', qbin::kVersion, 0};
+    for (int i = 0; i < 4; ++i)
+      b.push_back(static_cast<std::uint8_t>(total >> (8 * i)));
+    for (int i = 0; i < 4; ++i)
+      b.push_back(static_cast<std::uint8_t>(param_off >> (8 * i)));
+    return b;
+  };
+
+  // 2^40 qubits via varint: must throw BadCount, not reserve terabytes.
+  qbin::Bytes huge_qubits = header(22, 21);
+  for (int i = 0; i < 5; ++i) huge_qubits.push_back(0x80);
+  huge_qubits.push_back(0x10);
+  while (huge_qubits.size() < 22) huge_qubits.push_back(0);
+  EXPECT_THROW(qbin::decode(huge_qubits), qbin::DecodeError);
+
+  // Declared total far beyond the actual bytes: Truncated, not a hang.
+  qbin::Bytes big_total = header(0xFFFFFFF0u, 16);
+  big_total.push_back(0);
+  EXPECT_THROW(qbin::decode(big_total), qbin::DecodeError);
+
+  // op_count of 2^29 in a 30-byte payload: the per-op byte floor trips
+  // Truncated long before 2^29 iterations or any large reserve.
+  qbin::Bytes many_ops = header(30, 29);
+  many_ops.push_back(1);  // num_qubits = 1
+  many_ops.push_back(0);  // num_clbits = 0
+  many_ops.push_back(1);  // one qreg
+  many_ops.push_back(1);  // name length 1
+  many_ops.push_back('q');
+  many_ops.push_back(1);  // size 1
+  many_ops.push_back(0);  // zero cregs
+  for (int i = 0; i < 4; ++i) many_ops.push_back(0x80);
+  many_ops.push_back(0x02);  // op_count varint = 2^29
+  while (many_ops.size() < 30) many_ops.push_back(0);
+  EXPECT_THROW(qbin::decode(many_ops), qbin::DecodeError);
+}
+
+TEST(QbinFuzz, CorpusRegressions) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(QTC_DATA_DIR) / "qbin_corpus";
+  ASSERT_TRUE(fs::exists(dir)) << dir;
+  std::size_t ok_seen = 0, bad_seen = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    std::ifstream f(entry.path(), std::ios::binary);
+    ASSERT_TRUE(f) << name;
+    std::vector<char> raw((std::istreambuf_iterator<char>(f)),
+                          std::istreambuf_iterator<char>());
+    const qbin::Bytes bytes(raw.begin(), raw.end());
+    if (name.rfind("ok_", 0) == 0) {
+      ++ok_seen;
+      QuantumCircuit c;
+      ASSERT_NO_THROW(c = qbin::decode(bytes)) << name;
+      // Corpus payloads are canonical encodings: re-encoding the decoded
+      // circuit reproduces the file byte for byte.
+      EXPECT_EQ(qbin::encode(c), bytes) << name;
+    } else if (name.rfind("bad_", 0) == 0) {
+      ++bad_seen;
+      try {
+        qbin::decode(bytes);
+        FAIL() << name << " decoded but is a regression case";
+      } catch (const qbin::DecodeError& e) {
+        // bad_<Code>_*.qbin spells the expected error code.
+        const std::string expect = name.substr(4, name.find('_', 4) - 4);
+        EXPECT_EQ(expect, qbin::to_string(e.code())) << name;
+      }
+    } else {
+      FAIL() << "corpus file " << name << " must be ok_* or bad_*";
+    }
+  }
+  EXPECT_GE(ok_seen, 4u);
+  EXPECT_GE(bad_seen, 8u);
+}
+
+}  // namespace
+}  // namespace qtc

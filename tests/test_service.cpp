@@ -21,6 +21,7 @@
 #include "core/rng.hpp"
 #include "exec/execute.hpp"
 #include "map/mapping.hpp"
+#include "qbin/qbin.hpp"
 #include "service/execution_service.hpp"
 #include "transpiler/transpile_cache.hpp"
 
@@ -286,6 +287,44 @@ TEST(Service, AdmissionControlRejectsWithReason) {
   EXPECT_EQ(stats.submitted, 5u);
   EXPECT_EQ(stats.rejected, 1u);
   EXPECT_EQ(stats.completed, 4u);
+  EXPECT_EQ(stats.submitted,
+            stats.completed + stats.cancelled + stats.rejected + stats.failed);
+}
+
+TEST(Service, MalformedQbinPayloadIsRejectedSynchronously) {
+  const arch::Backend backend = arch::qx4_backend();
+  ServiceConfig config;
+  config.workers = 1;
+  ExecutionService svc(config);
+
+  // Garbage bytes and a truncated-but-well-headed payload both bounce at
+  // submit time with the decoder's message as the reason — never enqueued,
+  // never a worker crash.
+  const qbin::Bytes garbage = {0xde, 0xad, 0xbe, 0xef};
+  JobHandle g = svc.submit(garbage, backend, fast_options(), "t");
+  EXPECT_FALSE(g.accepted());
+  EXPECT_EQ(g.state(), JobState::Rejected);
+  const auto gr = g.result();  // non-blocking: already terminal
+  EXPECT_NE(gr.error.find("invalid QBIN payload"), std::string::npos)
+      << gr.error;
+
+  qbin::Bytes truncated = qbin::encode(small_circuit());
+  truncated.resize(truncated.size() / 2);
+  JobHandle t = svc.submit(truncated, backend, fast_options(), "t");
+  EXPECT_FALSE(t.accepted());
+  EXPECT_NE(t.result().error.find("invalid QBIN payload"), std::string::npos);
+
+  // A well-formed payload on the same service still runs to Done.
+  JobHandle ok =
+      svc.submit(qbin::encode(small_circuit()), backend, fast_options(), "t");
+  ASSERT_TRUE(ok.accepted());
+  EXPECT_EQ(ok.result().state, JobState::Done);
+
+  svc.drain();
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.rejected, 2u);
+  EXPECT_EQ(stats.completed, 1u);
   EXPECT_EQ(stats.submitted,
             stats.completed + stats.cancelled + stats.rejected + stats.failed);
 }
