@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <cctype>
 #include <cstdlib>
 #include <cstring>
 #include <istream>
@@ -382,10 +383,13 @@ std::vector<RegisterSpec> read_register_table(Cursor& cur,
     const std::uint64_t size = cur.varint();
     if (size == 0)
       cur.fail(DecodeErrc::BadRegisterTable, "register size must be positive");
-    total += size;
-    if (total > declared_bits)
+    // Compare against the remaining headroom instead of accumulating first:
+    // `total + size` could wrap past 2^64 back under declared_bits and slip
+    // through both this prefix check and the final-sum check below.
+    if (size > declared_bits - total)
       cur.fail(DecodeErrc::BadRegisterTable,
                std::string(what) + " sizes exceed the declared bit count");
+    total += size;
     regs.push_back({std::move(name), static_cast<int>(size)});
   }
   if (total != declared_bits)
@@ -419,8 +423,15 @@ QuantumCircuit decode_payload(Cursor& cur) {
   const auto cregs = read_register_table(cur, num_clbits, "creg");
 
   QuantumCircuit circuit;
-  for (const RegisterSpec& r : qregs) circuit.add_qreg(r.name, r.size);
-  for (const RegisterSpec& r : cregs) circuit.add_creg(r.name, r.size);
+  try {
+    for (const RegisterSpec& r : qregs) circuit.add_qreg(r.name, r.size);
+    for (const RegisterSpec& r : cregs) circuit.add_creg(r.name, r.size);
+  } catch (const std::exception& e) {
+    // The table reader pre-validates sizes and duplicate names; convert
+    // anything the IR still rejects so malformed input never escapes as a
+    // non-DecodeError exception.
+    cur.fail(DecodeErrc::BadRegisterTable, e.what());
+  }
   const int nq = circuit.num_qubits();
   const int nc = circuit.num_clbits();
   const int creg_count = static_cast<int>(circuit.cregs().size());
@@ -514,7 +525,8 @@ std::atomic<int> g_fingerprint_override{-1};
 bool env_fingerprint_enabled() {
   const char* s = std::getenv("QTC_QBIN");
   if (!s || !*s) return true;
-  const std::string v(s);
+  std::string v(s);
+  for (char& c : v) c = static_cast<char>(std::tolower(c));
   return !(v == "0" || v == "off" || v == "false" || v == "no");
 }
 

@@ -261,6 +261,36 @@ TEST(QbinFuzz, HostileCountsFailCleanlyWithoutAllocating) {
   EXPECT_THROW(qbin::decode(many_ops), qbin::DecodeError);
 }
 
+TEST(QbinFuzz, RegisterSizeSumCannotWrapPastU64) {
+  // Regression: qreg sizes {1, 2^64-1, 4} sum to 4 mod 2^64, which is <=
+  // the declared 5 qubits — an accumulate-then-check loop passes both the
+  // prefix and final-sum checks and hands a negative size to the IR, whose
+  // std::invalid_argument would escape the DecodeError contract. The
+  // decoder must reject the oversized register itself.
+  qbin::Bytes b = {'Q', 'B', 'I', 'N', qbin::kVersion, 0};
+  auto u32 = [&](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      b.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  u32(48);         // total_size
+  u32(40);         // param_offset (never reached)
+  b.push_back(5);  // num_qubits
+  b.push_back(0);  // num_clbits
+  b.push_back(3);  // three qregs
+  b.push_back(1); b.push_back('a'); b.push_back(1);  // "a": size 1
+  b.push_back(1); b.push_back('b');                  // "b": size 2^64-1
+  for (int i = 0; i < 9; ++i) b.push_back(0xFF);
+  b.push_back(0x01);
+  b.push_back(1); b.push_back('c'); b.push_back(4);  // "c": size 4
+  while (b.size() < 48) b.push_back(0);
+  try {
+    qbin::decode(b);
+    FAIL() << "wraparound register table decoded";
+  } catch (const qbin::DecodeError& e) {
+    EXPECT_EQ(e.code(), qbin::DecodeErrc::BadRegisterTable) << e.what();
+  }
+}
+
 TEST(QbinFuzz, CorpusRegressions) {
   namespace fs = std::filesystem;
   const fs::path dir = fs::path(QTC_DATA_DIR) / "qbin_corpus";

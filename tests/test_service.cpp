@@ -314,6 +314,20 @@ TEST(Service, MalformedQbinPayloadIsRejectedSynchronously) {
   EXPECT_FALSE(t.accepted());
   EXPECT_NE(t.result().error.find("invalid QBIN payload"), std::string::npos);
 
+  // Register sizes {1, 2^64-1, 4} wrap the u64 sum back to the declared 5
+  // qubits; the decoder must flag the oversized register as a DecodeError
+  // so the rejection stays synchronous instead of an escaped IR exception.
+  qbin::Bytes wraps = {'Q', 'B', 'I', 'N', qbin::kVersion, 0,
+                       48, 0, 0, 0, 40, 0, 0, 0,  // total 48, params at 40
+                       5, 0, 3, 1, 'a', 1, 1, 'b'};
+  for (int i = 0; i < 9; ++i) wraps.push_back(0xFF);
+  wraps.push_back(0x01);
+  wraps.push_back(1); wraps.push_back('c'); wraps.push_back(4);
+  while (wraps.size() < 48) wraps.push_back(0);
+  JobHandle w = svc.submit(wraps, backend, fast_options(), "t");
+  EXPECT_FALSE(w.accepted());
+  EXPECT_NE(w.result().error.find("invalid QBIN payload"), std::string::npos);
+
   // A well-formed payload on the same service still runs to Done.
   JobHandle ok =
       svc.submit(qbin::encode(small_circuit()), backend, fast_options(), "t");
@@ -322,8 +336,8 @@ TEST(Service, MalformedQbinPayloadIsRejectedSynchronously) {
 
   svc.drain();
   const ServiceStats stats = svc.stats();
-  EXPECT_EQ(stats.submitted, 3u);
-  EXPECT_EQ(stats.rejected, 2u);
+  EXPECT_EQ(stats.submitted, 4u);
+  EXPECT_EQ(stats.rejected, 3u);
   EXPECT_EQ(stats.completed, 1u);
   EXPECT_EQ(stats.submitted,
             stats.completed + stats.cancelled + stats.rejected + stats.failed);
