@@ -23,33 +23,61 @@ struct Calibration {
   std::vector<double> readout_error;       // symmetric flip prob per qubit
   std::vector<double> t1_us;               // relaxation times
   std::vector<double> t2_us;               // dephasing times
-  // cx_error[i] corresponds to coupling_map.edges()[i]
+  // cx_error[i] corresponds to coupling_map.edges()[i]. On a directed map the
+  // two orientations of a coupler are distinct edges with distinct entries.
   std::vector<double> cx_error;
+  // Per-edge 2q gate duration (microseconds), same indexing as cx_error.
+  // Empty means "uniform": every edge takes gate_time_cx_us.
+  std::vector<double> cx_duration_us;
   // Gate durations (microseconds), used to scale thermal relaxation.
   double gate_time_1q_us = 0.05;
   double gate_time_cx_us = 0.3;
 };
 
+/// Native gate set families. The paper's QX devices implement U + CX; the
+/// heavy-hex generations (Eagle/Osprey/Condor) implement ECR + RZ + SX + X.
+enum class BasisSet {
+  UCX,
+  EcrRzSx,
+};
+
 class Backend {
  public:
-  Backend(CouplingMap coupling, Calibration calibration)
-      : coupling_(std::move(coupling)), calib_(std::move(calibration)) {}
+  Backend(CouplingMap coupling, Calibration calibration,
+          BasisSet basis = BasisSet::UCX)
+      : coupling_(std::move(coupling)),
+        calib_(std::move(calibration)),
+        basis_(basis) {}
 
   const std::string& name() const { return coupling_.name(); }
   int num_qubits() const { return coupling_.num_qubits(); }
   const CouplingMap& coupling_map() const { return coupling_; }
   const Calibration& calibration() const { return calib_; }
+  BasisSet basis() const { return basis_; }
 
-  /// Native gates: the QX devices implement U(theta,phi,lambda) and CX.
-  /// Named 1q gates (H, T, ...) are aliases the device compiles to U.
+  /// Native gates. UCX devices implement U(theta,phi,lambda) and CX; named 1q
+  /// gates (H, T, ...) are aliases the device compiles to U. EcrRzSx devices
+  /// implement the modern directed two-qubit ECR plus virtual RZ and SX / X.
   bool is_basis_gate(OpKind kind) const {
+    if (kind == OpKind::Measure || kind == OpKind::Reset ||
+        kind == OpKind::Barrier || kind == OpKind::I)
+      return true;
+    if (basis_ == BasisSet::EcrRzSx)
+      return kind == OpKind::ECR || kind == OpKind::RZ ||
+             kind == OpKind::SX || kind == OpKind::X;
     return kind == OpKind::U || kind == OpKind::U2 || kind == OpKind::P ||
-           kind == OpKind::CX || kind == OpKind::Measure ||
-           kind == OpKind::Reset || kind == OpKind::Barrier ||
-           kind == OpKind::I;
+           kind == OpKind::CX;
   }
 
+  /// Calibrated two-qubit gate error for control -> target. Direction-exact:
+  /// resolves the requested orientation through the coupling map's O(1)
+  /// edge-index table, falling back to the reverse orientation only when the
+  /// exact direction is not a native edge (undirected couplers). Throws if
+  /// the pair is not coupled at all.
   double cx_error(int control, int target) const;
+  /// Calibrated two-qubit gate duration (us), same lookup rules. Edges
+  /// without a per-edge entry report the uniform gate_time_cx_us.
+  double cx_duration(int control, int target) const;
 
   /// Options for run(): the execute(qc, backend, shots) call of the paper's
   /// Sec. IV, with the cloud device replaced by the noisy backend model.
@@ -74,17 +102,31 @@ class Backend {
   }
 
  private:
+  int pair_edge_index(int control, int target) const;
+
   CouplingMap coupling_;
   Calibration calib_;
+  BasisSet basis_ = BasisSet::UCX;
 };
 
 /// Synthesize a plausible calibration for any coupling map (deterministic,
 /// derived from qubit/edge indices so tests are stable).
 Calibration default_calibration(const CouplingMap& map);
 
+/// Synthesize heavy-hex-style calibration: per-direction ECR errors spanning
+/// roughly a decade (median ~1e-2, with deterministic "bad couplers"), 1q
+/// errors a few 1e-4, and per-edge durations in the real 300-650 ns range.
+/// Deterministic (splitmix64 over indices) so tests and benches are stable.
+/// The wide contrast is what makes fidelity-aware mapping measurable.
+Calibration heavy_hex_calibration(const CouplingMap& map);
+
 /// The five-qubit QX4 backend of the paper's run-through (Sec. IV).
 Backend qx4_backend();
 /// The sixteen-qubit QX5 backend.
 Backend qx5_backend();
+/// A heavy-hex backend at code distance d (127 qubits for d = 7, 433 for
+/// d = 13, 1121 for d = 21) with the directed ECR / RZ / SX native basis and
+/// synthesized per-direction calibration.
+Backend heavy_hex_backend(int distance);
 
 }  // namespace qtc::arch

@@ -23,7 +23,16 @@ CouplingMap::CouplingMap(int num_qubits,
 void CouplingMap::build_tables() {
   directed_.assign(n_, std::vector<bool>(n_, false));
   neighbors_.assign(n_, {});
-  for (auto [a, b] : edges_) directed_[a][b] = true;
+  // Direction-exact pair -> edge-list index. Calibration vectors are indexed
+  // by edges(), and on a directed map the two orientations carry distinct
+  // calibration, so the table must not conflate (a, b) with (b, a). Duplicate
+  // directed edges keep the first index (matching the old linear scan).
+  edge_index_.assign(n_, std::vector<int>(n_, -1));
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    auto [a, b] = edges_[i];
+    directed_[a][b] = true;
+    if (edge_index_[a][b] < 0) edge_index_[a][b] = static_cast<int>(i);
+  }
   for (int a = 0; a < n_; ++a)
     for (int b = 0; b < n_; ++b)
       if (a != b && (directed_[a][b] || directed_[b][a])) {
@@ -55,6 +64,12 @@ bool CouplingMap::has_edge(int a, int b) const {
 
 bool CouplingMap::connected(int a, int b) const {
   return has_edge(a, b) || has_edge(b, a);
+}
+
+int CouplingMap::edge_index(int a, int b) const {
+  if (a < 0 || a >= n_ || b < 0 || b >= n_)
+    throw std::out_of_range("coupling map: qubit out of range");
+  return edge_index_[a][b];
 }
 
 int CouplingMap::distance(int a, int b) const {
@@ -197,6 +212,66 @@ CouplingMap grid(int rows, int cols) {
     }
   return CouplingMap(rows * cols, std::move(edges),
                      "grid" + std::to_string(rows) + "x" + std::to_string(cols));
+}
+
+CouplingMap heavy_hex(int distance) {
+  // Heavy-hex lattice for code distance d (odd, >= 3). Geometry: d long rows
+  // of qubits, w = 2d + 1 columns wide, with single "connector" qubits
+  // bridging vertically adjacent rows. Each bridge carries nc = (d + 1) / 2
+  // connectors; consecutive bridges alternate between even column classes
+  // {0, 4, 8, ...} and {2, 6, 10, ...}, which is what caps the row-qubit
+  // degree at 3 (in-row left + right + at most one connector, since the
+  // bridge above and the bridge below use disjoint column sets). The first
+  // row drops its last column and the last row its first, yielding the
+  // published qubit counts n(d) = (5 d^2 + 2 d - 5) / 2: 23 / 65 / 127 /
+  // 433 / 1121 for d = 3 / 5 / 7 / 13 / 21.
+  if (distance < 3 || distance % 2 == 0)
+    throw std::invalid_argument("heavy_hex: distance must be odd and >= 3");
+  const int d = distance;
+  const int w = 2 * d + 1;      // columns per full row
+  const int nc = (d + 1) / 2;   // connectors per bridge
+  auto col_begin = [&](int r) { return r == d - 1 ? 1 : 0; };
+  auto col_end = [&](int r) { return r == 0 ? w - 1 : w; };  // exclusive
+  auto bridge_col = [&](int r, int j) { return (r % 2 == 0 ? 0 : 2) + 4 * j; };
+
+  // Number qubits the way IBM does: row 0, bridge 0, row 1, bridge 1, ...
+  std::vector<std::vector<int>> row(d, std::vector<int>(w, -1));
+  std::vector<std::vector<int>> conn(d - 1, std::vector<int>(nc, -1));
+  int next = 0;
+  for (int r = 0; r < d; ++r) {
+    for (int c = col_begin(r); c < col_end(r); ++c) row[r][c] = next++;
+    if (r + 1 < d)
+      for (int j = 0; j < nc; ++j) conn[r][j] = next++;
+  }
+
+  std::vector<std::pair<int, int>> edges;
+  for (int r = 0; r < d; ++r) {
+    // In-row edges; the calibrated direction alternates with (r + c) parity
+    // so directed lookups are exercised in both orientations.
+    for (int c = col_begin(r); c + 1 < col_end(r); ++c) {
+      const int a = row[r][c], b = row[r][c + 1];
+      if ((r + c) % 2 == 0)
+        edges.emplace_back(a, b);
+      else
+        edges.emplace_back(b, a);
+    }
+    // Bridge below row r: row qubit -- connector -- row qubit. Even bridges
+    // point downward, odd bridges upward.
+    if (r + 1 < d)
+      for (int j = 0; j < nc; ++j) {
+        const int c = bridge_col(r, j);
+        const int top = row[r][c], mid = conn[r][j], bot = row[r + 1][c];
+        if (r % 2 == 0) {
+          edges.emplace_back(top, mid);
+          edges.emplace_back(mid, bot);
+        } else {
+          edges.emplace_back(bot, mid);
+          edges.emplace_back(mid, top);
+        }
+      }
+  }
+  return CouplingMap(next, std::move(edges),
+                     "heavyhex" + std::to_string(d));
 }
 
 CouplingMap fully_connected(int n) {

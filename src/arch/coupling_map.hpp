@@ -28,6 +28,10 @@ class CouplingMap {
   /// Undirected adjacency: a CNOT between a and b is possible in at least one
   /// direction (possibly needing H-conjugation to flip it).
   bool connected(int a, int b) const;
+  /// Index into edges() of the directed edge a -> b, or -1 if that exact
+  /// orientation is absent. O(1): backed by a dense table built once at
+  /// construction, so per-edge calibration lookups never scan the edge list.
+  int edge_index(int a, int b) const;
 
   /// Undirected shortest-path distance (SWAP count between a and b is
   /// distance(a, b) - 1). Unreachable pairs report num_qubits().
@@ -50,6 +54,7 @@ class CouplingMap {
   std::vector<std::vector<bool>> directed_;
   std::vector<std::vector<int>> dist_;
   std::vector<std::vector<int>> neighbors_;
+  std::vector<std::vector<int>> edge_index_;  // [a][b] -> edges() index or -1
 };
 
 // --- IBM QX devices from the paper (Sec. II-B) and common topologies --------
@@ -70,5 +75,18 @@ CouplingMap ring(int n);
 CouplingMap grid(int rows, int cols);
 /// Fully connected, both directions.
 CouplingMap fully_connected(int n);
+
+/// IBM heavy-hex lattice for an odd code distance d >= 3 (the topology of
+/// the Falcon/Eagle/Osprey/Condor generations): degree-<=3 rows of qubits
+/// joined by two-qubit "connector" bridges. Qubit count follows the
+/// published closed form n(d) = (5 d^2 + 2 d - 5) / 2:
+///   d = 3 -> 23    (heavy-hex unit patch)
+///   d = 5 -> 65    (Hummingbird)
+///   d = 7 -> 127   (Eagle, e.g. ibm_washington: 144 coupler edges)
+///   d = 13 -> 433  (Osprey)
+///   d = 21 -> 1121 (Condor)
+/// Edges are directed (calibrated orientation alternates deterministically)
+/// so per-direction calibration is meaningful at scale.
+CouplingMap heavy_hex(int distance);
 
 }  // namespace qtc::arch

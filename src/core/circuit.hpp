@@ -128,6 +128,7 @@ class QuantumCircuit {
     return gate(OpKind::CU, {control, target}, {theta, phi, lambda});
   }
   QuantumCircuit& swap(Qubit a, Qubit b) { return gate(OpKind::SWAP, {a, b}); }
+  QuantumCircuit& ecr(Qubit a, Qubit b) { return gate(OpKind::ECR, {a, b}); }
   QuantumCircuit& iswap(Qubit a, Qubit b) {
     return gate(OpKind::ISWAP, {a, b});
   }

@@ -35,6 +35,7 @@ const OpInfo& info(OpKind kind) {
       {OpKind::Measure, {"measure", 1, 0}},
       {OpKind::Reset, {"reset", 1, 0}},
       {OpKind::Barrier, {"barrier", 0, 0}},
+      {OpKind::ECR, {"ecr", 2, 0}},
   };
   return table.at(kind);
 }
@@ -46,7 +47,7 @@ const char* op_name(OpKind kind) { return info(kind).name; }
 std::optional<OpKind> op_from_name(const std::string& name) {
   static const std::unordered_map<std::string, OpKind> table = [] {
     std::unordered_map<std::string, OpKind> t;
-    for (int k = 0; k <= static_cast<int>(OpKind::Barrier); ++k) {
+    for (int k = 0; k <= static_cast<int>(OpKind::ECR); ++k) {
       const auto kind = static_cast<OpKind>(k);
       t.emplace(op_name(kind), kind);
     }
@@ -209,6 +210,20 @@ Matrix op_matrix(OpKind kind, const std::vector<double>& params) {
       m(5, 3) = 1;
       return m;
     }
+    case OpKind::ECR: {
+      // 1/sqrt(2) (I(x)X - X(x)Y) with the first listed qubit in the LEAST
+      // significant bit: rows/cols ordered |q1 q0> = 00, 01, 10, 11.
+      Matrix m(4, 4);
+      m(0, 1) = SQRT1_2;
+      m(0, 3) = i * SQRT1_2;
+      m(1, 0) = SQRT1_2;
+      m(1, 2) = -i * SQRT1_2;
+      m(2, 1) = i * SQRT1_2;
+      m(2, 3) = SQRT1_2;
+      m(3, 0) = -i * SQRT1_2;
+      m(3, 2) = SQRT1_2;
+      return m;
+    }
     case OpKind::Measure:
     case OpKind::Reset:
     case OpKind::Barrier:
@@ -233,6 +248,7 @@ std::pair<OpKind, std::vector<double>> op_inverse(
     case OpKind::SWAP:
     case OpKind::CCX:
     case OpKind::CSWAP:
+    case OpKind::ECR:  // Hermitian (anticommuting Pauli terms): ECR^2 = I
       return {kind, {}};
     case OpKind::S:
       return {OpKind::Sdg, {}};

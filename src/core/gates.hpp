@@ -52,6 +52,9 @@ enum class OpKind {
   Measure,
   Reset,
   Barrier,
+  // Appended after the structural kinds so existing QBIN opcode values
+  // (raw enum values on the wire) stay stable for the checked-in corpus.
+  ECR,  // echoed cross-resonance, 1/sqrt(2) (IX - XY); modern 2q native gate
 };
 
 /// Human-readable lowercase mnemonic, matching OpenQASM / qelib1 names.

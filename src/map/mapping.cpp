@@ -1,8 +1,12 @@
 #include "map/mapping.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <stdexcept>
+#include <string>
 
 #include "map/router_detail.hpp"
 
@@ -34,7 +38,33 @@ int default_map_trials() {
 std::uint64_t default_map_seed() {
   const char* s = std::getenv("QTC_MAP_SEED");
   if (!s || !*s) return 0xC0FFEE;
-  return std::strtoull(s, nullptr, 10);
+  // Base 0 accepts decimal, 0x-hex and octal (QTC_MAP_SEED=0xBEEF used to
+  // parse as 0 under base 10). Trailing garbage or overflow falls back to
+  // the default instead of silently truncating, matching the other knobs.
+  errno = 0;
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(s, &end, 0);
+  if (end == s || *end != '\0' || errno == ERANGE) return 0xC0FFEE;
+  return v;
+}
+
+bool default_map_fidelity() {
+  const char* s = std::getenv("QTC_MAP_FIDELITY");
+  if (!s || !*s) return false;
+  std::string v(s);
+  for (char& c : v) c = static_cast<char>(std::tolower(c));
+  return !(v == "0" || v == "off" || v == "false" || v == "no");
+}
+
+double FidelityModel::pair_cost(const arch::CouplingMap& coupling, int a,
+                                int b) const {
+  const int ab = coupling.edge_index(a, b);
+  const int ba = coupling.edge_index(b, a);
+  if (ab < 0 && ba < 0)
+    throw std::invalid_argument("fidelity model: pair not in coupling map");
+  if (ab < 0) return edge_cost[ba];
+  if (ba < 0) return edge_cost[ab];
+  return std::min(edge_cost[ab], edge_cost[ba]);
 }
 
 Layout Layout::trivial(int num_logical, int num_physical) {

@@ -14,6 +14,10 @@
 #include "core/circuit.hpp"
 #include "core/types.hpp"
 
+namespace qtc::arch {
+class Backend;  // arch/backend.hpp; only referenced by pointer here
+}
+
 namespace qtc::map {
 
 /// Bidirectional logical<->physical qubit assignment. Physical qubits not
@@ -60,8 +64,27 @@ std::uint64_t mapper_run_count();
 /// (default 0xC0FFEE).
 int default_map_trials();
 std::uint64_t default_map_seed();
+/// QTC_MAP_FIDELITY (default off): route with calibration-weighted costs.
+bool default_map_fidelity();
 /// Sentinel seed value meaning "resolve from QTC_MAP_SEED / default".
 inline constexpr std::uint64_t kMapSeedFromEnv = ~std::uint64_t{0};
+
+/// Calibration-derived cost model for fidelity-aware routing. Per-edge costs
+/// blend log-infidelity (weight 0.75) and gate duration (0.25), normalized
+/// so the median edge costs ~1 — commensurate with the hop counts the
+/// calibration-blind router uses — and `dist` holds all-pairs shortest
+/// paths under those weights (undirected: a coupler's cheaper orientation).
+struct FidelityModel {
+  int num_physical = 0;
+  std::vector<double> dist;       // n*n weighted all-pairs distances
+  std::vector<double> edge_cost;  // indexed like CouplingMap::edges()
+  double at(int a, int b) const {
+    return dist[static_cast<std::size_t>(a) * num_physical + b];
+  }
+  /// Cost of executing a 2q gate (or SWAP leg) on coupled pair (a, b):
+  /// the cheaper calibrated orientation. O(1) via the edge-index table.
+  double pair_cost(const arch::CouplingMap& coupling, int a, int b) const;
+};
 
 class Mapper {
  public:
@@ -94,6 +117,13 @@ class NaiveMapper final : public Mapper {
 /// bitwise independent of the thread count. trials == 0 and
 /// seed == kMapSeedFromEnv defer to the QTC_MAP_TRIALS / QTC_MAP_SEED
 /// environment knobs.
+///
+/// with_fidelity(backend) attaches calibration: swap scoring then uses the
+/// FidelityModel's weighted distances plus the candidate edge's own cost,
+/// trial 1 seeds from noise_aware_layout instead of a random placement, and
+/// the portfolio winner maximizes estimated log-success (SWAP = 3 native 2q
+/// gates) instead of raw swap count. With fidelity off the routing is
+/// bitwise-identical to the calibration-blind mapper.
 class SabreMapper final : public Mapper {
  public:
   explicit SabreMapper(int lookahead = 20, double lookahead_weight = 0.5,
@@ -102,6 +132,14 @@ class SabreMapper final : public Mapper {
         lookahead_weight_(lookahead_weight),
         trials_(trials),
         seed_(seed) {}
+  /// Non-owning: `backend` must outlive every run() call. Pass nullptr (or
+  /// enabled = false) to restore calibration-blind routing.
+  SabreMapper& with_fidelity(const arch::Backend* backend,
+                             bool enabled = true) {
+    backend_ = backend;
+    fidelity_ = enabled && backend != nullptr;
+    return *this;
+  }
   std::string name() const override { return "sabre"; }
   MappingResult run(const QuantumCircuit& circuit,
                     const arch::CouplingMap& coupling) const override;
@@ -111,6 +149,8 @@ class SabreMapper final : public Mapper {
   double lookahead_weight_;
   int trials_;
   std::uint64_t seed_;
+  const arch::Backend* backend_ = nullptr;
+  bool fidelity_ = false;
 };
 
 /// Layered A* search (Zulehner/Paler/Wille [39]): the circuit is split into

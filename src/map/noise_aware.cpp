@@ -1,6 +1,9 @@
 #include "map/noise_aware.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <functional>
+#include <queue>
 #include <stdexcept>
 
 namespace qtc::map {
@@ -130,6 +133,17 @@ QuantumCircuit apply_layout(const QuantumCircuit& circuit,
 double estimated_success(const QuantumCircuit& physical_circuit,
                          const arch::Backend& backend) {
   const auto& cal = backend.calibration();
+  const auto& coupling = backend.coupling_map();
+  // Pessimistic stand-in for pairs with no calibrated coupler: the device's
+  // worst 2q error (computed lazily, once).
+  double worst_cx = -1.0;
+  auto worst = [&] {
+    if (worst_cx < 0) {
+      worst_cx = 0.0;
+      for (double e : cal.cx_error) worst_cx = std::max(worst_cx, e);
+    }
+    return worst_cx;
+  };
   double success = 1.0;
   for (const auto& op : physical_circuit.ops()) {
     switch (op.kind) {
@@ -141,13 +155,84 @@ double estimated_success(const QuantumCircuit& physical_circuit,
         success *= 1.0 - cal.readout_error[op.qubits[0]];
         break;
       default:
-        if (op.qubits.size() == 2)
-          success *= 1.0 - backend.cx_error(op.qubits[0], op.qubits[1]);
-        else
+        if (op.qubits.size() == 1) {
           success *= 1.0 - cal.single_qubit_error[op.qubits[0]];
+        } else if (op.qubits.size() == 2) {
+          success *= 1.0 - backend.cx_error(op.qubits[0], op.qubits[1]);
+        } else {
+          // 3+ qubits: score every constituent pair (a Toffoli is at least
+          // as error-prone as its pairwise interactions).
+          for (std::size_t i = 0; i < op.qubits.size(); ++i)
+            for (std::size_t j = i + 1; j < op.qubits.size(); ++j) {
+              const int a = op.qubits[i], b = op.qubits[j];
+              success *= 1.0 - (coupling.connected(a, b)
+                                    ? backend.cx_error(a, b)
+                                    : worst());
+            }
+        }
     }
   }
   return success;
+}
+
+FidelityModel make_fidelity_model(const arch::Backend& backend) {
+  const auto& coupling = backend.coupling_map();
+  const auto& cal = backend.calibration();
+  const auto& edges = coupling.edges();
+  const int n = coupling.num_qubits();
+  if (cal.cx_error.size() < edges.size())
+    throw std::invalid_argument(
+        "fidelity model: calibration does not cover every edge");
+
+  FidelityModel m;
+  m.num_physical = n;
+
+  // Raw per-edge ingredients: log-infidelity and duration.
+  std::vector<double> infid(edges.size()), dur(edges.size());
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    infid[e] = -std::log1p(-std::min(cal.cx_error[e], 0.999));
+    dur[e] = e < cal.cx_duration_us.size() ? cal.cx_duration_us[e]
+                                           : cal.gate_time_cx_us;
+  }
+  auto median = [](std::vector<double> v) {
+    if (v.empty()) return 1.0;
+    std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+    return std::max(v[v.size() / 2], 1e-12);
+  };
+  const double med_infid = median(infid), med_dur = median(dur);
+  m.edge_cost.resize(edges.size());
+  for (std::size_t e = 0; e < edges.size(); ++e)
+    m.edge_cost[e] = 0.75 * infid[e] / med_infid + 0.25 * dur[e] / med_dur;
+
+  // All-pairs Dijkstra over the undirected graph, each coupler priced at its
+  // cheaper orientation. 1121 qubits: ~n * E log n, well under a second.
+  double max_cost = 0;
+  for (double c : m.edge_cost) max_cost = std::max(max_cost, c);
+  const double unreachable = static_cast<double>(n) * (max_cost + 1.0);
+  m.dist.assign(static_cast<std::size_t>(n) * n, unreachable);
+  std::vector<double> d(n);
+  using Item = std::pair<double, int>;
+  for (int s = 0; s < n; ++s) {
+    std::fill(d.begin(), d.end(), unreachable);
+    d[s] = 0;
+    std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+    heap.emplace(0.0, s);
+    while (!heap.empty()) {
+      const auto [du, u] = heap.top();
+      heap.pop();
+      if (du > d[u]) continue;
+      for (int v : coupling.neighbors(u)) {
+        const double w = m.pair_cost(coupling, u, v);
+        if (du + w < d[v]) {
+          d[v] = du + w;
+          heap.emplace(d[v], v);
+        }
+      }
+    }
+    std::copy(d.begin(), d.end(),
+              m.dist.begin() + static_cast<std::size_t>(s) * n);
+  }
+  return m;
 }
 
 }  // namespace qtc::map

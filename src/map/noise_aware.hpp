@@ -24,8 +24,18 @@ QuantumCircuit apply_layout(const QuantumCircuit& circuit,
 
 /// Pessimistic success estimate of a routed, coupling-legal circuit:
 /// product over gates of (1 - gate error) and over measured qubits of
-/// (1 - readout error). A cheap, monotone figure of merit for layouts.
+/// (1 - readout error). Gates on 3+ qubits (pre-decomposition Toffoli etc.)
+/// are scored from their constituent pairs — coupled pairs at the pair's
+/// calibrated error, uncoupled pairs at the device's worst 2q error — so a
+/// multi-qubit gate can never score better than a 1q gate (the old code
+/// sent any !=2-qubit gate down the 1q branch). A cheap, monotone figure of
+/// merit for layouts.
 double estimated_success(const QuantumCircuit& physical_circuit,
                          const arch::Backend& backend);
+
+/// Build the calibration-weighted routing cost model for a backend (see
+/// FidelityModel in map/mapping.hpp). Throws if the backend's calibration
+/// does not cover every coupling-map edge.
+FidelityModel make_fidelity_model(const arch::Backend& backend);
 
 }  // namespace qtc::map

@@ -8,16 +8,21 @@
 // The inner routing loop avoids the naive O(|front|·|candidates|·|window|)
 // re-scoring: per stall step the front/window distance sums are computed
 // once, and each candidate SWAP is scored by the distance delta of the
-// gates touching its two physical endpoints (distances are integers, so the
-// incremental score is exactly the re-summed one). Hot-loop containers are
-// flat vectors; the only per-step allocations are amortized scratch reuse.
+// gates touching its two physical endpoints. In the calibration-blind mode
+// the distances are integral-valued doubles, so the incremental score is
+// exactly the re-summed one and routing is bitwise the historical integer
+// implementation; with_fidelity() swaps in calibration-weighted distances
+// plus a per-candidate edge-execution cost. Hot-loop containers are flat
+// vectors; the only per-step allocations are amortized scratch reuse.
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "core/parallel.hpp"
 #include "core/rng.hpp"
 #include "map/mapping.hpp"
+#include "map/noise_aware.hpp"
 #include "map/router_detail.hpp"
 
 namespace qtc::map {
@@ -77,9 +82,17 @@ struct RouteResult {
 /// One SABRE routing pass over `ops` starting from `layout`. Pure function
 /// of its arguments (no RNG): used forward to route and backward (on the
 /// reversed op list) to refine the initial layout.
+///
+/// With `fid` null the scoring distances are the coupling map's integer hop
+/// counts carried in doubles — every sum/delta below is integral and exact,
+/// so the swap decisions are bitwise those of the historical integer
+/// implementation. With `fid` set, distances come from the calibration-
+/// weighted model and each candidate swap additionally pays its own edge's
+/// execution cost (a SWAP is three native 2q gates on that coupler).
 RouteResult route_pass(const std::vector<Operation>& ops, const OpDag& dag,
                        const arch::CouplingMap& coupling, Layout layout,
-                       int lookahead, double weight) {
+                       int lookahead, double weight,
+                       const FidelityModel* fid) {
   const int nphys = coupling.num_qubits();
   RouteResult out;
   std::vector<int> indegree = dag.indegree;
@@ -91,12 +104,15 @@ RouteResult route_pass(const std::vector<Operation>& ops, const OpDag& dag,
   int stall = 0;
   const int stall_limit = 4 * nphys * nphys + 16;
 
-  auto phys_dist = [&](const Operation& op) {
-    return coupling.distance(layout.l2p[op.qubits[0]],
-                             layout.l2p[op.qubits[1]]);
+  // Scoring distance (weighted when fidelity-aware); executability always
+  // uses the integer adjacency test, never the weighted model.
+  auto score_dist = [&](int a, int b) {
+    return fid ? fid->at(a, b) : static_cast<double>(coupling.distance(a, b));
   };
   auto executable = [&](int i) {
-    return !detail::is_two_qubit_gate(ops[i]) || phys_dist(ops[i]) == 1;
+    return !detail::is_two_qubit_gate(ops[i]) ||
+           coupling.distance(layout.l2p[ops[i].qubits[0]],
+                             layout.l2p[ops[i].qubits[1]]) == 1;
   };
   auto do_swap = [&](int p1, int p2) {
     out.events.push_back({p1, p2});
@@ -112,7 +128,8 @@ RouteResult route_pass(const std::vector<Operation>& ops, const OpDag& dag,
   // Blocked-front and lookahead-window gates with their current physical
   // endpoints and distance, indexed by the per-endpoint touch lists.
   struct GateRec {
-    int pa, pb, d;
+    int pa, pb;
+    double d;
     bool in_window;
   };
   std::vector<GateRec> recs;
@@ -162,7 +179,7 @@ RouteResult route_pass(const std::vector<Operation>& ops, const OpDag& dag,
       GateRec r;
       r.pa = layout.l2p[g.qubits[0]];
       r.pb = layout.l2p[g.qubits[1]];
-      r.d = coupling.distance(r.pa, r.pb);
+      r.d = score_dist(r.pa, r.pb);
       r.in_window = in_window;
       const int id = static_cast<int>(recs.size());
       recs.push_back(r);
@@ -171,7 +188,8 @@ RouteResult route_pass(const std::vector<Operation>& ops, const OpDag& dag,
         touch[p].push_back(id);
       }
     };
-    int front_gates = 0, front_base = 0;
+    int front_gates = 0;
+    double front_base = 0;
     for (int i : front) {
       if (!detail::is_two_qubit_gate(ops[i])) continue;
       add_rec(i, false);
@@ -216,7 +234,7 @@ RouteResult route_pass(const std::vector<Operation>& ops, const OpDag& dag,
       frontier.swap(next);
     }
     for (int i : seen_list) seen[i] = 0;
-    int ahead_base = 0;
+    double ahead_base = 0;
     for (int i : window) {
       add_rec(i, true);
       ahead_base += recs.back().d;
@@ -228,13 +246,13 @@ RouteResult route_pass(const std::vector<Operation>& ops, const OpDag& dag,
     int best = -1;
     for (std::size_t ci = 0; ci < cands.size(); ++ci) {
       const auto [p1, p2] = cands[ci];
-      int dfront = 0, dahead = 0;
+      double dfront = 0, dahead = 0;
       auto apply = [&](int id, bool skip_p1_touchers) {
         const GateRec& r = recs[id];
         if (skip_p1_touchers && (r.pa == p1 || r.pb == p1)) return;
         const int na = r.pa == p1 ? p2 : r.pa == p2 ? p1 : r.pa;
         const int nb = r.pb == p1 ? p2 : r.pb == p2 ? p1 : r.pb;
-        const int delta = coupling.distance(na, nb) - r.d;
+        const double delta = score_dist(na, nb) - r.d;
         if (r.in_window)
           dahead += delta;
         else
@@ -242,11 +260,14 @@ RouteResult route_pass(const std::vector<Operation>& ops, const OpDag& dag,
       };
       for (int id : touch[p1]) apply(id, false);
       for (int id : touch[p2]) apply(id, true);  // dedup gates touching both
-      double score = static_cast<double>(front_base + dfront) /
-                     std::max(front_gates, 1);
+      double score = (front_base + dfront) / std::max(front_gates, 1);
       if (!window.empty())
-        score += weight * static_cast<double>(ahead_base + dahead) /
+        score += weight * (ahead_base + dahead) /
                  static_cast<double>(window.size());
+      // Fidelity-aware: the swap itself executes three native 2q gates on
+      // this coupler — bias toward good edges, scaled to stay commensurate
+      // with the per-gate-normalized distance terms above.
+      if (fid) score += 0.3 * fid->pair_cost(coupling, p1, p2);
       score *= std::max(decay[p1], decay[p2]);
       if (best < 0 || score < best_score) {
         best_score = score;
@@ -288,34 +309,61 @@ MappingResult SabreMapper::run(const QuantumCircuit& circuit,
   const std::uint64_t seed =
       seed_ != kMapSeedFromEnv ? seed_ : default_map_seed();
 
+  // Fidelity-aware mode: build the weighted cost model once, shared
+  // read-only by every trial.
+  const bool fid_on = fidelity_ && backend_ != nullptr;
+  FidelityModel model;
+  if (fid_on) model = make_fidelity_model(*backend_);
+  const FidelityModel* fid = fid_on ? &model : nullptr;
+
   const auto& ops = circuit.ops();
   const OpDag dag(ops, circuit.num_qubits(), circuit.num_clbits());
   const std::vector<Operation> rev_ops(ops.rbegin(), ops.rend());
   const OpDag rev_dag(rev_ops, circuit.num_qubits(), circuit.num_clbits());
 
+  // Estimated log-success of a routed circuit: sum of log(1 - err) over its
+  // 2q gates, a SWAP costing three native gates on its coupler. Higher is
+  // better; exact doubles, so the winner scan is deterministic.
+  auto log_success = [&](const MappingResult& r) {
+    double s = 0;
+    for (const auto& op : r.circuit.ops()) {
+      if (!op_is_unitary(op.kind) || op.qubits.size() != 2) continue;
+      const double err = std::min(
+          backend_->cx_error(op.qubits[0], op.qubits[1]), 0.999);
+      s += (op.kind == OpKind::SWAP ? 3.0 : 1.0) * std::log1p(-err);
+    }
+    return s;
+  };
+
   struct Trial {
     MappingResult result;
     int depth = 0;
+    double score = 0;  // log-success, fidelity mode only
   };
   std::vector<Trial> outcomes(trials);
   auto run_trial = [&](int t) {
     Layout l0 = Layout::trivial(circuit.num_qubits(), coupling.num_qubits());
     if (t > 0) {
-      Rng rng(derive_stream_seed(seed, static_cast<std::uint64_t>(t)));
-      l0 = random_layout(circuit.num_qubits(), coupling.num_qubits(), rng);
+      if (fid_on && t == 1) {
+        // Noise-adaptive placement competes with the random seeds.
+        l0 = noise_aware_layout(circuit, *backend_);
+      } else {
+        Rng rng(derive_stream_seed(seed, static_cast<std::uint64_t>(t)));
+        l0 = random_layout(circuit.num_qubits(), coupling.num_qubits(), rng);
+      }
     }
     // Bidirectional refinement: the forward pass's final layout seeds a
     // backward pass over the reversed circuit, whose final layout is the
     // refined initial placement for the emitting forward pass.
     RouteResult fwd = route_pass(ops, dag, coupling, std::move(l0),
-                                 lookahead_, lookahead_weight_);
+                                 lookahead_, lookahead_weight_, fid);
     RouteResult bwd = route_pass(rev_ops, rev_dag, coupling,
                                  std::move(fwd.layout), lookahead_,
-                                 lookahead_weight_);
+                                 lookahead_weight_, fid);
     const Layout initial = bwd.layout;
     RouteResult final_pass = route_pass(ops, dag, coupling,
                                         std::move(bwd.layout), lookahead_,
-                                        lookahead_weight_);
+                                        lookahead_weight_, fid);
     detail::RoutingContext ctx(circuit, coupling, initial);
     for (const Event& e : final_pass.events) {
       if (e.b < 0)
@@ -326,6 +374,7 @@ MappingResult SabreMapper::run(const QuantumCircuit& circuit,
     Trial trial;
     trial.result = std::move(ctx).finish(initial);
     trial.depth = trial.result.circuit.depth();
+    if (fid_on) trial.score = log_success(trial.result);
     return trial;
   };
 
@@ -339,16 +388,20 @@ MappingResult SabreMapper::run(const QuantumCircuit& circuit,
       },
       /*serial_cutoff=*/1);
 
-  // Best by (swap count, depth, trial index), scanned in index order so the
-  // winner is independent of execution order.
+  // Winner scan in index order so it is independent of execution order.
+  // Legacy: best by (swap count, depth, trial index). Fidelity mode: best
+  // estimated log-success (strict >, so ties keep the earlier trial).
   int best = 0;
   for (int t = 1; t < trials; ++t) {
     const Trial& cand = outcomes[t];
     const Trial& cur = outcomes[best];
-    if (cand.result.swaps_inserted < cur.result.swaps_inserted ||
-        (cand.result.swaps_inserted == cur.result.swaps_inserted &&
-         cand.depth < cur.depth))
+    if (fid_on) {
+      if (cand.score > cur.score) best = t;
+    } else if (cand.result.swaps_inserted < cur.result.swaps_inserted ||
+               (cand.result.swaps_inserted == cur.result.swaps_inserted &&
+                cand.depth < cur.depth)) {
       best = t;
+    }
   }
   MappingResult result = std::move(outcomes[best].result);
   result.trials_run = trials;

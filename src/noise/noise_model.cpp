@@ -60,26 +60,28 @@ NoiseModel from_backend(const arch::Backend& backend) {
         compose(depolarizing(cal.single_qubit_error[q]), thermal_1q[q]);
     for (OpKind kind : {OpKind::U, OpKind::U2, OpKind::P, OpKind::H,
                         OpKind::X, OpKind::T, OpKind::S, OpKind::RZ,
-                        OpKind::RX, OpKind::RY})
+                        OpKind::RX, OpKind::RY, OpKind::SX, OpKind::SXdg})
       model.add_qubit_error(ch, kind, {q});
     model.set_readout_error(q,
                             {cal.readout_error[q], cal.readout_error[q]});
   }
-  // CX: per-edge depolarizing composed with both qubits relaxing over the
-  // (longer) two-qubit gate duration; attached in both operand orders.
+  // 2q entanglers (CX and ECR): per-edge depolarizing composed with both
+  // qubits relaxing over the (longer, per-edge when calibrated) two-qubit
+  // gate duration; attached in both operand orders.
   for (std::size_t e = 0; e < map.edges().size(); ++e) {
     const auto [a, b] = map.edges()[e];
+    const double dur = e < cal.cx_duration_us.size() ? cal.cx_duration_us[e]
+                                                     : cal.gate_time_cx_us;
     auto thermal_for = [&](int q) {
-      return thermal_relaxation(cal.t1_us[q], cal.t2_us[q],
-                                cal.gate_time_cx_us);
+      return thermal_relaxation(cal.t1_us[q], cal.t2_us[q], dur);
     };
     const KrausChannel base = depolarizing2(cal.cx_error[e]);
-    model.add_qubit_error(
-        compose(base, tensor(thermal_for(a), thermal_for(b))), OpKind::CX,
-        {a, b});
-    model.add_qubit_error(
-        compose(base, tensor(thermal_for(b), thermal_for(a))), OpKind::CX,
-        {b, a});
+    const KrausChannel fwd = compose(base, tensor(thermal_for(a), thermal_for(b)));
+    const KrausChannel rev = compose(base, tensor(thermal_for(b), thermal_for(a)));
+    for (OpKind kind : {OpKind::CX, OpKind::ECR}) {
+      model.add_qubit_error(fwd, kind, {a, b});
+      model.add_qubit_error(rev, kind, {b, a});
+    }
   }
   return model;
 }

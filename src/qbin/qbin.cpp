@@ -25,7 +25,9 @@ constexpr std::uint64_t kFnvPrime = 1099511628211ull;
 constexpr std::uint8_t kOpcodeKindMask = 0x3F;
 constexpr std::uint8_t kOpcodeCondBit = 0x40;
 constexpr std::uint8_t kOpcodeReservedBit = 0x80;
-constexpr std::uint8_t kMaxKind = static_cast<std::uint8_t>(OpKind::Barrier);
+// ECR is appended after the structural kinds precisely so this bound could
+// grow without renumbering any opcode already on the wire.
+constexpr std::uint8_t kMaxKind = static_cast<std::uint8_t>(OpKind::ECR);
 
 // ---------------------------------------------------------------------------
 // Encoding. One structural emitter, two sinks: VecSink materializes payload

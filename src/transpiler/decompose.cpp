@@ -133,6 +133,14 @@ bool expand(const Operation& op, std::vector<Operation>& out) {
       out.push_back(make(OpKind::H, {q[0]}));
       out.push_back(make(OpKind::H, {q[1]}));
       return true;
+    case OpKind::ECR:
+      // ECR(q0, q1) = e^{i pi/4} [SXdg q1][Sdg q0] CX(q0, q1) [X q0]
+      // (global phase dropped, like the other phase-normalized rewrites).
+      out.push_back(make(OpKind::X, {q[0]}));
+      out.push_back(make(OpKind::CX, {q[0], q[1]}));
+      out.push_back(make(OpKind::Sdg, {q[0]}));
+      out.push_back(make(OpKind::SXdg, {q[1]}));
+      return true;
     case OpKind::CCX:
       ccx_network(q[0], q[1], q[2], out);
       return true;
@@ -185,6 +193,35 @@ QuantumCircuit RewriteToUBasis::run(const QuantumCircuit& circuit) const {
   return out;
 }
 
+QuantumCircuit RewriteToEcrBasis::run(const QuantumCircuit& circuit) const {
+  QuantumCircuit out(circuit.num_qubits(), circuit.num_clbits());
+  for (const auto& op : circuit.ops()) {
+    if (op.kind == OpKind::CX) {
+      // CX(c, t) = e^{-i pi/4} [SX t][S c] ECR(c, t) [X c] (phase dropped).
+      // Direction-preserving: the ECR inherits the CX orientation, so this
+      // must run after FixCxDirections has legalized directions.
+      std::vector<Operation> pieces;
+      pieces.push_back(make(OpKind::X, {op.qubits[0]}));
+      pieces.push_back(make(OpKind::ECR, {op.qubits[0], op.qubits[1]}));
+      pieces.push_back(make(OpKind::S, {op.qubits[0]}));
+      pieces.push_back(make(OpKind::SX, {op.qubits[1]}));
+      for (auto& piece : pieces) {
+        piece.cond_reg = op.cond_reg;
+        piece.cond_val = op.cond_val;
+        out.append(std::move(piece));
+      }
+      continue;
+    }
+    if (op_is_unitary(op.kind) && op.qubits.size() > 1 &&
+        op.kind != OpKind::ECR)
+      throw std::invalid_argument(
+          "rewrite-ecr-basis: run decompose-multi-qubit first (found " +
+          std::string(op_name(op.kind)) + ")");
+    out.append(op);
+  }
+  return out;
+}
+
 QuantumCircuit RewriteToRzSxBasis::run(const QuantumCircuit& circuit) const {
   QuantumCircuit out(circuit.num_qubits(), circuit.num_clbits());
   auto push_rz = [&](double angle, Qubit q, const Operation& like) {
@@ -208,8 +245,8 @@ QuantumCircuit RewriteToRzSxBasis::run(const QuantumCircuit& circuit) const {
   };
   for (const auto& op : circuit.ops()) {
     if (!op_is_unitary(op.kind) || op.kind == OpKind::CX ||
-        op.kind == OpKind::RZ || op.kind == OpKind::SX ||
-        op.kind == OpKind::I) {
+        op.kind == OpKind::ECR || op.kind == OpKind::RZ ||
+        op.kind == OpKind::SX || op.kind == OpKind::I) {
       out.append(op);
       continue;
     }

@@ -27,11 +27,22 @@ class RewriteToUBasis final : public Pass {
   QuantumCircuit run(const QuantumCircuit& circuit) const override;
 };
 
+/// Rewrites CX into the directed native ECR of modern heavy-hex devices:
+/// CX(c, t) = e^{-i pi/4} [SX t][S c] ECR(c, t) [X c] (global phase
+/// dropped). Direction-preserving, so run it after FixCxDirections; follow
+/// with RewriteToRzSxBasis to lower the emitted 1q gates. ECR and 1q gates
+/// pass through; other multi-qubit gates must be decomposed first.
+class RewriteToEcrBasis final : public Pass {
+ public:
+  std::string name() const override { return "rewrite-ecr-basis"; }
+  QuantumCircuit run(const QuantumCircuit& circuit) const override;
+};
+
 /// Rewrites every 1q gate into the modern IBM basis {RZ, SX} via
 /// U(theta, phi, lambda) ~ RZ(phi + pi) SX RZ(theta + pi) SX RZ(lambda)
-/// (up to global phase), leaving CX untouched: the {RZ, SX, CX} target of
-/// current devices. Run after DecomposeMultiQubit. Pure Z rotations emit a
-/// single RZ; identities vanish.
+/// (up to global phase), leaving CX and ECR untouched: the {RZ, SX, CX/ECR}
+/// target of current devices. Run after DecomposeMultiQubit. Pure Z
+/// rotations emit a single RZ; identities vanish.
 class RewriteToRzSxBasis final : public Pass {
  public:
   std::string name() const override { return "rewrite-rzsx-basis"; }

@@ -43,7 +43,9 @@ bool satisfies_coupling(const QuantumCircuit& circuit,
   for (const auto& op : circuit.ops()) {
     if (op.kind == OpKind::Barrier || !op_is_unitary(op.kind)) continue;
     if (op.qubits.size() == 1) continue;
-    if (op.kind != OpKind::CX || op.qubits.size() != 2) return false;
+    if ((op.kind != OpKind::CX && op.kind != OpKind::ECR) ||
+        op.qubits.size() != 2)
+      return false;
     if (!coupling.has_edge(op.qubits[0], op.qubits[1])) return false;
   }
   return true;

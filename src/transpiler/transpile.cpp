@@ -32,7 +32,8 @@ QuantumCircuit lower_to_router_basis(const QuantumCircuit& circuit) {
   return DecomposeMultiQubit().run(circuit);
 }
 
-std::unique_ptr<map::Mapper> make_mapper(const TranspileOptions& options) {
+std::unique_ptr<map::Mapper> make_mapper(const TranspileOptions& options,
+                                         const arch::Backend& backend) {
   switch (options.mapper) {
     case MapperKind::Naive:
       return std::make_unique<map::NaiveMapper>();
@@ -41,8 +42,10 @@ std::unique_ptr<map::Mapper> make_mapper(const TranspileOptions& options) {
     case MapperKind::Sabre:
       break;
   }
-  return std::make_unique<map::SabreMapper>(20, 0.5, options.trials,
-                                            options.seed);
+  auto sabre = std::make_unique<map::SabreMapper>(20, 0.5, options.trials,
+                                                  options.seed);
+  if (options.fidelity == 1) sabre->with_fidelity(&backend);
+  return sabre;
 }
 
 QuantumCircuit finish_pipeline(QuantumCircuit routed, bool had_swaps,
@@ -62,7 +65,17 @@ QuantumCircuit finish_pipeline(QuantumCircuit routed, bool had_swaps,
     current = FuseSingleQubitGates().run(current);
     current = GateCancellation().run(current);
   }
-  if (options.to_u_basis) current = RewriteToUBasis().run(current);
+  if (backend.basis() == arch::BasisSet::EcrRzSx) {
+    // Directions are legal by now, so the direction-preserving CX -> ECR
+    // rewrite lands every ECR on a native edge; the 1q tail then lowers to
+    // {RZ, SX}. to_u_basis is meaningless for these devices and ignored.
+    current = RewriteToEcrBasis().run(current);
+    current = RewriteToRzSxBasis().run(current);
+    if (options.optimization_level >= 1)
+      current = GateCancellation().run(current);
+  } else if (options.to_u_basis) {
+    current = RewriteToUBasis().run(current);
+  }
 
   if (!satisfies_coupling(current, backend.coupling_map()))
     throw std::logic_error("transpile: produced an illegal circuit");
@@ -74,6 +87,9 @@ TranspileOptions resolve_options(const TranspileOptions& options) {
   if (resolved.trials <= 0) resolved.trials = map::default_map_trials();
   if (resolved.seed == map::kMapSeedFromEnv)
     resolved.seed = map::default_map_seed();
+  if (resolved.fidelity < 0)
+    resolved.fidelity = map::default_map_fidelity() ? 1 : 0;
+  if (resolved.fidelity > 1) resolved.fidelity = 1;
   return resolved;
 }
 
@@ -89,7 +105,7 @@ TranspileResult transpile(const QuantumCircuit& circuit,
 
   // 2. Layout + routing.
   map::MappingResult mapped =
-      detail::make_mapper(opts)->run(current, backend.coupling_map());
+      detail::make_mapper(opts, backend)->run(current, backend.coupling_map());
 
   // 3-4. Lower SWAPs, legalize directions, clean up.
   TranspileResult result;

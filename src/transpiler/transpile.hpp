@@ -25,6 +25,12 @@ struct TranspileOptions {
   /// (default 0xC0FFEE). Fixed seed => bitwise-reproducible routing,
   /// independent of QTC_NUM_THREADS.
   std::uint64_t seed = map::kMapSeedFromEnv;
+  /// Fidelity-aware SABRE: swap costs weighted by per-edge calibration
+  /// error/duration, noise-adaptive trial seeding, winner by estimated
+  /// success. -1 defers to QTC_MAP_FIDELITY (default off); 0 forces the
+  /// calibration-blind legacy routing (bitwise-identical results); 1 forces
+  /// fidelity-aware routing. Ignored by the Naive/AStar mappers.
+  int fidelity = -1;
 };
 
 struct TranspileResult {
@@ -56,12 +62,16 @@ namespace detail {
 QuantumCircuit lower_to_router_basis(const QuantumCircuit& circuit);
 
 /// Stage 2 factory: the mapper selected by `options` (with the SABRE
-/// portfolio's resolved trials/seed).
-std::unique_ptr<map::Mapper> make_mapper(const TranspileOptions& options);
+/// portfolio's resolved trials/seed). `backend` supplies calibration when
+/// the resolved options enable fidelity-aware routing; the returned mapper
+/// holds a non-owning pointer to it, so the backend must outlive the mapper.
+std::unique_ptr<map::Mapper> make_mapper(const TranspileOptions& options,
+                                         const arch::Backend& backend);
 
 /// Stages 3-4 of transpile(): lower inserted SWAPs (skipped when the mapper
-/// inserted none), legalize CX directions, clean up, optionally rewrite to
-/// the U basis, and verify the result against the coupling map.
+/// inserted none), legalize CX directions, clean up, rewrite to the
+/// backend's native basis (ECR/RZ/SX backends always; U basis on request),
+/// and verify the result against the coupling map.
 QuantumCircuit finish_pipeline(QuantumCircuit routed, bool had_swaps,
                                const arch::Backend& backend,
                                const TranspileOptions& options);

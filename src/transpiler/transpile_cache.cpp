@@ -98,16 +98,39 @@ bool options_equal(const TranspileOptions& a, const TranspileOptions& b) {
   return a.mapper == b.mapper &&
          a.optimization_level == b.optimization_level &&
          a.to_u_basis == b.to_u_basis && a.trials == b.trials &&
-         a.seed == b.seed;
+         a.seed == b.seed && a.fidelity == b.fidelity;
 }
 
-/// Mix a circuit-structural fingerprint with the coupling map and resolved
-/// options into the final cache/batching key. Shared by the circuit path
-/// (cache_key) and the payload path (structural_cache_key_digest), so the
-/// two produce identical keys for identical structures by construction.
-std::uint64_t mix_key(std::uint64_t structural,
-                      const arch::CouplingMap& coupling,
+/// Calibration fingerprint for fidelity-aware entries: the routing itself
+/// depends on per-edge errors/durations, so two backends that differ only in
+/// calibration must not share cached routings when fidelity is on. 0 when
+/// fidelity is off (routing is calibration-blind).
+std::uint64_t calibration_fingerprint(const arch::Backend& backend,
+                                      const TranspileOptions& opts) {
+  if (opts.fidelity != 1) return 0;
+  const auto& cal = backend.calibration();
+  Hasher h;
+  auto mix_vec = [&h](const std::vector<double>& v) {
+    h.mix(v.size());
+    for (double x : v) h.mix(std::bit_cast<std::uint64_t>(x));
+  };
+  mix_vec(cal.single_qubit_error);
+  mix_vec(cal.readout_error);
+  mix_vec(cal.cx_error);
+  mix_vec(cal.cx_duration_us);
+  h.mix(std::bit_cast<std::uint64_t>(cal.gate_time_1q_us));
+  h.mix(std::bit_cast<std::uint64_t>(cal.gate_time_cx_us));
+  return h.h;
+}
+
+/// Mix a circuit-structural fingerprint with the backend (coupling map,
+/// native basis, calibration when fidelity-aware) and resolved options into
+/// the final cache/batching key. Shared by the circuit path (cache_key) and
+/// the payload path (structural_cache_key_digest), so the two produce
+/// identical keys for identical structures by construction.
+std::uint64_t mix_key(std::uint64_t structural, const arch::Backend& backend,
                       const TranspileOptions& opts) {
+  const arch::CouplingMap& coupling = backend.coupling_map();
   Hasher h;
   h.mix(structural);
   h.mix(static_cast<std::uint64_t>(coupling.num_qubits()));
@@ -120,13 +143,16 @@ std::uint64_t mix_key(std::uint64_t structural,
   h.mix(opts.to_u_basis ? 1 : 0);
   h.mix(static_cast<std::uint64_t>(opts.trials));
   h.mix(opts.seed);
+  h.mix(static_cast<std::uint64_t>(opts.fidelity));
+  h.mix(static_cast<std::uint64_t>(backend.basis()));
+  h.mix(calibration_fingerprint(backend, opts));
   return h.h;
 }
 
 std::uint64_t cache_key(const QuantumCircuit& circuit,
-                        const arch::CouplingMap& coupling,
+                        const arch::Backend& backend,
                         const TranspileOptions& opts) {
-  return mix_key(structural_hash(circuit), coupling, opts);
+  return mix_key(structural_hash(circuit), backend, opts);
 }
 
 std::atomic<int> g_enabled_override{-1};
@@ -161,8 +187,10 @@ TranspileResult TranspileCache::transpile(const QuantumCircuit& circuit,
                                           const TranspileOptions& options) {
   const TranspileOptions opts = detail::resolve_options(options);
   const arch::CouplingMap& coupling = backend.coupling_map();
-  const std::uint64_t key = cache_key(circuit, coupling, opts);
+  const std::uint64_t key = cache_key(circuit, backend, opts);
   const std::uint64_t phash = param_hash(circuit);
+  const int basis = static_cast<int>(backend.basis());
+  const std::uint64_t chash = calibration_fingerprint(backend, opts);
 
   // Lookup under the lock; copy the winning entry's template out so the
   // replay (and any cold run) happens without holding it.
@@ -176,6 +204,7 @@ TranspileResult TranspileCache::transpile(const QuantumCircuit& circuit,
       for (const Entry& e : it->second) {
         if (e.coupling_qubits != coupling.num_qubits() ||
             e.coupling_edges != coupling.edges() ||
+            e.basis != basis || e.calib_hash != chash ||
             !options_equal(e.options, opts) ||
             !same_structure(e.input, circuit))
           continue;
@@ -235,7 +264,7 @@ TranspileResult TranspileCache::cold_transpile(const QuantumCircuit& circuit,
                                                std::uint64_t phash) {
   QuantumCircuit lowered = detail::lower_to_router_basis(circuit);
   map::MappingResult mapped =
-      detail::make_mapper(opts)->run(lowered, backend.coupling_map());
+      detail::make_mapper(opts, backend)->run(lowered, backend.coupling_map());
 
   Entry e;
   e.param_hash = phash;
@@ -251,6 +280,8 @@ TranspileResult TranspileCache::cold_transpile(const QuantumCircuit& circuit,
   e.coupling_qubits = backend.coupling_map().num_qubits();
   e.coupling_edges = backend.coupling_map().edges();
   e.options = opts;
+  e.basis = static_cast<int>(backend.basis());
+  e.calib_hash = calibration_fingerprint(backend, opts);
 
   TranspileResult result;
   result.circuit = detail::finish_pipeline(std::move(mapped.circuit),
@@ -311,15 +342,13 @@ void TranspileCache::clear() {
 std::uint64_t structural_cache_key(const QuantumCircuit& circuit,
                                    const arch::Backend& backend,
                                    const TranspileOptions& options) {
-  return cache_key(circuit, backend.coupling_map(),
-                   detail::resolve_options(options));
+  return cache_key(circuit, backend, detail::resolve_options(options));
 }
 
 std::uint64_t structural_cache_key_digest(std::uint64_t structural_digest,
                                           const arch::Backend& backend,
                                           const TranspileOptions& options) {
-  return mix_key(structural_digest, backend.coupling_map(),
-                 detail::resolve_options(options));
+  return mix_key(structural_digest, backend, detail::resolve_options(options));
 }
 
 TranspileResult transpile_cached(const QuantumCircuit& circuit,

@@ -93,6 +93,10 @@ class TranspileCache {
     int coupling_qubits = 0;
     std::vector<std::pair<int, int>> coupling_edges;
     TranspileOptions options;      // resolved
+    // Basis changes the finished circuit; calibration changes the routing
+    // itself when fidelity-aware mapping is on (calib_hash is 0 otherwise).
+    int basis = 0;
+    std::uint64_t calib_hash = 0;
   };
 
   TranspileResult cold_transpile(const QuantumCircuit& circuit,
