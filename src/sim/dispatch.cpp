@@ -24,28 +24,10 @@ bool env_dispatch_enabled() {
   return !(v == "0" || v == "off" || v == "false" || v == "no");
 }
 
-/// Gate kinds the tableau engine supports — keep in sync with
-/// sim::is_clifford_circuit / StabilizerState::apply.
-bool is_clifford_kind(OpKind k) {
-  switch (k) {
-    case OpKind::I:
-    case OpKind::X:
-    case OpKind::Y:
-    case OpKind::Z:
-    case OpKind::H:
-    case OpKind::S:
-    case OpKind::Sdg:
-    case OpKind::SX:
-    case OpKind::SXdg:
-    case OpKind::CX:
-    case OpKind::CY:
-    case OpKind::CZ:
-    case OpKind::SWAP:
-      return true;
-    default:
-      return false;
-  }
-}
+// The Clifford gate-set predicate is sim::is_clifford_kind (stabilizer.hpp)
+// — the same source of truth the tableau engine itself checks against, so a
+// new Clifford opcode can't silently diverge the dispatcher's profile from
+// what the engine accepts.
 
 // One counter slot per Engine value (Auto never runs, but indexing by the
 // enum keeps the bookkeeping trivial).

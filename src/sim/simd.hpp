@@ -89,4 +89,17 @@ void matvec2(Isa isa, const cplx* m, const cplx* in2, cplx* out2,
 /// multiply.
 void cmul(Isa isa, const cplx* a, const cplx* b, cplx* out, std::size_t n);
 
+/// Stabilizer-tableau rowsum sweep over bit-packed Pauli rows (64 qubits per
+/// word): XORs the source row into the destination row (x_dst ^= x_src,
+/// z_dst ^= z_src) and returns the Aaronson-Gottesman phase-exponent sum
+/// sum_j g(x_src_j, z_src_j, x_dst_j, z_dst_j) mod 4, evaluated on the
+/// destination bits BEFORE the XOR. The mod-4 sum is accumulated with the
+/// bit-sliced two-bit-counter trick — per-lane (ones, twos) planes updated
+/// by carry/borrow logic, folded with popcount at the end — so the result
+/// is exact integer arithmetic and the scalar and AVX2 paths agree
+/// bit for bit by construction.
+int stab_rowsum(Isa isa, const std::uint64_t* x_src,
+                const std::uint64_t* z_src, std::uint64_t* x_dst,
+                std::uint64_t* z_dst, std::size_t words);
+
 }  // namespace qtc::sim::simd

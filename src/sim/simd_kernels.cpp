@@ -1,6 +1,7 @@
 #include "sim/simd.hpp"
 
 #include <atomic>
+#include <bit>
 #include <cctype>
 #include <cstdlib>
 #include <string>
@@ -101,6 +102,47 @@ void matvec2_scalar(const cplx* m, const cplx* in2, cplx* out2,
 
 void cmul_scalar(const cplx* a, const cplx* b, cplx* out, std::size_t n) {
   for (std::size_t j = 0; j < n; ++j) out[j] = a[j] * b[j];
+}
+
+// Stabilizer rowsum: per qubit j the Aaronson-Gottesman g exponent of
+// multiplying source Pauli (x1,z1) onto destination Pauli (x2,z2) is
+// +1/0/-1; boolean planes `pos`/`neg` mark the +1/-1 lanes of a whole word
+// and feed a bit-sliced mod-4 counter: per-lane (ones, twos) planes where
+// adding 1 is carry = ones&pos; ones ^= pos; twos ^= carry and subtracting 1
+// is borrow = ~ones&neg; ones ^= neg; twos ^= borrow. The final sum mod 4 is
+// popcount(ones) + 2*popcount(twos). Exact integer arithmetic — every path
+// is bitwise identical by construction.
+
+void stab_rowsum_tail(const std::uint64_t* x1, const std::uint64_t* z1,
+                      std::uint64_t* x2, std::uint64_t* z2, std::size_t w0,
+                      std::size_t words, std::uint64_t& ones,
+                      std::uint64_t& twos) {
+  for (std::size_t w = w0; w < words; ++w) {
+    const std::uint64_t a = x1[w], b = z1[w], c = x2[w], d = z2[w];
+    const std::uint64_t pos =
+        (a & b & d & ~c) | (a & ~b & c & d) | (~a & b & c & ~d);
+    const std::uint64_t neg =
+        (a & b & c & ~d) | (a & ~b & d & ~c) | (~a & b & c & d);
+    const std::uint64_t carry = ones & pos;
+    ones ^= pos;
+    twos ^= carry;
+    const std::uint64_t borrow = ~ones & neg;
+    ones ^= neg;
+    twos ^= borrow;
+    x2[w] = c ^ a;
+    z2[w] = d ^ b;
+  }
+}
+
+int stab_rowsum_scalar(const std::uint64_t* x1, const std::uint64_t* z1,
+                       std::uint64_t* x2, std::uint64_t* z2,
+                       std::size_t words) {
+  std::uint64_t ones = 0, twos = 0;
+  stab_rowsum_tail(x1, z1, x2, z2, 0, words, ones, twos);
+  return static_cast<int>(
+      (static_cast<unsigned>(std::popcount(ones)) +
+       2u * static_cast<unsigned>(std::popcount(twos))) &
+      3u);
 }
 
 #if defined(QTC_SIMD_AVX2)
@@ -287,6 +329,63 @@ QTC_AVX2 void cmul_avx2(const cplx* a, const cplx* b, cplx* out,
     _mm256_storeu_pd(flat(out) + 2 * j, cmul2(va, vb));
   }
   for (; j < n; ++j) out[j] = a[j] * b[j];
+}
+
+QTC_AVX2 int stab_rowsum_avx2(const std::uint64_t* x1, const std::uint64_t* z1,
+                              std::uint64_t* x2, std::uint64_t* z2,
+                              std::size_t words) {
+  // Same two-bit-counter planes as the scalar loop, four words per vector.
+  // Lane columns are independent mod-4 accumulators, so vector and scalar
+  // tallies combine by plain addition before the final & 3.
+  __m256i vones = _mm256_setzero_si256(), vtwos = _mm256_setzero_si256();
+  std::size_t w = 0;
+  for (; w + 4 <= words; w += 4) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x1 + w));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(z1 + w));
+    const __m256i c =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x2 + w));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(z2 + w));
+    const __m256i ab = _mm256_and_si256(a, b);
+    const __m256i a_nb = _mm256_andnot_si256(b, a);   // a & ~b
+    const __m256i na_b = _mm256_andnot_si256(a, b);   // ~a & b
+    const __m256i cd = _mm256_and_si256(c, d);
+    const __m256i c_nd = _mm256_andnot_si256(d, c);   // c & ~d
+    const __m256i d_nc = _mm256_andnot_si256(c, d);   // d & ~c
+    const __m256i pos = _mm256_or_si256(
+        _mm256_or_si256(_mm256_and_si256(ab, d_nc),
+                        _mm256_and_si256(a_nb, cd)),
+        _mm256_and_si256(na_b, c_nd));
+    const __m256i neg = _mm256_or_si256(
+        _mm256_or_si256(_mm256_and_si256(ab, c_nd),
+                        _mm256_and_si256(a_nb, d_nc)),
+        _mm256_and_si256(na_b, cd));
+    const __m256i carry = _mm256_and_si256(vones, pos);
+    vones = _mm256_xor_si256(vones, pos);
+    vtwos = _mm256_xor_si256(vtwos, carry);
+    const __m256i borrow = _mm256_andnot_si256(vones, neg);
+    vones = _mm256_xor_si256(vones, neg);
+    vtwos = _mm256_xor_si256(vtwos, borrow);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(x2 + w),
+                        _mm256_xor_si256(c, a));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(z2 + w),
+                        _mm256_xor_si256(d, b));
+  }
+  alignas(32) std::uint64_t lanes[8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), vones);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes + 4), vtwos);
+  unsigned total = 0;
+  for (int k = 0; k < 4; ++k)
+    total += static_cast<unsigned>(std::popcount(lanes[k]));
+  for (int k = 4; k < 8; ++k)
+    total += 2u * static_cast<unsigned>(std::popcount(lanes[k]));
+  std::uint64_t ones = 0, twos = 0;
+  stab_rowsum_tail(x1, z1, x2, z2, w, words, ones, twos);
+  total += static_cast<unsigned>(std::popcount(ones)) +
+           2u * static_cast<unsigned>(std::popcount(twos));
+  return static_cast<int>(total & 3u);
 }
 
 #endif  // QTC_SIMD_AVX2
@@ -506,6 +605,21 @@ void cmul(Isa isa, const cplx* a, const cplx* b, cplx* out, std::size_t n) {
 #endif
     default:
       cmul_scalar(a, b, out, n);
+  }
+}
+
+int stab_rowsum(Isa isa, const std::uint64_t* x_src,
+                const std::uint64_t* z_src, std::uint64_t* x_dst,
+                std::uint64_t* z_dst, std::size_t words) {
+  switch (isa) {
+#if defined(QTC_SIMD_AVX2)
+    case Isa::Avx2:
+      return stab_rowsum_avx2(x_src, z_src, x_dst, z_dst, words);
+#endif
+    default:
+      // No NEON variant: the boolean planes compile to tight scalar
+      // word ops already, and exactness (not rounding) is the contract.
+      return stab_rowsum_scalar(x_src, z_src, x_dst, z_dst, words);
   }
 }
 

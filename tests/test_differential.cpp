@@ -201,6 +201,87 @@ TEST(Differential, ThreeEnginesAgreeOnCliffordCircuits) {
   });
 }
 
+// --- dynamic Clifford circuits: packed vs byte vs array ----------------------
+
+/// Clifford mix with mid-circuit measurement, reset and classically
+/// conditioned Paulis — the dynamic-circuit surface of the tableau engines.
+/// Conditioned seeds exercise the per-shot packed fallback; unconditioned
+/// ones the tableau-once skeleton sampler.
+QuantumCircuit random_dynamic_clifford_circuit(std::uint64_t seed) {
+  const int n = 2 + static_cast<int>(seed % 3);  // 2..4 qubits
+  const int gates = 16 + static_cast<int>((seed * 11) % 17);
+  Rng rng(seed * 52361 + 9);
+  QuantumCircuit qc(n, n);
+  for (int g = 0; g < gates; ++g) {
+    const int q = static_cast<int>(rng.index(n));
+    const int q2 = (q + 1 + static_cast<int>(rng.index(n - 1))) % n;
+    switch (rng.index(10)) {
+      case 0:
+        qc.h(q);
+        break;
+      case 1:
+        qc.s(q);
+        break;
+      case 2:
+        qc.x(q);
+        break;
+      case 3:
+        qc.cx(q, q2);
+        break;
+      case 4:
+        qc.cz(q, q2);
+        break;
+      case 5:
+        qc.measure(q, q);  // mid-circuit
+        break;
+      case 6:
+        qc.reset(q);
+        break;
+      case 7:
+        qc.x(q).c_if(0, rng.index(std::uint64_t{1} << n));
+        break;
+      case 8:
+        qc.z(q).c_if(0, 0);  // true until some clbit reads 1
+        break;
+      default:
+        qc.swap(q, q2);
+    }
+  }
+  qc.measure_all();
+  return qc;
+}
+
+TEST(Differential, DynamicCliffordCircuitsAgreeAcrossStabilizerPathsAndArray) {
+  with_fusion_off_and_on([&] {
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      const QuantumCircuit qc = random_dynamic_clifford_circuit(seed);
+      ASSERT_TRUE(sim::is_clifford_circuit(qc)) << "generator broke, seed "
+                                                << seed;
+      const int shots = 4000;
+      // Packed vs byte is an exact contract: identical per-shot coin
+      // streams make the histograms bitwise equal, not just statistically
+      // close.
+      sim::StabilizerSimulator tableau(seed + 1);
+      sim::set_stab_packed(1);
+      const auto cp = tableau.run(qc, shots);
+      sim::set_stab_packed(0);
+      const auto cb = tableau.run(qc, shots);
+      sim::set_stab_packed(-1);
+      EXPECT_EQ(cp.histogram, cb.histogram) << "packed vs byte, seed "
+                                            << seed;
+      // The array engine votes statistically on the same distribution.
+      sim::StatevectorSimulator array(seed);
+      const auto ca = array.run(qc, shots).counts;
+      for (std::uint64_t i = 0; i < (std::uint64_t{1} << qc.num_qubits());
+           ++i) {
+        const std::string bits = sim::format_bits(i, qc.num_qubits());
+        EXPECT_NEAR(ca.probability(bits), cp.probability(bits), 0.05)
+            << "stabilizer vs array, seed " << seed << " bits " << bits;
+      }
+    }
+  });
+}
+
 // --- transpilation preserves every circuit -----------------------------------
 
 TEST(Differential, TranspiledCircuitsStayEquivalent) {
